@@ -1,0 +1,44 @@
+"""Benchmark for the footnote-6 cprob# transformer ablation (experiment E11).
+
+The paper's implementation uses the *optimal* class-probability transformer
+while presenting a simpler interval-division transformer in the text.  This
+ablation quantifies the difference in certification power and interval
+tightness between the two.
+"""
+
+from repro.experiments.ablations import (
+    compare_cprob_transformers,
+    render_cprob_ablation,
+)
+from repro.experiments.reporting import save_artifact
+
+from conftest import bench_config
+
+
+def bench_ablation_cprob_transformers(benchmark):
+    config = bench_config(
+        depths=(1, 2),
+        n_test_points=4,
+        poisoning_amounts={"mnist17-binary": (1, 8, 64)},
+    )
+
+    def run():
+        return compare_cprob_transformers("mnist17-binary", config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact("ablation_cprob", render_cprob_ablation(rows))
+
+    assert rows
+    for row in rows:
+        # The optimal transformer can only help.
+        assert row.optimal_certified >= row.box_transformer_certified
+        assert (
+            row.optimal_mean_interval_width
+            <= row.box_transformer_mean_interval_width + 1e-9
+        )
+    # At some poisoning level the tightening is strict.
+    assert any(
+        row.optimal_mean_interval_width
+        < row.box_transformer_mean_interval_width - 1e-12
+        for row in rows
+    )

@@ -1,0 +1,37 @@
+"""Benchmark for the §6.3 Box-vs-Disjuncts ablation (experiment E10).
+
+The paper's findings: the disjunctive domain is more precise (verifies more
+points) but its time and memory grow much faster with the poisoning amount
+and depth, while the Box domain stays cheap.
+"""
+
+from repro.experiments.ablations import compare_domains, render_domain_ablation
+from repro.experiments.reporting import save_artifact
+
+from conftest import bench_config
+
+
+def bench_ablation_box_vs_disjuncts(benchmark):
+    config = bench_config(
+        depths=(1, 2),
+        n_test_points=4,
+        poisoning_amounts={"mnist17-binary": (1, 8, 64)},
+    )
+
+    def run():
+        return compare_domains("mnist17-binary", config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact("ablation_domains", render_domain_ablation(rows))
+
+    assert rows
+    # Precision ordering: Disjuncts certifies at least as many points.
+    assert all(row.disjuncts_verified >= row.box_verified for row in rows)
+    # Somewhere on the grid the extra precision is actually needed.
+    assert any(row.disjuncts_verified > row.box_verified for row in rows) or all(
+        row.box_verified == row.attempted for row in rows
+    )
+    # Cost ordering: averaged over the grid, Disjuncts is at least as slow.
+    box_time = sum(row.box_seconds for row in rows)
+    disjuncts_time = sum(row.disjuncts_seconds for row in rows)
+    assert disjuncts_time >= 0.5 * box_time

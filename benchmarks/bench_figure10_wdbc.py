@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 10 (Wisconsin Diagnostic Breast Cancer panels)."""
+
+from repro.experiments.perf_figures import (
+    compute_performance_figure,
+    render_performance_figure,
+)
+from repro.experiments.reporting import save_artifact
+
+from conftest import bench_config
+
+
+def bench_figure10_wdbc(benchmark):
+    config = bench_config(depths=(1, 2), n_test_points=5)
+
+    def run():
+        return compute_performance_figure("wdbc", config)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact("figure10_wdbc", render_performance_figure(points))
+
+    assert points
+    # WDBC is well separated, so some points certify at n >= 4 (the paper
+    # verifies a sizeable fraction up to n in the tens).
+    assert any(point.poisoning_amount >= 4 and point.verified > 0 for point in points)

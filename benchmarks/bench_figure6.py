@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 6 (fraction verified vs poisoning amount).
+
+Paper artifact: Figure 6 — for every dataset and depth, the fraction of test
+points proven robust as the poisoning amount grows (either abstract domain
+counts as success).
+"""
+
+from repro.experiments.figure6 import compute_figure6, render_figure6
+from repro.experiments.reporting import save_artifact
+
+from conftest import bench_config
+
+
+def bench_figure6_fraction_verified(benchmark):
+    config = bench_config(depths=(1, 2), n_test_points=4)
+
+    def run():
+        return compute_figure6(config)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact("figure6", render_figure6(series))
+
+    datasets = {line.dataset for line in series}
+    assert len(datasets) == 5
+    # Shape check 1: fractions never increase with the poisoning amount.
+    for line in series:
+        fractions = [fraction for _, fraction in line.points]
+        assert all(b <= a + 1e-9 for a, b in zip(fractions, fractions[1:]))
+    # Shape check 2: the large, well-separated MNIST-binary dataset tolerates
+    # far more poisoning than the small UCI-like datasets (the paper's
+    # headline observation).
+    mnist = [line for line in series if line.dataset == "mnist17-binary"]
+    assert any(line.fraction_at(8) and line.fraction_at(8) > 0 for line in mnist)

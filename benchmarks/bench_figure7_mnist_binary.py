@@ -1,0 +1,38 @@
+"""Benchmark regenerating Figure 7 (MNIST-1-7-Binary performance panels).
+
+Paper artifact: Figure 7 — number of verified points, average running time,
+and average peak memory versus the poisoning amount, for the Box and
+disjunctive domains at each depth, on the boolean-pixel MNIST variant.
+"""
+
+from repro.experiments.perf_figures import (
+    compute_performance_figure,
+    render_performance_figure,
+)
+from repro.experiments.reporting import save_artifact
+
+from conftest import bench_config
+
+
+def bench_figure7_mnist_binary(benchmark):
+    config = bench_config(depths=(1, 2), n_test_points=4)
+
+    def run():
+        return compute_performance_figure("mnist17-binary", config)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact("figure7_mnist_binary", render_performance_figure(points))
+
+    by_key = {(p.domain, p.depth, p.poisoning_amount): p for p in points}
+    # Shape check 1: both domains certify points at small n on this large,
+    # well-separated dataset.
+    assert by_key[("box", 1, 1)].verified > 0
+    assert by_key[("disjuncts", 1, 1)].verified > 0
+    # Shape check 2: the disjunctive domain certifies at least as many points
+    # as Box wherever both ran (the paper's precision ordering).
+    for (domain, depth, n), point in by_key.items():
+        if domain != "box":
+            continue
+        twin = by_key.get(("disjuncts", depth, n))
+        if twin is not None:
+            assert twin.verified >= point.verified

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 9 (Mammographic Masses performance panels)."""
+
+from repro.experiments.perf_figures import (
+    compute_performance_figure,
+    render_performance_figure,
+)
+from repro.experiments.reporting import save_artifact
+
+from conftest import bench_config
+
+
+def bench_figure9_mammography(benchmark):
+    config = bench_config(depths=(1, 2), n_test_points=5)
+
+    def run():
+        return compute_performance_figure("mammography", config)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact("figure9_mammography", render_performance_figure(points))
+
+    assert points
+    # The certified count never increases with the poisoning amount within a
+    # (domain, depth) series.
+    series = {}
+    for point in points:
+        series.setdefault((point.domain, point.depth), []).append(point)
+    for cells in series.values():
+        cells.sort(key=lambda p: p.poisoning_amount)
+        verified = [cell.verified for cell in cells]
+        assert all(b <= a for a, b in zip(verified, verified[1:]))

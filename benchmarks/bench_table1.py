@@ -1,0 +1,35 @@
+"""Benchmark regenerating Table 1 (dataset metrics and test accuracies).
+
+Paper artifact: Table 1 — five datasets, decision-tree test accuracy at
+depths 1 through 4.
+"""
+
+from repro.experiments.reporting import save_artifact
+from repro.experiments.table1 import compute_table1, render_table1
+
+from conftest import bench_config
+
+
+def bench_table1_accuracies(benchmark):
+    config = bench_config()
+
+    def run():
+        return compute_table1(config, depths=(1, 2, 3, 4))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact("table1", render_table1(rows))
+
+    assert [row.dataset for row in rows] == [
+        "iris",
+        "mammography",
+        "wdbc",
+        "mnist17-binary",
+        "mnist17-real",
+    ]
+    # The qualitative shape of Table 1: every learned tree is far better than
+    # chance, and the MNIST variants reach very high accuracy.
+    for row in rows:
+        chance = 1.0 / row.n_classes
+        assert row.accuracy_at(2) > chance + 0.2
+    assert rows[3].accuracy_at(2) > 0.9
+    assert rows[4].accuracy_at(2) > 0.9

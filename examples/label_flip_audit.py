@@ -1,0 +1,66 @@
+"""Scenario: auditing a classifier against label-contamination attacks.
+
+The removal model of the paper asks "what if some training rows were planted
+by an attacker?".  A complementary worry — common when labels come from
+crowdsourcing — is that the *labels* of genuine rows were corrupted.  This
+example uses the :class:`repro.poisoning.LabelFlipVerifier` extension to
+certify predictions of the MNIST-1-7-like classifier against
+
+* up to ``f`` flipped labels,
+* and the combined threat of ``r`` planted rows plus ``f`` flipped labels,
+
+and compares the certified budgets with the removal-only certificates of the
+main verifier.
+
+Run with:  python examples/label_flip_audit.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import PoisoningVerifier, load_dataset
+from repro.poisoning.label_flip import LabelFlipVerifier
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--depth", type=int, default=1)
+    parser.add_argument("--digits", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    split = load_dataset("mnist17-binary", scale=args.scale, seed=args.seed)
+    print(split.describe())
+    print()
+
+    removal_verifier = PoisoningVerifier(
+        max_depth=args.depth, domain="either", timeout_seconds=60.0
+    )
+    flip_verifier = LabelFlipVerifier(max_depth=args.depth)
+
+    budgets = (1, 4, 16)
+    table = TextTable(
+        ["digit", "budget", "removal-robust", "flip-robust", "combined-robust"]
+    )
+    for index in range(min(args.digits, len(split.test))):
+        x = split.test.X[index]
+        for budget in budgets:
+            removal = removal_verifier.verify(split.train, x, budget).is_certified
+            flips = flip_verifier.verify(split.train, x, flips=budget).robust
+            combined = flip_verifier.verify(
+                split.train, x, flips=budget, removals=budget
+            ).robust
+            table.add_row([index, budget, removal, flips, combined])
+    print(table.render())
+    print(
+        "\nLabel flips are certified with the extension's combined ⟨T, r, f⟩ "
+        "abstract domain; 'combined' tolerates both planted rows and flipped "
+        "labels simultaneously."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Headline scenario: certifying MNIST-1-7 digits against large poisoning budgets.
+
+The paper's showcase (§2 and §6.2) proves individual MNIST ones-vs-sevens
+digits robust even if an attacker contributed dozens to hundreds of training
+images — perturbation spaces of 10^170+ datasets that no enumeration could
+ever explore.  This example reproduces that workflow on the synthetic
+MNIST-1-7 stand-in:
+
+* learn a depth-2 tree and report its accuracy (Table 1's role);
+* for a handful of test digits, search for the largest poisoning budget the
+  prediction can be certified against (the §6.1 doubling/binary-search
+  protocol);
+* report the size of the enumeration space that the abstract interpretation
+  sidesteps.
+
+Run with:  python examples/mnist_certification.py          (reduced scale)
+           python examples/mnist_certification.py --scale 0.3   (larger)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    DecisionTreeLearner,
+    PoisoningVerifier,
+    evaluate_accuracy,
+    load_dataset,
+    max_certified_poisoning,
+)
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="fraction of the paper's 13,007 training digits to generate")
+    parser.add_argument("--depth", type=int, default=2, help="decision-tree depth")
+    parser.add_argument("--digits", type=int, default=5, help="number of test digits to certify")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    split = load_dataset("mnist17-binary", scale=args.scale, seed=args.seed)
+    print(split.describe())
+
+    tree = DecisionTreeLearner(max_depth=args.depth).fit(split.train)
+    accuracy = evaluate_accuracy(tree, split.test.X, split.test.y)
+    print(f"Depth-{args.depth} decision tree test accuracy: {accuracy:.1%}\n")
+
+    verifier = PoisoningVerifier(
+        max_depth=args.depth, domain="either", timeout_seconds=120.0
+    )
+
+    table = TextTable(
+        ["digit", "prediction", "max certified n", "poisoned fraction", "log10 |Δn(T)|"]
+    )
+    for index in range(min(args.digits, len(split.test))):
+        x = split.test.X[index]
+        search = max_certified_poisoning(
+            verifier, split.train, x, max_n=len(split.train) // 4
+        )
+        best = search.max_certified_n
+        result = search.results.get(best) or next(iter(search.results.values()))
+        table.add_row(
+            [
+                index,
+                split.train.class_names[result.predicted_class],
+                best,
+                f"{best / len(split.train):.2%}",
+                f"{result.log10_num_datasets:.0f}" if best else "-",
+            ]
+        )
+    print("Largest certified poisoning budget per test digit")
+    print(table.render())
+    print(
+        "\nReading the last column: certifying at that budget by enumeration "
+        "would require retraining on ~10^k datasets."
+    )
+
+
+if __name__ == "__main__":
+    main()

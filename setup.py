@@ -1,0 +1,4 @@
+"""Legacy setuptools shim so that editable installs work without the wheel package."""
+from setuptools import setup
+
+setup()

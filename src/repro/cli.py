@@ -1,0 +1,196 @@
+"""Command-line interface for the reproduction.
+
+The CLI exposes the main workflows without writing any Python:
+
+* ``repro-antidote datasets`` — list the benchmark datasets (Table 1 metadata);
+* ``repro-antidote verify <dataset> --n 8 --depth 2 --point 0`` — certify one
+  test point against ``Δn`` poisoning;
+* ``repro-antidote table1`` — regenerate Table 1;
+* ``repro-antidote figure6`` — regenerate the Figure 6 series;
+* ``repro-antidote figure <dataset>`` — regenerate the dataset's performance
+  figure (Figures 7–11);
+* ``repro-antidote ablation domains|cprob`` — run the §6.3 / footnote-6
+  ablations.
+
+Every command prints the rendered table to stdout and optionally saves it
+with ``--save NAME``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.datasets.registry import dataset_summaries, list_datasets, load_dataset
+from repro.experiments.ablations import (
+    compare_cprob_transformers,
+    compare_domains,
+    render_cprob_ablation,
+    render_domain_ablation,
+)
+from repro.experiments.config import ExperimentConfig, quick_config
+from repro.experiments.figure6 import compute_figure6, render_figure6
+from repro.experiments.perf_figures import (
+    compute_performance_figure,
+    render_performance_figure,
+)
+from repro.experiments.reporting import save_artifact
+from repro.experiments.table1 import compute_table1, render_table1
+from repro.utils.tables import TextTable
+from repro.verify.robustness import PoisoningVerifier
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-antidote",
+        description="Certify data-poisoning robustness of decision-tree learners "
+        "(reproduction of Drews, Albarghouthi, D'Antoni, PLDI 2020).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list the benchmark datasets")
+
+    verify = subparsers.add_parser("verify", help="certify one test point")
+    verify.add_argument("dataset", choices=list_datasets())
+    verify.add_argument("--n", type=int, default=1, help="poisoning budget")
+    verify.add_argument("--depth", type=int, default=2, help="decision-tree depth")
+    verify.add_argument("--domain", choices=("box", "disjuncts", "either"), default="either")
+    verify.add_argument("--point", type=int, default=0, help="test-set index to certify")
+    verify.add_argument("--scale", type=float, default=None, help="dataset scale (1.0 = paper size)")
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--timeout", type=float, default=60.0)
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table 1")
+    _add_experiment_arguments(table1)
+
+    figure6 = subparsers.add_parser("figure6", help="regenerate Figure 6")
+    _add_experiment_arguments(figure6)
+    figure6.add_argument("--datasets", nargs="*", default=None, choices=list_datasets())
+
+    figure = subparsers.add_parser("figure", help="regenerate a performance figure (Figures 7-11)")
+    figure.add_argument("dataset", choices=list_datasets())
+    _add_experiment_arguments(figure)
+
+    ablation = subparsers.add_parser("ablation", help="run an ablation study")
+    ablation.add_argument("kind", choices=("domains", "cprob"))
+    ablation.add_argument("--dataset", default="mnist17-binary", choices=list_datasets())
+    _add_experiment_arguments(ablation)
+
+    return parser
+
+
+def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="use the reduced-scale benchmark configuration")
+    parser.add_argument("--save", default=None, metavar="NAME",
+                        help="also save the rendered output under benchmarks/results/NAME.txt")
+
+
+def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    if getattr(args, "quick", False):
+        return quick_config(seed=args.seed)
+    return ExperimentConfig(seed=args.seed)
+
+
+def _emit(text: str, args: argparse.Namespace) -> None:
+    print(text)
+    save_name = getattr(args, "save", None)
+    if save_name:
+        path = save_artifact(save_name, text)
+        print(f"\n[saved to {path}]", file=sys.stderr)
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    table = TextTable(
+        ["name", "paper train", "paper test", "features", "type", "classes", "default scale"]
+    )
+    for row in dataset_summaries():
+        table.add_row(
+            [
+                row["name"],
+                row["paper_train_size"],
+                row["paper_test_size"],
+                row["n_features"],
+                row["feature_type"],
+                row["n_classes"],
+                row["default_scale"],
+            ]
+        )
+    _emit(table.render(), args)
+    return 0
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    split = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if not 0 <= args.point < len(split.test):
+        print(
+            f"error: --point must be in [0, {len(split.test)}) for this dataset",
+            file=sys.stderr,
+        )
+        return 2
+    verifier = PoisoningVerifier(
+        max_depth=args.depth, domain=args.domain, timeout_seconds=args.timeout
+    )
+    result = verifier.verify(split.train, split.test.X[args.point], args.n)
+    print(split.describe())
+    print(f"test point #{args.point}: {result.describe()}")
+    if result.is_certified:
+        print(
+            f"certified: no attacker contributing up to {args.n} of the "
+            f"{len(split.train)} training elements can change this prediction "
+            f"(~10^{result.log10_num_datasets:.0f} poisoned training sets covered)."
+        )
+    return 0 if result.is_certified else 1
+
+
+def _command_table1(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    rows = compute_table1(config)
+    _emit(render_table1(rows), args)
+    return 0
+
+
+def _command_figure6(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    series = compute_figure6(config, datasets=args.datasets)
+    _emit(render_figure6(series), args)
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    points = compute_performance_figure(args.dataset, config)
+    _emit(render_performance_figure(points), args)
+    return 0
+
+
+def _command_ablation(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    if args.kind == "domains":
+        _emit(render_domain_ablation(compare_domains(args.dataset, config)), args)
+    else:
+        _emit(render_cprob_ablation(compare_cprob_transformers(args.dataset, config)), args)
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _command_datasets,
+    "verify": _command_verify,
+    "table1": _command_table1,
+    "figure6": _command_figure6,
+    "figure": _command_figure,
+    "ablation": _command_ablation,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Concrete decision-tree substrate.
+
+This subpackage implements everything the paper's *concrete* semantics needs:
+
+* :mod:`repro.core.dataset` — labelled training sets with typed features.
+* :mod:`repro.core.predicates` — the predicate language used at tree splits,
+  including the symbolic three-valued predicates of Appendix B.
+* :mod:`repro.core.impurity` — Gini impurity and class-probability vectors
+  (``ent`` and ``cprob`` in Figure 5 of the paper).
+* :mod:`repro.core.splitter` — candidate-predicate enumeration and the
+  ``bestSplit`` greedy criterion.
+* :mod:`repro.core.tree` — decision trees and their trace-based view (§3.2).
+* :mod:`repro.core.learner` — a CART-style learner building full trees.
+* :mod:`repro.core.trace_learner` — the trace-based learner ``DTrace``
+  (Figure 4) that only builds the root-to-leaf trace traversed by one input.
+"""
+
+from repro.core.dataset import Dataset, FeatureKind
+from repro.core.impurity import class_probabilities, gini_impurity, shannon_entropy
+from repro.core.learner import DecisionTreeLearner
+from repro.core.predicates import (
+    Predicate,
+    SymbolicThresholdPredicate,
+    ThresholdPredicate,
+    Trilean,
+)
+from repro.core.splitter import SplitChoice, best_split, candidate_predicates
+from repro.core.trace_learner import TraceLearner, TraceResult
+from repro.core.tree import DecisionTree, Trace, TreeNode
+
+__all__ = [
+    "Dataset",
+    "FeatureKind",
+    "class_probabilities",
+    "gini_impurity",
+    "shannon_entropy",
+    "DecisionTreeLearner",
+    "Predicate",
+    "ThresholdPredicate",
+    "SymbolicThresholdPredicate",
+    "Trilean",
+    "SplitChoice",
+    "best_split",
+    "candidate_predicates",
+    "TraceLearner",
+    "TraceResult",
+    "DecisionTree",
+    "Trace",
+    "TreeNode",
+]

@@ -1,0 +1,83 @@
+"""Impurity measures and class-probability statistics (Figure 5 of the paper).
+
+The paper's learner measures split quality with Gini impurity
+(``ent(T) = Σ_i p_i (1 - p_i)``) computed from the class-probability vector
+``cprob(T)``.  We also provide Shannon entropy as an alternative impurity for
+the C4.5-style extension, although all reproduction experiments use Gini as
+in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def class_probabilities(counts: Sequence[float]) -> np.ndarray:
+    """Return ``cprob`` from per-class counts; uniform when the set is empty.
+
+    The concrete ``cprob`` of Figure 5 is undefined for an empty training set;
+    following the paper's corner-case treatment we return the uniform vector,
+    which is what the abstract transformer's ``[0, 1]`` intervals collapse to
+    in the concrete world.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return np.full(counts.shape, 1.0 / max(1, counts.size))
+    return counts / total
+
+
+def gini_impurity(counts: Sequence[float]) -> float:
+    """Gini impurity ``Σ_i p_i (1 - p_i)`` of a class-count vector.
+
+    Returns 0 for an empty count vector (a pure/empty node).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probabilities = counts / total
+    return float(np.sum(probabilities * (1.0 - probabilities)))
+
+
+def shannon_entropy(counts: Sequence[float]) -> float:
+    """Shannon entropy (in bits) of a class-count vector; 0 when empty."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probabilities = counts / total
+    nonzero = probabilities[probabilities > 0]
+    return float(-np.sum(nonzero * np.log2(nonzero)))
+
+
+def gini_from_labels(labels: Sequence[int], n_classes: int) -> float:
+    """Convenience wrapper computing Gini impurity directly from labels."""
+    counts = np.bincount(np.asarray(labels, dtype=np.int64), minlength=n_classes)
+    return gini_impurity(counts)
+
+
+def split_score(
+    left_counts: Sequence[float],
+    right_counts: Sequence[float],
+    impurity: str = "gini",
+) -> float:
+    """The paper's split score ``|T↓φ|·ent(T↓φ) + |T↓¬φ|·ent(T↓¬φ)``.
+
+    Lower is better.  ``impurity`` selects Gini (paper default) or Shannon
+    entropy.
+    """
+    left_counts = np.asarray(left_counts, dtype=np.float64)
+    right_counts = np.asarray(right_counts, dtype=np.float64)
+    if impurity == "gini":
+        measure = gini_impurity
+    elif impurity == "entropy":
+        measure = shannon_entropy
+    else:
+        raise ValueError(f"unknown impurity {impurity!r}; expected 'gini' or 'entropy'")
+    return float(
+        left_counts.sum() * measure(left_counts)
+        + right_counts.sum() * measure(right_counts)
+    )

@@ -1,0 +1,166 @@
+"""The predicate language used at decision-tree splits.
+
+Concrete predicates (§3.3 of the paper) are boolean functions over feature
+vectors; the learner only ever uses *threshold* predicates ``x_i <= τ`` (a
+boolean feature is a threshold at ``0.5``) and, for the categorical
+extension, equality predicates ``x_i == v``.
+
+Symbolic predicates (§5.1 / Appendix B) widen a threshold into an interval of
+thresholds ``x_i <= [a, b)`` with a three-valued semantics
+(:class:`Trilean`); they are how the abstract learner soundly represents the
+data-dependent thresholds that *could* have been chosen for some poisoned
+training set.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+
+class Trilean(enum.Enum):
+    """Three-valued truth used by symbolic predicates."""
+
+    FALSE = 0
+    MAYBE = 1
+    TRUE = 2
+
+    @property
+    def definitely_true(self) -> bool:
+        return self is Trilean.TRUE
+
+    @property
+    def definitely_false(self) -> bool:
+        return self is Trilean.FALSE
+
+    @property
+    def possibly_true(self) -> bool:
+        return self is not Trilean.FALSE
+
+    @property
+    def possibly_false(self) -> bool:
+        return self is not Trilean.TRUE
+
+
+class Predicate(abc.ABC):
+    """Abstract base class for all split predicates."""
+
+    feature: int
+
+    @abc.abstractmethod
+    def evaluate(self, x: Sequence[float]) -> bool:
+        """Evaluate the predicate on a single feature vector."""
+
+    @abc.abstractmethod
+    def evaluate_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the predicate on every row of ``X`` (boolean array)."""
+
+    @abc.abstractmethod
+    def describe(self, feature_names: Sequence[str] = ()) -> str:
+        """Return a human-readable rendering such as ``x3 <= 0.5``."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+@dataclass(frozen=True, order=True)
+class ThresholdPredicate(Predicate):
+    """The concrete predicate ``x_feature <= threshold``."""
+
+    feature: int
+    threshold: float
+
+    def evaluate(self, x: Sequence[float]) -> bool:
+        return float(x[self.feature]) <= self.threshold
+
+    def evaluate_matrix(self, X: np.ndarray) -> np.ndarray:
+        return np.asarray(X)[:, self.feature] <= self.threshold
+
+    def describe(self, feature_names: Sequence[str] = ()) -> str:
+        name = feature_names[self.feature] if feature_names else f"x{self.feature}"
+        return f"{name} <= {self.threshold:g}"
+
+
+@dataclass(frozen=True, order=True)
+class EqualityPredicate(Predicate):
+    """The concrete predicate ``x_feature == value`` (categorical features)."""
+
+    feature: int
+    value: float
+
+    def evaluate(self, x: Sequence[float]) -> bool:
+        return float(x[self.feature]) == self.value
+
+    def evaluate_matrix(self, X: np.ndarray) -> np.ndarray:
+        return np.asarray(X)[:, self.feature] == self.value
+
+    def describe(self, feature_names: Sequence[str] = ()) -> str:
+        name = feature_names[self.feature] if feature_names else f"x{self.feature}"
+        return f"{name} == {self.value:g}"
+
+
+@dataclass(frozen=True, order=True)
+class SymbolicThresholdPredicate(Predicate):
+    """The symbolic predicate ``x_feature <= [low, high)`` (Definition B.2).
+
+    It represents the set of concrete threshold predicates
+    ``{ x_feature <= τ | τ ∈ [low, high) }``.  Point evaluation is
+    three-valued: definitely true when ``x <= low``, definitely false when
+    ``x >= high``, and *maybe* in between, because the answer depends on
+    which concrete threshold the learner would have chosen.
+    """
+
+    feature: int
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(
+                f"symbolic predicate requires low < high, got [{self.low}, {self.high})"
+            )
+
+    # Concrete-style evaluation treats MAYBE as satisfiable; use
+    # :meth:`evaluate_trilean` when the distinction matters.
+    def evaluate(self, x: Sequence[float]) -> bool:
+        return self.evaluate_trilean(x).possibly_true
+
+    def evaluate_trilean(self, x: Sequence[float]) -> Trilean:
+        value = float(x[self.feature])
+        if value <= self.low:
+            return Trilean.TRUE
+        if value >= self.high:
+            return Trilean.FALSE
+        return Trilean.MAYBE
+
+    def evaluate_matrix(self, X: np.ndarray) -> np.ndarray:
+        return np.asarray(X)[:, self.feature] <= self.low
+
+    def contains_threshold(self, threshold: float) -> bool:
+        """Return whether a concrete threshold lies in ``[low, high)``."""
+        return self.low <= threshold < self.high
+
+    def concrete_representative(self) -> ThresholdPredicate:
+        """Return a concrete member of the concretization (the midpoint)."""
+        return ThresholdPredicate(self.feature, (self.low + self.high) / 2.0)
+
+    def describe(self, feature_names: Sequence[str] = ()) -> str:
+        name = feature_names[self.feature] if feature_names else f"x{self.feature}"
+        return f"{name} <= [{self.low:g}, {self.high:g})"
+
+
+AnyPredicate = Union[ThresholdPredicate, EqualityPredicate, SymbolicThresholdPredicate]
+
+
+def point_satisfies(predicate: Predicate, x: Sequence[float]) -> Trilean:
+    """Evaluate any predicate on a point with three-valued semantics.
+
+    Concrete predicates never return :data:`Trilean.MAYBE`.
+    """
+    if isinstance(predicate, SymbolicThresholdPredicate):
+        return predicate.evaluate_trilean(x)
+    return Trilean.TRUE if predicate.evaluate(x) else Trilean.FALSE

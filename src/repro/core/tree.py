@@ -1,0 +1,202 @@
+"""Decision trees and their trace-based view (§3.2 of the paper).
+
+A :class:`DecisionTree` is the usual recursive node structure produced by the
+CART-style learner.  The paper, however, reasons about a tree as the *set of
+its root-to-leaf traces*; :class:`Trace` captures one such trace (the
+sequence of predicate/branch decisions plus the leaf's classification), and
+:meth:`DecisionTree.traces` materializes the full trace set, which is used by
+the tests to validate the trace-based learner ``DTrace`` against the full
+tree construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.predicates import Predicate
+
+
+@dataclass
+class TreeNode:
+    """One node of a learned decision tree.
+
+    Internal nodes hold the split predicate and two children: ``left`` is the
+    subtree for elements *satisfying* the predicate, ``right`` for the rest.
+    Every node (leaves included) stores the class counts of the training
+    elements that reached it, from which predictions and class probabilities
+    are derived.
+    """
+
+    class_counts: np.ndarray
+    predicate: Optional[Predicate] = None
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.predicate is None
+
+    @property
+    def n_samples(self) -> int:
+        return int(np.sum(self.class_counts))
+
+    def class_probabilities(self) -> np.ndarray:
+        total = self.n_samples
+        if total == 0:
+            k = len(self.class_counts)
+            return np.full(k, 1.0 / max(1, k))
+        return np.asarray(self.class_counts, dtype=float) / total
+
+    def prediction(self) -> int:
+        """Majority class of the node, ties broken towards the lowest index."""
+        return int(np.argmax(self.class_counts))
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A root-to-leaf trace: predicate decisions plus the leaf classification."""
+
+    decisions: Tuple[Tuple[Predicate, bool], ...]
+    prediction: int
+    class_probabilities: Tuple[float, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.decisions)
+
+    def accepts(self, x: Sequence[float]) -> bool:
+        """Whether the input ``x`` satisfies every decision along the trace."""
+        return all(
+            predicate.evaluate(x) == branch for predicate, branch in self.decisions
+        )
+
+    def describe(self, feature_names: Sequence[str] = ()) -> str:
+        parts = []
+        for predicate, branch in self.decisions:
+            text = predicate.describe(feature_names)
+            parts.append(text if branch else f"not({text})")
+        path = " and ".join(parts) if parts else "true"
+        return f"[{path}] -> class {self.prediction}"
+
+
+@dataclass
+class DecisionTree:
+    """A learned decision-tree classifier."""
+
+    root: TreeNode
+    n_classes: int
+    feature_names: Tuple[str, ...] = field(default_factory=tuple)
+    class_names: Tuple[str, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------ prediction
+    def predict(self, x: Sequence[float]) -> int:
+        """Classify a single feature vector."""
+        return self._leaf_for(x).prediction()
+
+    def predict_proba(self, x: Sequence[float]) -> np.ndarray:
+        """Return the leaf class-probability vector for ``x``."""
+        return self._leaf_for(x).class_probabilities()
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Classify every row of ``X``."""
+        X = np.asarray(X, dtype=float)
+        return np.array([self.predict(row) for row in X], dtype=np.int64)
+
+    def _leaf_for(self, x: Sequence[float]) -> TreeNode:
+        node = self.root
+        while not node.is_leaf:
+            assert node.predicate is not None and node.left and node.right
+            node = node.left if node.predicate.evaluate(x) else node.right
+        return node
+
+    # ------------------------------------------------------------ trace view
+    def trace_for(self, x: Sequence[float]) -> Trace:
+        """Return the root-to-leaf trace traversed by ``x``."""
+        decisions: List[Tuple[Predicate, bool]] = []
+        node = self.root
+        while not node.is_leaf:
+            assert node.predicate is not None and node.left and node.right
+            branch = bool(node.predicate.evaluate(x))
+            decisions.append((node.predicate, branch))
+            node = node.left if branch else node.right
+        return Trace(
+            decisions=tuple(decisions),
+            prediction=node.prediction(),
+            class_probabilities=tuple(float(p) for p in node.class_probabilities()),
+        )
+
+    def traces(self) -> List[Trace]:
+        """Materialize the full trace set (the paper's view of a tree)."""
+        result: List[Trace] = []
+
+        def walk(node: TreeNode, prefix: List[Tuple[Predicate, bool]]) -> None:
+            if node.is_leaf:
+                result.append(
+                    Trace(
+                        decisions=tuple(prefix),
+                        prediction=node.prediction(),
+                        class_probabilities=tuple(
+                            float(p) for p in node.class_probabilities()
+                        ),
+                    )
+                )
+                return
+            assert node.predicate is not None and node.left and node.right
+            walk(node.left, prefix + [(node.predicate, True)])
+            walk(node.right, prefix + [(node.predicate, False)])
+
+        walk(self.root, [])
+        return result
+
+    # ------------------------------------------------------------ statistics
+    def depth(self) -> int:
+        """Maximum number of predicate decisions along any trace."""
+
+        def node_depth(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left and node.right
+            return 1 + max(node_depth(node.left), node_depth(node.right))
+
+        return node_depth(self.root)
+
+    def n_nodes(self) -> int:
+        def count(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            assert node.left and node.right
+            return 1 + count(node.left) + count(node.right)
+
+        return count(self.root)
+
+    def n_leaves(self) -> int:
+        return sum(1 for _ in self.traces())
+
+    # -------------------------------------------------------------- printing
+    def to_text(self) -> str:
+        """Render the tree as an indented text diagram."""
+        lines: List[str] = []
+
+        def render(node: TreeNode, indent: str) -> None:
+            if node.is_leaf:
+                probabilities = ", ".join(
+                    f"{p:.2f}" for p in node.class_probabilities()
+                )
+                label = (
+                    self.class_names[node.prediction()]
+                    if self.class_names
+                    else f"class {node.prediction()}"
+                )
+                lines.append(f"{indent}leaf -> {label} [{probabilities}]")
+                return
+            assert node.predicate is not None and node.left and node.right
+            lines.append(f"{indent}if {node.predicate.describe(self.feature_names)}:")
+            render(node.left, indent + "  ")
+            lines.append(f"{indent}else:")
+            render(node.right, indent + "  ")
+
+        render(self.root, "")
+        return "\n".join(lines)

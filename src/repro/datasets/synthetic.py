@@ -1,0 +1,138 @@
+"""Low-level synthetic data generators.
+
+These are the building blocks the per-benchmark generators are assembled
+from: Gaussian class clusters for real-valued features and noisy prototype
+patterns for boolean features.  They are deliberately simple — the goal is to
+produce datasets with controllable size, dimensionality, and class overlap,
+which are the properties that drive the verifier's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import Dataset, FeatureKind
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import ValidationError, check_positive_int
+
+
+def make_gaussian_classes(
+    n_samples: int,
+    centers: np.ndarray,
+    cluster_std: Sequence[float] | float = 1.0,
+    *,
+    rng: RngLike = None,
+    class_weights: Optional[Sequence[float]] = None,
+    name: str = "gaussian",
+    feature_names: Sequence[str] = (),
+    class_names: Sequence[str] = (),
+) -> Dataset:
+    """Sample a dataset of Gaussian clusters, one cluster per class.
+
+    Parameters
+    ----------
+    n_samples:
+        Total number of samples across all classes.
+    centers:
+        Array of shape ``(n_classes, n_features)`` with the cluster means.
+    cluster_std:
+        Scalar or per-class standard deviation of the isotropic clusters.
+    class_weights:
+        Optional sampling probabilities per class (defaults to uniform).
+    """
+    n_samples = check_positive_int(n_samples, "n_samples")
+    centers = np.asarray(centers, dtype=float)
+    if centers.ndim != 2:
+        raise ValidationError("centers must be a 2-D array (n_classes, n_features)")
+    n_classes, n_features = centers.shape
+    if np.isscalar(cluster_std):
+        stds = np.full(n_classes, float(cluster_std))
+    else:
+        stds = np.asarray(cluster_std, dtype=float)
+        if stds.shape != (n_classes,):
+            raise ValidationError("cluster_std must be scalar or one value per class")
+    generator = make_rng(rng)
+    if class_weights is None:
+        weights = np.full(n_classes, 1.0 / n_classes)
+    else:
+        weights = np.asarray(class_weights, dtype=float)
+        weights = weights / weights.sum()
+
+    labels = generator.choice(n_classes, size=n_samples, p=weights)
+    X = centers[labels] + generator.normal(0.0, 1.0, size=(n_samples, n_features)) * stds[
+        labels, None
+    ]
+    return Dataset(
+        X=X,
+        y=labels.astype(np.int64),
+        n_classes=n_classes,
+        feature_kinds=tuple(FeatureKind.REAL for _ in range(n_features)),
+        feature_names=tuple(feature_names),
+        class_names=tuple(class_names),
+        name=name,
+    )
+
+
+def make_prototype_patterns(
+    n_samples: int,
+    prototypes: np.ndarray,
+    flip_probability: float = 0.05,
+    *,
+    rng: RngLike = None,
+    name: str = "patterns",
+    class_names: Sequence[str] = (),
+) -> Dataset:
+    """Sample boolean feature vectors as noisy copies of per-class prototypes.
+
+    Each sample copies its class prototype bit vector and independently flips
+    every bit with probability ``flip_probability``.
+    """
+    n_samples = check_positive_int(n_samples, "n_samples")
+    prototypes = np.asarray(prototypes, dtype=float)
+    if prototypes.ndim != 2 or not np.all(np.isin(prototypes, (0.0, 1.0))):
+        raise ValidationError("prototypes must be a 2-D 0/1 array (n_classes, n_features)")
+    n_classes, n_features = prototypes.shape
+    generator = make_rng(rng)
+    labels = generator.integers(0, n_classes, size=n_samples)
+    X = prototypes[labels].copy()
+    flips = generator.random(size=X.shape) < float(flip_probability)
+    X = np.where(flips, 1.0 - X, X)
+    return Dataset(
+        X=X,
+        y=labels.astype(np.int64),
+        n_classes=n_classes,
+        feature_kinds=tuple(FeatureKind.BOOLEAN for _ in range(n_features)),
+        class_names=tuple(class_names),
+        name=name,
+    )
+
+
+def scaled_size(base: int, scale: float, minimum: int = 8) -> int:
+    """Scale a paper-size sample count down (or up) with a sensible floor."""
+    return max(minimum, int(round(base * float(scale))))
+
+
+def class_separation_report(dataset: Dataset) -> Tuple[float, float]:
+    """Return (between-class distance, within-class spread) as a sanity metric.
+
+    Used by the dataset tests to assert that the synthetic benchmarks are
+    separable enough for decision trees to reach reasonable accuracy, which in
+    turn makes the robustness experiments meaningful (Table 1's purpose).
+    """
+    means = []
+    spreads = []
+    for class_index in range(dataset.n_classes):
+        rows = dataset.X[dataset.y == class_index]
+        if rows.shape[0] == 0:
+            continue
+        means.append(rows.mean(axis=0))
+        spreads.append(float(rows.std(axis=0).mean()))
+    if len(means) < 2:
+        return 0.0, float(np.mean(spreads) if spreads else 0.0)
+    distances = []
+    for i in range(len(means)):
+        for j in range(i + 1, len(means)):
+            distances.append(float(np.linalg.norm(means[i] - means[j])))
+    return float(np.mean(distances)), float(np.mean(spreads))

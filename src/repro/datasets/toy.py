@@ -1,0 +1,77 @@
+"""The illustrative dataset of Figure 2 of the paper.
+
+Thirteen one-dimensional elements labelled *white* (class 0) or *black*
+(class 1): the values ``{0, 1, 2, 3, 4, 7, 8, 9, 10}`` sit left of the best
+split ``x <= 10`` (seven white, two black at 0 and 4) and ``{11, 12, 13, 14}``
+sit right of it (all black).  The overview section of the paper uses this
+dataset to walk through ``DTrace``, the score of the ``x <= 10`` split, and
+the abstract class-probability interval ``[5/9, 1]`` under 2-poisoning; the
+test suite checks all of those numbers against this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset, FeatureKind
+
+#: Class index of the "white" (empty circle) elements in Figure 2.
+WHITE = 0
+#: Class index of the "black" (solid circle) elements in Figure 2.
+BLACK = 1
+
+
+def figure2_dataset() -> Dataset:
+    """Return the 13-element black/white dataset of Figure 2."""
+    values = [0, 1, 2, 3, 4, 7, 8, 9, 10, 11, 12, 13, 14]
+    labels = {
+        0: BLACK,
+        1: WHITE,
+        2: WHITE,
+        3: WHITE,
+        4: BLACK,
+        7: WHITE,
+        8: WHITE,
+        9: WHITE,
+        10: WHITE,
+        11: BLACK,
+        12: BLACK,
+        13: BLACK,
+        14: BLACK,
+    }
+    X = np.asarray([[float(v)] for v in values])
+    y = np.asarray([labels[v] for v in values], dtype=np.int64)
+    return Dataset(
+        X=X,
+        y=y,
+        n_classes=2,
+        feature_kinds=(FeatureKind.REAL,),
+        feature_names=("x",),
+        class_names=("white", "black"),
+        name="figure2",
+    )
+
+
+def tiny_boolean_dataset() -> Dataset:
+    """A minimal two-feature boolean dataset used throughout the test suite."""
+    X = np.asarray(
+        [
+            [0, 0],
+            [0, 1],
+            [1, 0],
+            [1, 1],
+            [0, 0],
+            [1, 1],
+            [1, 0],
+            [0, 1],
+        ],
+        dtype=float,
+    )
+    y = np.asarray([0, 0, 1, 1, 0, 1, 1, 0], dtype=np.int64)
+    return Dataset(
+        X=X,
+        y=y,
+        n_classes=2,
+        feature_kinds=(FeatureKind.BOOLEAN, FeatureKind.BOOLEAN),
+        name="tiny-boolean",
+    )

@@ -1,0 +1,88 @@
+"""Abstract learner states: the product domain and its disjunctive lifting.
+
+The abstract learner ``DTrace#`` tracks a pair ``(⟨T, n⟩, Ψ)`` — the abstract
+training set and the set of possible most-recent split predicates (§4.3).
+The disjunctive domain of §5.2 is simply a finite set of such pairs, joined
+by set union; it trades memory and time for precision by avoiding the lossy
+joins of the base domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.domains.predicate_set import AbstractPredicateSet
+from repro.domains.trainingset import AbstractTrainingSet
+
+
+@dataclass(frozen=True)
+class AbstractState:
+    """One product-domain state ``(⟨T, n⟩, Ψ)`` of the abstract learner.
+
+    ``trainset is None`` encodes the bottom state (no feasible concrete run).
+    """
+
+    trainset: Optional[AbstractTrainingSet]
+    predicates: AbstractPredicateSet = field(default_factory=AbstractPredicateSet.initial)
+
+    @classmethod
+    def initial(cls, trainset: AbstractTrainingSet) -> "AbstractState":
+        """The initial state ``(⟨T, n⟩, {⋄})`` of §4.3."""
+        return cls(trainset=trainset, predicates=AbstractPredicateSet.initial())
+
+    @classmethod
+    def bottom(cls) -> "AbstractState":
+        return cls(trainset=None, predicates=AbstractPredicateSet.of(()))
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.trainset is None
+
+    def with_predicates(self, predicates: AbstractPredicateSet) -> "AbstractState":
+        return AbstractState(trainset=self.trainset, predicates=predicates)
+
+    def with_trainset(self, trainset: Optional[AbstractTrainingSet]) -> "AbstractState":
+        return AbstractState(trainset=trainset, predicates=self.predicates)
+
+    def estimated_bytes(self) -> int:
+        if self.trainset is None:
+            return 64
+        return self.trainset.estimated_bytes() + 32 * len(self.predicates.predicates)
+
+    def describe(self) -> str:
+        if self.trainset is None:
+            return "⊥"
+        return f"({self.trainset.describe()}, {self.predicates.describe()})"
+
+
+@dataclass(frozen=True)
+class DisjunctiveState:
+    """A finite disjunction of product-domain states (§5.2)."""
+
+    disjuncts: Tuple[AbstractState, ...] = ()
+
+    @classmethod
+    def initial(cls, trainset: AbstractTrainingSet) -> "DisjunctiveState":
+        return cls(disjuncts=(AbstractState.initial(trainset),))
+
+    @classmethod
+    def of(cls, states: Iterable[AbstractState]) -> "DisjunctiveState":
+        return cls(disjuncts=tuple(s for s in states if not s.is_bottom))
+
+    def join(self, other: "DisjunctiveState") -> "DisjunctiveState":
+        """Definition 5.4: the join is the union of the disjunct sets."""
+        return DisjunctiveState(disjuncts=self.disjuncts + other.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __iter__(self) -> Iterator[AbstractState]:
+        return iter(self.disjuncts)
+
+    @property
+    def is_bottom(self) -> bool:
+        return len(self.disjuncts) == 0
+
+    def estimated_bytes(self) -> int:
+        return sum(state.estimated_bytes() for state in self.disjuncts)

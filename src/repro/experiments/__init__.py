@@ -1,0 +1,67 @@
+"""Experiment harness regenerating the paper's evaluation artifacts.
+
+Every table and figure of §6 of the paper has a module here that produces the
+corresponding rows/series from the public library API:
+
+* :mod:`repro.experiments.table1` — Table 1 (dataset metrics and decision-tree
+  test accuracies for depths 1–4).
+* :mod:`repro.experiments.figure6` — Figure 6 (fraction of test points proven
+  robust versus the poisoning amount ``n``, per dataset and depth).
+* :mod:`repro.experiments.perf_figures` — Figures 7–11 (per-dataset number of
+  verified points, average running time, and average peak memory, for the Box
+  and disjunctive domains).
+* :mod:`repro.experiments.ablations` — the §6.3 Box-vs-Disjuncts comparison
+  and the footnote-6 ``cprob#`` transformer ablation.
+
+The :mod:`repro.experiments.config` module centralizes the experimental
+parameters (depths, poisoning grids, dataset scales, timeouts) with defaults
+small enough for continuous benchmarking; pass a custom
+:class:`~repro.experiments.config.ExperimentConfig` to approach paper-scale
+runs.
+"""
+
+from repro.experiments.config import (
+    DEFAULT_POISONING_AMOUNTS,
+    ExperimentConfig,
+    paper_scale_config,
+    quick_config,
+)
+from repro.experiments.table1 import Table1Row, compute_table1, render_table1
+from repro.experiments.figure6 import Figure6Series, compute_figure6, render_figure6
+from repro.experiments.perf_figures import (
+    FIGURE_FOR_DATASET,
+    PerfPoint,
+    compute_performance_figure,
+    render_performance_figure,
+)
+from repro.experiments.ablations import (
+    CprobAblationRow,
+    DomainAblationRow,
+    compare_cprob_transformers,
+    compare_domains,
+    render_cprob_ablation,
+    render_domain_ablation,
+)
+
+__all__ = [
+    "DEFAULT_POISONING_AMOUNTS",
+    "ExperimentConfig",
+    "paper_scale_config",
+    "quick_config",
+    "Table1Row",
+    "compute_table1",
+    "render_table1",
+    "Figure6Series",
+    "compute_figure6",
+    "render_figure6",
+    "FIGURE_FOR_DATASET",
+    "PerfPoint",
+    "compute_performance_figure",
+    "render_performance_figure",
+    "CprobAblationRow",
+    "DomainAblationRow",
+    "compare_cprob_transformers",
+    "compare_domains",
+    "render_cprob_ablation",
+    "render_domain_ablation",
+]

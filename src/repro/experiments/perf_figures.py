@@ -1,0 +1,131 @@
+"""Figures 7–11: per-dataset efficacy, running time, and memory usage.
+
+For each benchmark dataset the paper reports three panels per tree depth
+(Figures 7, 8, 9, 10, 11): the number of test points verified, the average
+per-instance running time, and the average peak memory, each as a function of
+the poisoning amount ``n`` and separately for the Box and disjunctive
+domains.  :func:`compute_performance_figure` regenerates all three series for
+one dataset; :data:`FIGURE_FOR_DATASET` maps dataset names to the paper's
+figure numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    GridCellResult,
+    load_experiment_split,
+    run_grid_cell,
+    select_test_points,
+)
+from repro.utils.tables import TextTable
+
+#: Mapping from dataset name to the figure of the paper it regenerates.
+FIGURE_FOR_DATASET = {
+    "mnist17-binary": "Figure 7",
+    "iris": "Figure 8",
+    "mammography": "Figure 9",
+    "wdbc": "Figure 10",
+    "mnist17-real": "Figure 11",
+}
+
+
+@dataclass(frozen=True)
+class PerfPoint:
+    """One point of a performance figure (a grid cell of the evaluation)."""
+
+    dataset: str
+    domain: str
+    depth: int
+    poisoning_amount: int
+    attempted: int
+    verified: int
+    average_seconds: float
+    average_peak_memory_mb: float
+    timeouts: int
+    resource_exhausted: int
+
+    @classmethod
+    def from_cell(cls, cell: GridCellResult) -> "PerfPoint":
+        return cls(
+            dataset=cell.dataset,
+            domain=cell.domain,
+            depth=cell.depth,
+            poisoning_amount=cell.poisoning_amount,
+            attempted=cell.attempted,
+            verified=cell.verified,
+            average_seconds=cell.average_seconds,
+            average_peak_memory_mb=cell.average_peak_memory_bytes / (1024.0 * 1024.0),
+            timeouts=cell.timeouts,
+            resource_exhausted=cell.resource_exhausted,
+        )
+
+
+def compute_performance_figure(
+    dataset_name: str,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    incremental: bool = True,
+) -> List[PerfPoint]:
+    """Regenerate the performance figure of one dataset.
+
+    With ``incremental=True`` (the paper's protocol) a (domain, depth) series
+    stops attempting larger ``n`` once no point is verified at the current
+    level; the skipped levels are simply absent from the returned list, like
+    the truncated series in the paper's plots.
+    """
+    config = config or ExperimentConfig()
+    split = load_experiment_split(dataset_name, config)
+    test_points = select_test_points(split, config, dataset_name)
+    amounts = sorted(config.amounts_for(dataset_name))
+
+    points: List[PerfPoint] = []
+    for domain in config.domains:
+        for depth in config.depths:
+            for n in amounts:
+                cell, _ = run_grid_cell(
+                    dataset_name, split, test_points, depth, domain, n, config
+                )
+                points.append(PerfPoint.from_cell(cell))
+                if incremental and cell.verified == 0:
+                    break
+    return points
+
+
+def render_performance_figure(points: Sequence[PerfPoint]) -> str:
+    """Render the three panels of a performance figure as one table."""
+    name = points[0].dataset if points else "(empty)"
+    figure = FIGURE_FOR_DATASET.get(name, "performance figure")
+    table = TextTable(
+        [
+            "domain",
+            "depth",
+            "poisoning n",
+            "verified",
+            "attempted",
+            "avg time (s)",
+            "avg peak mem (MB)",
+            "timeouts",
+            "resource exhausted",
+        ]
+    )
+    for point in sorted(
+        points, key=lambda p: (p.domain, p.depth, p.poisoning_amount)
+    ):
+        table.add_row(
+            [
+                point.domain,
+                point.depth,
+                point.poisoning_amount,
+                point.verified,
+                point.attempted,
+                point.average_seconds,
+                point.average_peak_memory_mb,
+                point.timeouts,
+                point.resource_exhausted,
+            ]
+        )
+    return f"{figure} — {name}\n" + table.render()

@@ -1,0 +1,129 @@
+"""Shared execution helpers for the experiment harnesses.
+
+The harnesses all follow the same pattern: load a benchmark dataset at the
+configured scale, pick a deterministic subset of test points, and run the
+verifier over a grid of (depth, domain, poisoning amount) combinations while
+collecting per-instance timing and memory measurements.  This module factors
+that plumbing out of the per-figure modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.registry import load_dataset
+from repro.datasets.splits import DatasetSplit
+from repro.experiments.config import ExperimentConfig
+from repro.utils.rng import derive_seed, make_rng
+from repro.verify.robustness import PoisoningVerifier, VerificationResult
+
+
+def load_experiment_split(dataset_name: str, config: ExperimentConfig) -> DatasetSplit:
+    """Load one benchmark dataset at the configured scale and seed."""
+    return load_dataset(
+        dataset_name, scale=config.scale_for(dataset_name), seed=config.seed
+    )
+
+
+def select_test_points(
+    split: DatasetSplit, config: ExperimentConfig, dataset_name: str
+) -> np.ndarray:
+    """Pick the deterministic subset of test points robustness is attempted on.
+
+    Mirrors the paper's protocol of fixing a random subset of the test set
+    (footnote 9) — here sized by ``config.n_test_points``.
+    """
+    count = min(config.n_test_points, len(split.test))
+    if count == 0:
+        return np.empty((0, split.train.n_features))
+    rng = make_rng(derive_seed(config.seed, "test-points", dataset_name))
+    chosen = rng.choice(len(split.test), size=count, replace=False)
+    return split.test.X[np.sort(chosen)]
+
+
+def make_verifier(
+    depth: int, domain: str, config: ExperimentConfig
+) -> PoisoningVerifier:
+    """Build a verifier for one grid cell of the experiment."""
+    return PoisoningVerifier(
+        max_depth=depth,
+        domain=domain,
+        cprob_method=config.cprob_method,
+        timeout_seconds=config.timeout_seconds,
+        max_disjuncts=config.max_disjuncts,
+    )
+
+
+@dataclass(frozen=True)
+class GridCellResult:
+    """Aggregated verification results for one (depth, domain, n) grid cell."""
+
+    dataset: str
+    domain: str
+    depth: int
+    poisoning_amount: int
+    attempted: int
+    verified: int
+    timeouts: int
+    resource_exhausted: int
+    average_seconds: float
+    average_peak_memory_bytes: float
+
+    @property
+    def fraction_verified(self) -> float:
+        return self.verified / self.attempted if self.attempted else 0.0
+
+
+def run_grid_cell(
+    dataset_name: str,
+    split: DatasetSplit,
+    test_points: np.ndarray,
+    depth: int,
+    domain: str,
+    poisoning_amount: int,
+    config: ExperimentConfig,
+) -> Tuple[GridCellResult, List[VerificationResult]]:
+    """Verify every selected test point for one (depth, domain, n) cell."""
+    verifier = make_verifier(depth, domain, config)
+    results = [verifier.verify(split.train, x, poisoning_amount) for x in test_points]
+    return summarize_results(
+        dataset_name, domain, depth, poisoning_amount, results
+    ), results
+
+
+def summarize_results(
+    dataset_name: str,
+    domain: str,
+    depth: int,
+    poisoning_amount: int,
+    results: Sequence[VerificationResult],
+) -> GridCellResult:
+    """Aggregate a list of per-point results into one grid-cell record."""
+    attempted = len(results)
+    verified = sum(result.is_certified for result in results)
+    timeouts = sum(result.status.value == "timeout" for result in results)
+    exhausted = sum(result.status.value == "resource_exhausted" for result in results)
+    seconds = [result.elapsed_seconds for result in results]
+    memory = [result.peak_memory_bytes for result in results]
+    return GridCellResult(
+        dataset=dataset_name,
+        domain=domain,
+        depth=depth,
+        poisoning_amount=poisoning_amount,
+        attempted=attempted,
+        verified=verified,
+        timeouts=timeouts,
+        resource_exhausted=exhausted,
+        average_seconds=float(np.mean(seconds)) if seconds else 0.0,
+        average_peak_memory_bytes=float(np.mean(memory)) if memory else 0.0,
+    )
+
+
+def incremental_point_filter(
+    results_by_point: Dict[int, VerificationResult]
+) -> List[int]:
+    """Indices of points still certified (the paper's incremental protocol)."""
+    return [index for index, result in results_by_point.items() if result.is_certified]

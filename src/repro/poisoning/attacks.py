@@ -1,0 +1,172 @@
+"""Concrete data-poisoning attack search against the trace learner.
+
+These attacks play the role the attack literature plays in the paper's
+related-work section: they *search* for a set of at most ``n`` removals that
+changes the classification of a test point.  A successful attack is an exact
+proof of non-robustness, which makes attacks useful both as an empirical
+complement to certification (how large is the gap between "not certified" and
+"actually attackable"?) and as a test oracle: by soundness, the verifier must
+never certify a point for which an attack exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.trace_learner import TraceLearner
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of an attack search."""
+
+    success: bool
+    removed_indices: Tuple[int, ...]
+    original_prediction: int
+    final_prediction: int
+    evaluations: int
+
+    @property
+    def budget_used(self) -> int:
+        return len(self.removed_indices)
+
+
+def _prediction_margin(
+    learner: TraceLearner, dataset: Dataset, x: Sequence[float], target_class: int
+) -> float:
+    """Margin of ``target_class`` in the trace's final class probabilities.
+
+    Positive when the target class still wins; the greedy attack removes the
+    element whose removal shrinks this margin the most.
+    """
+    result = learner.run(dataset, x)
+    probabilities = np.asarray(result.class_probabilities)
+    others = np.delete(probabilities, target_class)
+    competitor = float(others.max()) if others.size else 0.0
+    return float(probabilities[target_class]) - competitor
+
+
+def greedy_removal_attack(
+    dataset: Dataset,
+    x: Sequence[float],
+    n: int,
+    *,
+    max_depth: int = 2,
+    impurity: str = "gini",
+    candidate_limit: Optional[int] = 64,
+    rng: RngLike = None,
+) -> AttackResult:
+    """Greedy search for up to ``n`` removals that flip the prediction of ``x``.
+
+    At each step the attack evaluates the removal of every candidate element
+    (or of a random sample of ``candidate_limit`` elements for large training
+    sets) and commits to the removal that most reduces the margin of the
+    currently predicted class; it stops as soon as the prediction flips.
+    """
+    n = check_positive_int(n, "n", allow_zero=True)
+    generator = make_rng(rng)
+    learner = TraceLearner(max_depth=max_depth, impurity=impurity)
+    original_prediction = learner.predict(dataset, x)
+
+    remaining = list(range(len(dataset)))
+    removed: List[int] = []
+    current = dataset
+    evaluations = 0
+
+    for _ in range(min(n, max(0, len(dataset) - 1))):
+        if candidate_limit is not None and len(remaining) > candidate_limit:
+            candidate_positions = generator.choice(
+                len(remaining), size=candidate_limit, replace=False
+            )
+            candidates = [remaining[int(i)] for i in candidate_positions]
+        else:
+            candidates = list(remaining)
+
+        best_candidate: Optional[int] = None
+        best_margin = float("inf")
+        best_prediction = original_prediction
+        for candidate in candidates:
+            position = remaining.index(candidate)
+            trial = current.remove([position])
+            evaluations += 1
+            margin = _prediction_margin(learner, trial, x, original_prediction)
+            prediction = learner.predict(trial, x)
+            if prediction != original_prediction:
+                best_candidate, best_margin, best_prediction = candidate, margin, prediction
+                break
+            if margin < best_margin:
+                best_candidate, best_margin, best_prediction = candidate, margin, prediction
+        if best_candidate is None:
+            break
+
+        position = remaining.index(best_candidate)
+        current = current.remove([position])
+        remaining.pop(position)
+        removed.append(best_candidate)
+        if best_prediction != original_prediction:
+            return AttackResult(
+                success=True,
+                removed_indices=tuple(removed),
+                original_prediction=int(original_prediction),
+                final_prediction=int(best_prediction),
+                evaluations=evaluations,
+            )
+
+    final_prediction = learner.predict(current, x) if removed else original_prediction
+    return AttackResult(
+        success=bool(final_prediction != original_prediction),
+        removed_indices=tuple(removed),
+        original_prediction=int(original_prediction),
+        final_prediction=int(final_prediction),
+        evaluations=evaluations,
+    )
+
+
+def random_removal_attack(
+    dataset: Dataset,
+    x: Sequence[float],
+    n: int,
+    *,
+    trials: int = 100,
+    max_depth: int = 2,
+    impurity: str = "gini",
+    rng: RngLike = None,
+) -> AttackResult:
+    """Random-restart attack: sample removal sets of size at most ``n``."""
+    n = check_positive_int(n, "n", allow_zero=True)
+    trials = check_positive_int(trials, "trials")
+    generator = make_rng(rng)
+    learner = TraceLearner(max_depth=max_depth, impurity=impurity)
+    original_prediction = learner.predict(dataset, x)
+
+    evaluations = 0
+    budget = min(n, max(0, len(dataset) - 1))
+    for _ in range(trials):
+        if budget == 0:
+            break
+        removed_count = int(generator.integers(1, budget + 1))
+        removals = generator.choice(len(dataset), size=removed_count, replace=False)
+        poisoned = dataset.remove(removals)
+        evaluations += 1
+        prediction = learner.predict(poisoned, x)
+        if prediction != original_prediction:
+            return AttackResult(
+                success=True,
+                removed_indices=tuple(int(i) for i in sorted(removals)),
+                original_prediction=int(original_prediction),
+                final_prediction=int(prediction),
+                evaluations=evaluations,
+            )
+    return AttackResult(
+        success=False,
+        removed_indices=(),
+        original_prediction=int(original_prediction),
+        final_prediction=int(original_prediction),
+        evaluations=evaluations,
+    )

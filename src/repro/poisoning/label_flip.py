@@ -1,0 +1,421 @@
+"""Extension: certifying robustness against label-flipping (and mixed) poisoning.
+
+The paper's related-work section points to a second widely studied poisoning
+model in which the attacker does not *add* training elements but corrupts the
+**labels** of existing ones (e.g. Xiao et al.'s adversarial label flips).
+This module extends the abstract-interpretation machinery to the combined
+threat model
+
+``Δ_{r,f}(T) = { flip_{≤f}(T') : T' ⊆ T, |T \\ T'| ≤ r }``
+
+i.e. the attacker may have contributed up to ``r`` whole elements *and*
+corrupted up to ``f`` labels of genuine elements.  Setting ``r = 0`` gives the
+pure label-flip model; ``f = 0`` recovers the paper's ``Δn``.
+
+The abstraction mirrors §4 of the paper: an element ``⟨T, r, f⟩`` tracks the
+surviving rows plus the two budgets, class-count intervals absorb both
+budgets, and the trace-based abstract learner joins the class-probability
+intervals of every exit state.  Only the Box-style (non-disjunctive) learner
+is provided for this extension.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import Dataset, FeatureKind
+from repro.core.predicates import (
+    Predicate,
+    SymbolicThresholdPredicate,
+    ThresholdPredicate,
+    point_satisfies,
+)
+from repro.core.splitter import feature_split_table
+from repro.core.trace_learner import TraceLearner
+from repro.domains.interval import Interval, dominating_component, join_interval_vectors, mul_bounds
+from repro.utils.validation import ValidationError, check_index_array, check_positive_int
+
+
+# ---------------------------------------------------------------------------
+# The abstract element ⟨T, r, f⟩
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlipAbstractTrainingSet:
+    """Abstract element for the combined removal + label-flip threat model."""
+
+    dataset: Dataset
+    indices: np.ndarray
+    removals: int
+    flips: int
+
+    def __post_init__(self) -> None:
+        indices = check_index_array(self.indices, len(self.dataset), "indices")
+        indices.setflags(write=False)
+        removals = check_positive_int(self.removals, "removals", allow_zero=True)
+        flips = check_positive_int(self.flips, "flips", allow_zero=True)
+        removals = min(removals, int(indices.size))
+        flips = min(flips, int(indices.size))
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "removals", removals)
+        object.__setattr__(self, "flips", flips)
+
+    @classmethod
+    def full(cls, dataset: Dataset, removals: int, flips: int) -> "FlipAbstractTrainingSet":
+        return cls(dataset, np.arange(len(dataset), dtype=np.int64), removals, flips)
+
+    # ----------------------------------------------------------------- basics
+    @property
+    def size(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.dataset.y[self.indices]
+
+    def class_counts(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.dataset.n_classes).astype(np.int64)
+
+    # ---------------------------------------------------------------- lattice
+    def _require_same_base(self, other: "FlipAbstractTrainingSet") -> None:
+        if self.dataset is not other.dataset:
+            raise ValidationError("flip abstract sets must share the same base dataset")
+
+    def join(self, other: "FlipAbstractTrainingSet") -> "FlipAbstractTrainingSet":
+        """Sound join: rows follow Definition 4.1, flip budgets take the max."""
+        self._require_same_base(other)
+        union = np.union1d(self.indices, other.indices)
+        common = np.intersect1d(self.indices, other.indices, assume_unique=True).size
+        only_self = self.size - common
+        only_other = other.size - common
+        removals = max(only_self + other.removals, only_other + self.removals)
+        return FlipAbstractTrainingSet(
+            self.dataset, union, removals, max(self.flips, other.flips)
+        )
+
+    # ---------------------------------------------------------- transformers
+    def split_down(self, predicate: Predicate, branch: bool) -> "FlipAbstractTrainingSet":
+        """Filter by a predicate; label flips never move elements across the split."""
+        if isinstance(predicate, SymbolicThresholdPredicate):
+            values = self.dataset.X[self.indices, predicate.feature]
+            if branch:
+                tight = values <= predicate.low
+                loose = values < predicate.high
+            else:
+                tight = values >= predicate.high
+                loose = values > predicate.low
+            tight_set = FlipAbstractTrainingSet(
+                self.dataset, self.indices[tight], self.removals, self.flips
+            )
+            loose_set = FlipAbstractTrainingSet(
+                self.dataset, self.indices[loose], self.removals, self.flips
+            )
+            return tight_set.join(loose_set)
+        if isinstance(predicate, ThresholdPredicate):
+            column = self.dataset.X[self.indices, predicate.feature]
+            mask = column <= predicate.threshold
+        else:
+            mask = predicate.evaluate_matrix(self.dataset.X[self.indices])
+        if not branch:
+            mask = ~mask
+        kept = self.indices[mask]
+        return FlipAbstractTrainingSet(self.dataset, kept, self.removals, self.flips)
+
+    def class_probability_intervals(self) -> Tuple[Interval, ...]:
+        """``cprob#`` for the combined model (optimal per component).
+
+        For class ``i`` with count ``c_i``: the worst case removes ``r``
+        class-``i`` elements and flips ``f`` more away; the best case removes
+        ``r`` elements of other classes and flips ``f`` others towards ``i``.
+        """
+        k = self.dataset.n_classes
+        size = self.size
+        remaining = size - self.removals
+        if remaining <= 0:
+            return tuple(Interval.unit() for _ in range(k))
+        counts = self.class_counts()
+        intervals = []
+        for count in counts:
+            count = int(count)
+            lower = max(0, count - self.removals - self.flips) / remaining
+            upper = min(count + self.flips, remaining) / remaining
+            intervals.append(Interval(min(lower, 1.0), min(upper, 1.0)))
+        return tuple(intervals)
+
+    def gini_interval(self) -> Interval:
+        total = Interval.zero()
+        one = Interval.point(1.0)
+        for component in self.class_probability_intervals():
+            total = total + component * (one - component)
+        return total
+
+    def entropy_definitely_zero(self) -> bool:
+        return self.gini_interval().hi <= 0.0
+
+    def pure_is_feasible(self) -> bool:
+        """Whether some concretization is single-class (for the ``ent = 0`` exit)."""
+        counts = self.class_counts()
+        total = counts.sum()
+        for count in counts:
+            others = int(total - count)
+            if others <= self.removals + self.flips:
+                return True
+        return False
+
+    def pure_exit_intervals(self) -> Optional[Tuple[Interval, ...]]:
+        """Joined class-probability vectors of every feasible pure exit."""
+        counts = self.class_counts()
+        total = int(counts.sum())
+        vectors: List[Tuple[Interval, ...]] = []
+        for class_index, count in enumerate(counts):
+            others = total - int(count)
+            if others > self.removals + self.flips:
+                continue
+            vector = tuple(
+                Interval.point(1.0) if i == class_index else Interval.point(0.0)
+                for i in range(self.dataset.n_classes)
+            )
+            vectors.append(vector)
+        if not vectors:
+            return None
+        joined = vectors[0]
+        for vector in vectors[1:]:
+            joined = join_interval_vectors(joined, vector)
+        return joined
+
+
+# ---------------------------------------------------------------------------
+# Abstract bestSplit and filter for the combined model
+# ---------------------------------------------------------------------------
+
+
+def _flip_side_score_bounds(
+    sizes: np.ndarray, class_counts: np.ndarray, removals: int, flips: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized bounds of ``|side| * gini(side)`` under the combined model."""
+    sizes = sizes.astype(np.float64)
+    counts = class_counts.astype(np.float64)
+    side_removals = np.minimum(float(removals), sizes)
+    side_flips = np.minimum(float(flips), sizes)
+    remaining = sizes - side_removals
+
+    lower = np.zeros_like(counts)
+    upper = np.ones_like(counts)
+    positive = remaining > 0
+    safe_remaining = np.where(positive, remaining, 1.0)[:, None]
+    budget = (side_removals + side_flips)[:, None]
+    lower_pos = np.maximum(0.0, counts - budget) / safe_remaining
+    upper_pos = np.minimum(counts + side_flips[:, None], remaining[:, None]) / safe_remaining
+    mask = positive[:, None]
+    lower = np.where(mask, np.minimum(lower_pos, 1.0), lower)
+    upper = np.where(mask, np.minimum(upper_pos, 1.0), upper)
+
+    term_lower, term_upper = mul_bounds(lower, upper, 1.0 - upper, 1.0 - lower)
+    gini_lower = term_lower.sum(axis=1)
+    gini_upper = term_upper.sum(axis=1)
+    return mul_bounds(remaining, sizes, gini_lower, gini_upper)
+
+
+def flip_best_split_abstract(
+    trainset: FlipAbstractTrainingSet,
+) -> Tuple[List[Predicate], bool]:
+    """``bestSplit#`` under the combined model.
+
+    Returns ``(predicates, includes_null)`` following the same Φ∃ / Φ∀ logic
+    as the removal-only transformer; flips never change which rows fall on
+    which side of a split, so the non-triviality conditions only involve the
+    removal budget.
+    """
+    if trainset.size == 0:
+        return [], True
+    X = trainset.dataset.X[trainset.indices]
+    y = trainset.labels
+    removals = trainset.removals
+    flips = trainset.flips
+
+    candidates: List[Predicate] = []
+    lower_bounds: List[float] = []
+    upper_bounds: List[float] = []
+    universal_flags: List[bool] = []
+
+    for feature, kind in enumerate(trainset.dataset.feature_kinds):
+        table = feature_split_table(X, y, feature, trainset.dataset.n_classes)
+        if table.n_candidates == 0:
+            continue
+        left_lower, left_upper = _flip_side_score_bounds(
+            table.left_sizes, table.left_class_counts, removals, flips
+        )
+        right_lower, right_upper = _flip_side_score_bounds(
+            table.right_sizes, table.right_class_counts, removals, flips
+        )
+        score_lower = left_lower + right_lower
+        score_upper = left_upper + right_upper
+        universal = (table.left_sizes > removals) & (table.right_sizes > removals)
+        for position in range(table.n_candidates):
+            if kind is FeatureKind.REAL:
+                predicate: Predicate = SymbolicThresholdPredicate(
+                    feature,
+                    float(table.lower_values[position]),
+                    float(table.upper_values[position]),
+                )
+            else:
+                predicate = ThresholdPredicate(feature, float(table.thresholds[position]))
+            candidates.append(predicate)
+            lower_bounds.append(float(score_lower[position]))
+            upper_bounds.append(float(score_upper[position]))
+            universal_flags.append(bool(universal[position]))
+
+    if not candidates:
+        return [], True
+    if not any(universal_flags):
+        return candidates, True
+    lub = min(
+        upper for upper, is_universal in zip(upper_bounds, universal_flags) if is_universal
+    )
+    selected = [
+        predicate
+        for predicate, lower in zip(candidates, lower_bounds)
+        if lower <= lub + 1e-9
+    ]
+    return selected, False
+
+
+def flip_filter_abstract(
+    trainset: FlipAbstractTrainingSet,
+    predicates: Sequence[Predicate],
+    x: Sequence[float],
+) -> Optional[FlipAbstractTrainingSet]:
+    """``filter#`` under the combined model (same join structure as §4.5)."""
+    pieces: List[FlipAbstractTrainingSet] = []
+    for predicate in predicates:
+        verdict = point_satisfies(predicate, x)
+        if verdict.possibly_true:
+            pieces.append(trainset.split_down(predicate, True))
+        if verdict.possibly_false:
+            pieces.append(trainset.split_down(predicate, False))
+    pieces = [piece for piece in pieces if piece.size > 0]
+    if not pieces:
+        return None
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = result.join(piece)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The abstract learner and verification driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlipVerificationResult:
+    """Outcome of certifying a point against the combined threat model."""
+
+    robust: bool
+    predicted_class: int
+    certified_class: Optional[int]
+    class_intervals: Tuple[Interval, ...]
+    removals: int
+    flips: int
+
+
+@dataclass
+class LabelFlipVerifier:
+    """Box-style abstract verifier for the removal + label-flip threat model.
+
+    ``verify(dataset, x, flips, removals=0)`` proves that the classification
+    of ``x`` is unchanged for every dataset obtained by removing up to
+    ``removals`` elements and flipping up to ``flips`` labels of ``dataset``.
+    """
+
+    max_depth: int = 2
+
+    def run(
+        self, trainset: FlipAbstractTrainingSet, x: Sequence[float]
+    ) -> Tuple[Tuple[Interval, ...], int]:
+        exits: List[Tuple[Interval, ...]] = []
+        state: Optional[FlipAbstractTrainingSet] = trainset
+        iterations = 0
+        for _ in range(self.max_depth):
+            if state is None:
+                break
+            iterations += 1
+            pure_exit = state.pure_exit_intervals()
+            if pure_exit is not None:
+                exits.append(pure_exit)
+            if state.entropy_definitely_zero():
+                state = None
+                break
+            predicates, includes_null = flip_best_split_abstract(state)
+            if includes_null:
+                exits.append(state.class_probability_intervals())
+            if not predicates:
+                state = None
+                break
+            state = flip_filter_abstract(state, predicates, x)
+        if state is not None:
+            exits.append(state.class_probability_intervals())
+        if not exits:
+            joined = tuple(Interval.unit() for _ in range(trainset.dataset.n_classes))
+        else:
+            joined = exits[0]
+            for vector in exits[1:]:
+                joined = join_interval_vectors(joined, vector)
+        return joined, iterations
+
+    def verify(
+        self, dataset: Dataset, x: Sequence[float], flips: int, removals: int = 0
+    ) -> FlipVerificationResult:
+        trainset = FlipAbstractTrainingSet.full(dataset, removals, flips)
+        predicted = TraceLearner(max_depth=self.max_depth).predict(dataset, x)
+        intervals, _ = self.run(trainset, x)
+        certified = dominating_component(intervals)
+        return FlipVerificationResult(
+            robust=certified is not None,
+            predicted_class=int(predicted),
+            certified_class=certified,
+            class_intervals=intervals,
+            removals=removals,
+            flips=flips,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Exact enumeration oracle for the flip model (small instances only)
+# ---------------------------------------------------------------------------
+
+
+def enumerate_label_flips(dataset: Dataset, flips: int) -> Iterator[Dataset]:
+    """Yield every dataset obtained from ``dataset`` by flipping up to ``flips`` labels."""
+    n_classes = dataset.n_classes
+    size = len(dataset)
+    for flipped in range(0, min(flips, size) + 1):
+        for positions in itertools.combinations(range(size), flipped):
+            if not positions:
+                yield dataset
+                continue
+            alternatives = [
+                [c for c in range(n_classes) if c != int(dataset.y[p])] for p in positions
+            ]
+            for choice in itertools.product(*alternatives):
+                labels = dataset.y.copy()
+                for position, new_label in zip(positions, choice):
+                    labels[position] = new_label
+                yield dataset.replace(y=labels)
+
+
+def verify_flips_by_enumeration(
+    dataset: Dataset, x: Sequence[float], flips: int, *, max_depth: int = 2
+) -> bool:
+    """Exactly decide label-flip robustness by exhaustive retraining."""
+    learner = TraceLearner(max_depth=max_depth)
+    baseline = learner.predict(dataset, x)
+    for poisoned in enumerate_label_flips(dataset, flips):
+        if learner.predict(poisoned, x) != baseline:
+            return False
+    return True

@@ -1,0 +1,125 @@
+"""Perturbation (threat) models for data poisoning.
+
+The paper's verification target is the ``n``-poisoning model of §4.1:
+
+``Δn(T) = { T' ⊆ T : |T \\ T'| ≤ n }``
+
+i.e. the attacker may have *contributed* up to ``n`` of the elements of the
+observed training set, so the "clean" set the defender should have trained on
+is ``T`` with up to ``n`` elements removed.  The module also provides a
+fractional convenience wrapper (the paper frequently reports ``n`` as a
+percentage of ``|T|``) and the label-flipping model discussed in related work,
+which the :mod:`repro.poisoning.label_flip` extension certifies against.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+def _log10_of_big_int(value: int) -> float:
+    """``log10`` of a potentially huge Python integer without overflow."""
+    if value <= 0:
+        return float("-inf")
+    digits = str(value)
+    if len(digits) <= 15:
+        return math.log10(value)
+    return math.log10(int(digits[:15])) + (len(digits) - 15)
+
+
+class PerturbationModel(abc.ABC):
+    """A family of neighborhoods ``Δ(T)`` parameterized by the training-set size."""
+
+    @abc.abstractmethod
+    def resolve_budget(self, training_size: int) -> int:
+        """The per-dataset integer budget (e.g. number of removable elements)."""
+
+    @abc.abstractmethod
+    def num_neighbors(self, training_size: int) -> int:
+        """Exact ``|Δ(T)|`` for a training set of the given size."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable description of the threat model."""
+
+    def log10_num_neighbors(self, training_size: int) -> float:
+        """``log10 |Δ(T)|``; the scale a naïve enumeration would face."""
+        return _log10_of_big_int(self.num_neighbors(training_size))
+
+
+@dataclass(frozen=True)
+class RemovalPoisoningModel(PerturbationModel):
+    """The paper's ``Δn`` model: up to ``n`` potentially malicious elements."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "n", check_positive_int(self.n, "n", allow_zero=True))
+
+    def resolve_budget(self, training_size: int) -> int:
+        return min(self.n, training_size)
+
+    def num_neighbors(self, training_size: int) -> int:
+        budget = self.resolve_budget(training_size)
+        return sum(math.comb(training_size, i) for i in range(0, budget + 1))
+
+    def describe(self) -> str:
+        return f"removal of up to {self.n} training elements"
+
+
+@dataclass(frozen=True)
+class FractionalRemovalModel(PerturbationModel):
+    """``Δn`` with ``n`` given as a fraction of the training-set size."""
+
+    fraction: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "fraction", check_fraction(self.fraction, "fraction")
+        )
+
+    def resolve_budget(self, training_size: int) -> int:
+        return int(math.floor(self.fraction * training_size))
+
+    def num_neighbors(self, training_size: int) -> int:
+        budget = self.resolve_budget(training_size)
+        return RemovalPoisoningModel(budget).num_neighbors(training_size)
+
+    def describe(self) -> str:
+        return f"removal of up to {self.fraction:.2%} of the training elements"
+
+
+@dataclass(frozen=True)
+class LabelFlipModel(PerturbationModel):
+    """Up to ``n`` training labels flipped to arbitrary other classes.
+
+    This is the alternative poisoning model of the related-work discussion
+    (label contamination); the extension verifier in
+    :mod:`repro.poisoning.label_flip` certifies against it.
+    """
+
+    n: int
+    n_classes: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "n", check_positive_int(self.n, "n", allow_zero=True))
+        object.__setattr__(
+            self, "n_classes", check_positive_int(self.n_classes, "n_classes")
+        )
+
+    def resolve_budget(self, training_size: int) -> int:
+        return min(self.n, training_size)
+
+    def num_neighbors(self, training_size: int) -> int:
+        budget = self.resolve_budget(training_size)
+        alternatives = max(1, self.n_classes - 1)
+        return sum(
+            math.comb(training_size, i) * alternatives**i for i in range(0, budget + 1)
+        )
+
+    def describe(self) -> str:
+        return f"flipping of up to {self.n} training labels"

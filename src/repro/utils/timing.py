@@ -1,0 +1,94 @@
+"""Timing utilities: stopwatches and cooperative time budgets.
+
+The experiment harness mirrors the paper's per-instance timeout (the original
+Antidote evaluation uses a one-hour wall-clock limit).  Because the abstract
+learners are long-running pure-Python loops, we use a *cooperative* budget:
+the learners periodically call :meth:`TimeBudget.check` and abort with
+:class:`TimeoutExceeded` when the budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class TimeoutExceeded(RuntimeError):
+    """Raised by :class:`TimeBudget` when the wall-clock budget is exhausted."""
+
+
+@dataclass
+class Stopwatch:
+    """A simple wall-clock stopwatch.
+
+    Example
+    -------
+    >>> watch = Stopwatch().start()
+    >>> _ = sum(range(1000))
+    >>> watch.elapsed() >= 0.0
+    True
+    """
+
+    _start: Optional[float] = None
+    _elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            return self._elapsed
+        self._elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    def elapsed(self) -> float:
+        if self._start is None:
+            return self._elapsed
+        return self._elapsed + (time.perf_counter() - self._start)
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@dataclass
+class TimeBudget:
+    """A cooperative wall-clock budget.
+
+    Parameters
+    ----------
+    seconds:
+        Budget in seconds.  ``None`` means unlimited.
+    """
+
+    seconds: Optional[float] = None
+    _deadline: Optional[float] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.seconds is not None:
+            if self.seconds <= 0:
+                raise ValueError("time budget must be positive or None")
+            self._deadline = time.perf_counter() + float(self.seconds)
+
+    @classmethod
+    def unlimited(cls) -> "TimeBudget":
+        return cls(seconds=None)
+
+    def remaining(self) -> Optional[float]:
+        if self._deadline is None:
+            return None
+        return self._deadline - time.perf_counter()
+
+    def exhausted(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def check(self) -> None:
+        """Raise :class:`TimeoutExceeded` if the budget is exhausted."""
+        if self.exhausted():
+            raise TimeoutExceeded(f"time budget of {self.seconds}s exhausted")

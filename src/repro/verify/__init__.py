@@ -1,0 +1,35 @@
+"""The Antidote-style verifier: abstract learners and robustness certification.
+
+* :mod:`repro.verify.transformers` — the abstract transformers of §4.4–4.6
+  (``cprob#``, ``ent#``, ``score#``, ``filter#``, ``bestSplit#``, ``pure``).
+* :mod:`repro.verify.abstract_learner` — ``DTrace#`` on the base (Box) domain.
+* :mod:`repro.verify.disjunctive_learner` — ``DTrace#`` on the disjunctive
+  domain of §5.2.
+* :mod:`repro.verify.robustness` — the certification driver implementing
+  Corollary 4.12, with timeouts and resource limits.
+* :mod:`repro.verify.enumeration` — the naïve enumeration baseline of §2.
+* :mod:`repro.verify.search` — the poisoning-amount search protocol of §6.1.
+"""
+
+from repro.verify.abstract_learner import AbstractRunResult, BoxAbstractLearner
+from repro.verify.disjunctive_learner import DisjunctiveAbstractLearner
+from repro.verify.enumeration import EnumerationResult, verify_by_enumeration
+from repro.verify.robustness import (
+    PoisoningVerifier,
+    VerificationResult,
+    VerificationStatus,
+)
+from repro.verify.search import max_certified_poisoning, robustness_sweep
+
+__all__ = [
+    "AbstractRunResult",
+    "BoxAbstractLearner",
+    "DisjunctiveAbstractLearner",
+    "EnumerationResult",
+    "verify_by_enumeration",
+    "PoisoningVerifier",
+    "VerificationResult",
+    "VerificationStatus",
+    "max_certified_poisoning",
+    "robustness_sweep",
+]

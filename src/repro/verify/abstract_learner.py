@@ -1,0 +1,163 @@
+"""The abstract learner ``DTrace#`` on the base (Box) abstract domain (§4.3–4.8).
+
+The learner state is the pair ``(⟨T, n⟩, Ψ)``.  Each iteration abstractly
+interprets one step of the concrete trace learner of Figure 4:
+
+1. the ``ent(T) = 0`` conditional — the *then* branch exits with the state
+   restricted to pure concretizations (§4.7), the *else* branch continues
+   unrestricted;
+2. ``bestSplit#`` — computes the set of predicates that could be optimal for
+   some concretization (possibly including ``⋄``);
+3. the ``φ = ⋄`` conditional — the *then* branch exits with the current state;
+4. ``filter#`` — keeps (a join of) the sides of the splits that the test
+   point ``x`` traverses.
+
+The classification of each exit state is the vector of ``cprob#`` intervals
+of its abstract training set; the learner's overall result joins those
+vectors componentwise.  Corollary 4.12 then certifies robustness when a
+single class interval dominates all others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.domains.interval import Interval, dominating_component, join_interval_vectors
+from repro.domains.predicate_set import AbstractPredicateSet
+from repro.domains.trainingset import AbstractTrainingSet
+from repro.utils.timing import TimeBudget
+from repro.verify.transformers import (
+    best_split_abstract,
+    cprob_intervals,
+    entropy_is_definitely_zero,
+    filter_abstract,
+    pure_restriction,
+)
+
+
+@dataclass(frozen=True)
+class AbstractRunResult:
+    """The outcome of one abstract-learner run on a single test input.
+
+    Attributes
+    ----------
+    class_intervals:
+        Componentwise join of the ``cprob#`` vectors of all exit states — a
+        sound overapproximation of the class-probability vector the concrete
+        learner could produce on any poisoned training set.
+    robust_class:
+        The dominating class per Corollary 4.12, or ``None`` when no class
+        dominates (verification inconclusive).
+    exit_count:
+        Number of exit states (or exit disjuncts) that were joined.
+    iterations:
+        Number of loop iterations actually interpreted.
+    max_disjuncts:
+        Peak number of simultaneously live disjuncts (1 for the Box domain).
+    """
+
+    class_intervals: Tuple[Interval, ...]
+    exit_count: int
+    iterations: int
+    max_disjuncts: int = 1
+
+    @property
+    def robust_class(self) -> Optional[int]:
+        return dominating_component(self.class_intervals)
+
+    @property
+    def is_conclusive(self) -> bool:
+        return self.robust_class is not None
+
+
+@dataclass
+class BoxAbstractLearner:
+    """``DTrace#`` over the non-disjunctive product domain.
+
+    Parameters
+    ----------
+    max_depth:
+        The ``d`` of Figure 4 (the learner loop bound).
+    cprob_method:
+        ``"optimal"`` (footnote 6, the default used in the paper's
+        implementation) or ``"box"`` (the naïve transformer of §4.4).
+    predicate_pool:
+        Optional fixed predicate set Φ.  When omitted, candidates are derived
+        from the data at each step: concrete ``x <= 0.5`` predicates for
+        boolean features and symbolic threshold predicates (Appendix B) for
+        real-valued features.
+    """
+
+    max_depth: int = 2
+    cprob_method: str = "optimal"
+    predicate_pool: Optional[Sequence] = None
+
+    def run(
+        self,
+        trainset: AbstractTrainingSet,
+        x: Sequence[float],
+        *,
+        time_budget: Optional[TimeBudget] = None,
+    ) -> AbstractRunResult:
+        """Abstractly interpret ``DTrace(T', x)`` for every ``T' ∈ γ(⟨T, n⟩)``."""
+        budget = time_budget or TimeBudget.unlimited()
+        exits: List[AbstractTrainingSet] = []
+        state: Optional[AbstractTrainingSet] = trainset
+        iterations = 0
+
+        for _ in range(self.max_depth):
+            if state is None:
+                break
+            budget.check()
+            iterations += 1
+
+            # --- conditional: ent(T) = 0 -------------------------------------
+            pure = pure_restriction(state)
+            if pure is not None:
+                exits.append(pure)
+            if entropy_is_definitely_zero(state, self.cprob_method):
+                # The else branch is infeasible: every concretization is pure.
+                state = None
+                break
+
+            # --- φ <- bestSplit#(T) ------------------------------------------
+            predicates = best_split_abstract(
+                state, method=self.cprob_method, predicate_pool=self.predicate_pool
+            )
+
+            # --- conditional: φ = ⋄ --------------------------------------------
+            if predicates.includes_null:
+                exits.append(state)
+            predicates = predicates.without_null()
+            if not predicates.has_concrete_choices:
+                state = None
+                break
+
+            # --- T <- filter#(T, Ψ, x) -----------------------------------------
+            state = filter_abstract(state, predicates, x)
+
+        if state is not None:
+            exits.append(state)
+
+        intervals = self._join_exit_intervals(exits, trainset.dataset.n_classes)
+        return AbstractRunResult(
+            class_intervals=intervals,
+            exit_count=len(exits),
+            iterations=iterations,
+            max_disjuncts=1,
+        )
+
+    def _join_exit_intervals(
+        self, exits: List[AbstractTrainingSet], n_classes: int
+    ) -> Tuple[Interval, ...]:
+        if not exits:
+            # No feasible exit: should be unreachable, but returning the full
+            # [0, 1] vector keeps the result sound.
+            return tuple(Interval.unit() for _ in range(n_classes))
+        joined: Optional[Tuple[Interval, ...]] = None
+        for exit_state in exits:
+            vector = cprob_intervals(exit_state, self.cprob_method)
+            joined = vector if joined is None else join_interval_vectors(joined, vector)
+        assert joined is not None
+        return joined

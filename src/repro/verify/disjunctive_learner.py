@@ -1,0 +1,153 @@
+"""The abstract learner ``DTrace#`` on the disjunctive domain (§5.2).
+
+Instead of joining the abstract training sets produced by different predicate
+choices (the precision bottleneck identified in Example 5.3), the disjunctive
+learner keeps one disjunct per surviving control-flow path: each predicate
+returned by ``bestSplit#`` spawns its own disjunct, and a symbolic predicate
+whose evaluation on the test point is *maybe* spawns a disjunct for each
+branch.  Exits accumulate across iterations; the point is certified robust
+only if the **same** class dominates in every exit disjunct.
+
+Precision is higher than the Box domain by construction, but the number of
+disjuncts can grow exponentially with the tree depth, so the learner enforces
+a configurable disjunct budget and a cooperative time budget, mirroring the
+timeouts and out-of-memory failures reported in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.predicates import point_satisfies
+from repro.domains.interval import Interval, dominating_component, join_interval_vectors
+from repro.domains.trainingset import AbstractTrainingSet
+from repro.utils.timing import TimeBudget
+from repro.verify.abstract_learner import AbstractRunResult
+from repro.verify.transformers import (
+    best_split_abstract,
+    cprob_intervals,
+    entropy_is_definitely_zero,
+    pure_restriction,
+)
+
+
+class DisjunctBudgetExceeded(RuntimeError):
+    """Raised when the number of live disjuncts exceeds the configured budget."""
+
+
+@dataclass(frozen=True)
+class DisjunctiveRunResult(AbstractRunResult):
+    """Result of a disjunctive run; adds the per-exit dominating classes."""
+
+    exit_robust_classes: Tuple[Optional[int], ...] = ()
+
+    @property
+    def robust_class(self) -> Optional[int]:
+        """The class dominating *every* exit disjunct, if any (Cor. 4.12)."""
+        if not self.exit_robust_classes:
+            return None
+        first = self.exit_robust_classes[0]
+        if first is None:
+            return None
+        if all(label == first for label in self.exit_robust_classes):
+            return first
+        return None
+
+
+@dataclass
+class DisjunctiveAbstractLearner:
+    """``DTrace#`` over the disjunctive domain of §5.2.
+
+    Parameters mirror :class:`repro.verify.abstract_learner.BoxAbstractLearner`
+    plus ``max_disjuncts``, the resource limit on simultaneously live
+    disjuncts (live + exited).  Exceeding it raises
+    :class:`DisjunctBudgetExceeded`, which the robustness driver reports as a
+    resource-exhausted (inconclusive) outcome.
+    """
+
+    max_depth: int = 2
+    cprob_method: str = "optimal"
+    predicate_pool: Optional[Sequence] = None
+    max_disjuncts: int = 4096
+
+    def run(
+        self,
+        trainset: AbstractTrainingSet,
+        x: Sequence[float],
+        *,
+        time_budget: Optional[TimeBudget] = None,
+    ) -> DisjunctiveRunResult:
+        budget = time_budget or TimeBudget.unlimited()
+        live: List[AbstractTrainingSet] = [trainset]
+        exits: List[AbstractTrainingSet] = []
+        iterations = 0
+        peak_disjuncts = 1
+
+        for _ in range(self.max_depth):
+            if not live:
+                break
+            iterations += 1
+            next_live: List[AbstractTrainingSet] = []
+            for state in live:
+                budget.check()
+
+                pure = pure_restriction(state)
+                if pure is not None:
+                    exits.append(pure)
+                if entropy_is_definitely_zero(state, self.cprob_method):
+                    continue
+
+                predicates = best_split_abstract(
+                    state, method=self.cprob_method, predicate_pool=self.predicate_pool
+                )
+                if predicates.includes_null:
+                    exits.append(state)
+                for predicate in predicates.without_null():
+                    verdict = point_satisfies(predicate, x)
+                    branches = []
+                    if verdict.possibly_true:
+                        branches.append(True)
+                    if verdict.possibly_false:
+                        branches.append(False)
+                    for branch in branches:
+                        child = state.split_down(predicate, branch)
+                        if child.size == 0:
+                            # The branch is infeasible for every concretization
+                            # (only possible for the uncertain side of a
+                            # symbolic predicate); drop it.
+                            continue
+                        next_live.append(child)
+                self._check_budget(len(next_live) + len(exits))
+            live = next_live
+            peak_disjuncts = max(peak_disjuncts, len(live) + len(exits))
+
+        exits.extend(live)
+        self._check_budget(len(exits))
+
+        n_classes = trainset.dataset.n_classes
+        exit_vectors = [cprob_intervals(state, self.cprob_method) for state in exits]
+        if not exit_vectors:
+            joined: Tuple[Interval, ...] = tuple(
+                Interval.unit() for _ in range(n_classes)
+            )
+            per_exit: Tuple[Optional[int], ...] = ()
+        else:
+            joined = exit_vectors[0]
+            for vector in exit_vectors[1:]:
+                joined = join_interval_vectors(joined, vector)
+            per_exit = tuple(dominating_component(vector) for vector in exit_vectors)
+
+        return DisjunctiveRunResult(
+            class_intervals=joined,
+            exit_count=len(exits),
+            iterations=iterations,
+            max_disjuncts=peak_disjuncts,
+            exit_robust_classes=per_exit,
+        )
+
+    def _check_budget(self, count: int) -> None:
+        if count > self.max_disjuncts:
+            raise DisjunctBudgetExceeded(
+                f"disjunct budget of {self.max_disjuncts} exceeded ({count} disjuncts)"
+            )

@@ -1,0 +1,162 @@
+"""The poisoning-amount search protocol of §6.1.
+
+The paper explores, for every test point, how much poisoning it can be proven
+robust against: start at ``n = 1``, double ``n`` while the proof still
+succeeds for some points, and binary-search between the last success and the
+first failure.  This module provides:
+
+* :func:`max_certified_poisoning` — the per-point doubling + binary search,
+  returning the largest ``n`` for which the verifier certifies the point;
+* :func:`robustness_sweep` — the dataset-level sweep used to regenerate
+  Figure 6: the fraction of test points certified at each poisoning level,
+  re-attempting at level ``n`` only the points that were still certified at
+  the previous level (certification is monotonically harder in ``n``, so this
+  mirrors the paper's incremental protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.verify.robustness import PoisoningVerifier, VerificationResult
+
+
+@dataclass(frozen=True)
+class PoisoningSearchResult:
+    """Outcome of the per-point doubling/binary search."""
+
+    max_certified_n: int
+    attempts: Dict[int, bool]
+    results: Dict[int, VerificationResult]
+
+    @property
+    def ever_certified(self) -> bool:
+        return self.max_certified_n > 0
+
+
+def max_certified_poisoning(
+    verifier: PoisoningVerifier,
+    dataset: Dataset,
+    x: Sequence[float],
+    *,
+    start: int = 1,
+    max_n: Optional[int] = None,
+) -> PoisoningSearchResult:
+    """Find the largest ``n`` (within ``[1, max_n]``) the point is certified for.
+
+    Uses the doubling phase followed by a binary search, assuming (as the
+    paper's protocol does) that certification is monotone in ``n``.
+    """
+    if max_n is None:
+        max_n = len(dataset)
+    max_n = min(max_n, len(dataset))
+    attempts: Dict[int, bool] = {}
+    results: Dict[int, VerificationResult] = {}
+
+    def attempt(n: int) -> bool:
+        if n in attempts:
+            return attempts[n]
+        result = verifier.verify(dataset, x, n)
+        attempts[n] = result.is_certified
+        results[n] = result
+        return attempts[n]
+
+    # Doubling phase.
+    n = max(1, start)
+    best = 0
+    first_failure: Optional[int] = None
+    while n <= max_n:
+        if attempt(n):
+            best = n
+            n *= 2
+        else:
+            first_failure = n
+            break
+    if first_failure is None:
+        return PoisoningSearchResult(max_certified_n=best, attempts=attempts, results=results)
+
+    # Binary search between the last success and the first failure.
+    low, high = best, first_failure
+    while high - low > 1:
+        mid = (low + high) // 2
+        if attempt(mid):
+            low = mid
+        else:
+            high = mid
+    return PoisoningSearchResult(max_certified_n=low, attempts=attempts, results=results)
+
+
+@dataclass
+class SweepRecord:
+    """Aggregated verification statistics at one poisoning level ``n``."""
+
+    poisoning_amount: int
+    attempted: int
+    certified: int
+    fraction_certified: float
+    average_seconds: float
+    average_peak_memory_bytes: float
+    timeouts: int
+    resource_exhausted: int
+    results: List[VerificationResult] = field(default_factory=list, repr=False)
+
+
+def robustness_sweep(
+    verifier: PoisoningVerifier,
+    dataset: Dataset,
+    test_points: np.ndarray,
+    amounts: Sequence[int],
+    *,
+    incremental: bool = True,
+    keep_results: bool = False,
+) -> List[SweepRecord]:
+    """Sweep the poisoning amount over ``amounts`` and aggregate per level.
+
+    With ``incremental=True`` (the paper's protocol), only the points still
+    certified at the previous level are re-attempted at the next level; points
+    that already failed count as not certified at every larger ``n``.
+    """
+    test_points = np.asarray(test_points, dtype=float)
+    total = test_points.shape[0]
+    active = list(range(total))
+    records: List[SweepRecord] = []
+
+    for n in sorted(int(a) for a in amounts):
+        level_results: List[VerificationResult] = []
+        certified_indices: List[int] = []
+        for index in active:
+            result = verifier.verify(dataset, test_points[index], n)
+            level_results.append(result)
+            if result.is_certified:
+                certified_indices.append(index)
+        attempted = len(active)
+        certified = len(certified_indices)
+        elapsed = [result.elapsed_seconds for result in level_results]
+        memory = [result.peak_memory_bytes for result in level_results]
+        records.append(
+            SweepRecord(
+                poisoning_amount=n,
+                attempted=attempted,
+                certified=certified,
+                fraction_certified=certified / total if total else 0.0,
+                average_seconds=float(np.mean(elapsed)) if elapsed else 0.0,
+                average_peak_memory_bytes=float(np.mean(memory)) if memory else 0.0,
+                timeouts=sum(
+                    result.status.value == "timeout" for result in level_results
+                ),
+                resource_exhausted=sum(
+                    result.status.value == "resource_exhausted"
+                    for result in level_results
+                ),
+                results=level_results if keep_results else [],
+            )
+        )
+        if incremental:
+            active = certified_indices
+            if not active:
+                break
+    return records

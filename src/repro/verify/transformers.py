@@ -1,0 +1,372 @@
+"""Abstract transformers for the operations of ``DTrace`` (§4.4–4.7).
+
+Every function here soundly overapproximates the corresponding concrete
+operation of :mod:`repro.core`: given any concrete training set
+``T' ∈ γ(⟨T, n⟩)``, the concrete result is contained in the abstract result.
+The property-based tests in ``tests/verify`` check exactly this containment
+by enumerating small concretizations.
+
+Two variants of ``cprob#`` are provided:
+
+* ``"box"`` — the naïve interval-arithmetic lifting written out in §4.4
+  (numerator interval divided by denominator interval);
+* ``"optimal"`` — the optimal transformer of footnote 6, which the paper's
+  implementation uses.  It is both tighter and cheaper.
+
+``bestSplit#`` has a vectorized fast path that scores every candidate
+threshold of a feature at once using the same per-feature split tables as the
+concrete learner, plus a generic slow path over an explicit predicate pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import FeatureKind
+from repro.core.predicates import (
+    EqualityPredicate,
+    Predicate,
+    SymbolicThresholdPredicate,
+    ThresholdPredicate,
+)
+from repro.core.splitter import feature_split_table
+from repro.domains.interval import Interval, mul_bounds
+from repro.domains.predicate_set import AbstractPredicateSet
+from repro.domains.trainingset import AbstractTrainingSet
+
+#: Tolerance used when comparing abstract scores; widening the comparison by a
+#: tiny epsilon can only *add* predicates to the returned set, which keeps the
+#: transformer sound in the presence of floating-point rounding.
+SCORE_TOLERANCE = 1e-9
+
+CPROB_METHODS = ("optimal", "box")
+
+
+# ---------------------------------------------------------------------------
+# Scalar transformers on AbstractTrainingSet
+# ---------------------------------------------------------------------------
+
+
+def size_interval(trainset: AbstractTrainingSet) -> Interval:
+    """``|⟨T, n⟩| = [|T| - n, |T|]`` (§4.6)."""
+    return Interval(float(trainset.size - trainset.n), float(trainset.size))
+
+
+def cprob_box(trainset: AbstractTrainingSet) -> Tuple[Interval, ...]:
+    """The naïve ``cprob#`` of §4.4: interval numerator / interval denominator."""
+    size = trainset.size
+    n = trainset.n
+    k = trainset.dataset.n_classes
+    if n >= size:
+        return tuple(Interval.unit() for _ in range(k))
+    counts = trainset.class_counts()
+    denominator = Interval(float(size - n), float(size))
+    intervals = []
+    for count in counts:
+        numerator = Interval(float(max(0, count - n)), float(count))
+        intervals.append(numerator.divide(denominator))
+    return tuple(intervals)
+
+
+def cprob_optimal(trainset: AbstractTrainingSet) -> Tuple[Interval, ...]:
+    """The optimal ``cprob#`` of footnote 6.
+
+    For each class ``i`` with count ``c_i`` and ``m = |T| - n`` remaining
+    elements, the extremal probabilities are reached by dropping either as
+    many class-``i`` elements as possible or as many other elements as
+    possible, giving the interval ``[max(0, c_i - n)/m, min(c_i, m)/m]``.
+    """
+    size = trainset.size
+    n = trainset.n
+    k = trainset.dataset.n_classes
+    m = size - n
+    if m <= 0:
+        return tuple(Interval.unit() for _ in range(k))
+    counts = trainset.class_counts()
+    intervals = []
+    for count in counts:
+        lower = max(0, int(count) - n) / m
+        upper = min(int(count), m) / m
+        intervals.append(Interval(lower, upper))
+    return tuple(intervals)
+
+
+def cprob_intervals(
+    trainset: AbstractTrainingSet, method: str = "optimal"
+) -> Tuple[Interval, ...]:
+    """Dispatch between the two ``cprob#`` transformers."""
+    if method == "optimal":
+        return cprob_optimal(trainset)
+    if method == "box":
+        return cprob_box(trainset)
+    raise ValueError(f"unknown cprob method {method!r}; expected one of {CPROB_METHODS}")
+
+
+def gini_interval(
+    trainset: AbstractTrainingSet, method: str = "optimal"
+) -> Interval:
+    """``ent#(⟨T, n⟩) = Σ_i ι_i (1 - ι_i)`` with interval arithmetic (§4.4)."""
+    total = Interval.zero()
+    one = Interval.point(1.0)
+    for component in cprob_intervals(trainset, method):
+        total = total + component * (one - component)
+    return total
+
+
+def score_interval(
+    trainset: AbstractTrainingSet, predicate: Predicate, method: str = "optimal"
+) -> Interval:
+    """``score#(⟨T, n⟩, φ)`` of §4.6 for an arbitrary predicate."""
+    left = trainset.split_down(predicate, True)
+    right = trainset.split_down(predicate, False)
+    return size_interval(left) * gini_interval(left, method) + size_interval(
+        right
+    ) * gini_interval(right, method)
+
+
+def pure_restriction(trainset: AbstractTrainingSet) -> Optional[AbstractTrainingSet]:
+    """The restriction used by the ``ent(T) = 0`` branch (§4.7), or ``None``."""
+    return trainset.restrict_pure_any()
+
+
+def entropy_is_definitely_zero(
+    trainset: AbstractTrainingSet, method: str = "optimal"
+) -> bool:
+    """Whether every concretization has zero impurity (else-branch infeasible)."""
+    return gini_interval(trainset, method).hi <= 0.0
+
+
+# ---------------------------------------------------------------------------
+# filter#
+# ---------------------------------------------------------------------------
+
+
+def filter_abstract(
+    trainset: AbstractTrainingSet,
+    predicates: AbstractPredicateSet,
+    x: Sequence[float],
+) -> Optional[AbstractTrainingSet]:
+    """``filter#(⟨T, n⟩, Ψ, x)`` of §4.5 (and its symbolic variant of App. B).
+
+    Returns ``None`` (bottom) when no predicate applies, which can only happen
+    when ``Ψ`` contains no concrete choices.
+    """
+    satisfied, falsified = predicates.partition_for_point(x)
+    pieces: List[AbstractTrainingSet] = []
+    for predicate in satisfied:
+        pieces.append(trainset.split_down(predicate, True))
+    for predicate in falsified:
+        pieces.append(trainset.split_down(predicate, False))
+    # An abstractly empty side means no concrete run can take that branch with
+    # that predicate (a non-trivial split needs both sides non-empty), so such
+    # pieces are identity elements for the join, exactly as in Example 4.8.
+    pieces = [piece for piece in pieces if piece.size > 0]
+    if not pieces:
+        return None
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = result.join(piece)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# bestSplit#
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ScoredCandidates:
+    """Scored candidate predicates of one feature (vectorized bounds)."""
+
+    predicates: List[Predicate]
+    score_lower: np.ndarray
+    score_upper: np.ndarray
+    universal: np.ndarray  # boolean mask: non-trivial for every concretization
+
+
+def _side_probability_bounds(
+    sizes: np.ndarray, class_counts: np.ndarray, budget: int, method: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``cprob#`` bounds for one side of every candidate split.
+
+    Parameters are arrays over candidates: ``sizes`` has shape ``(c,)`` and
+    ``class_counts`` shape ``(c, k)``.  Returns per-candidate, per-class lower
+    and upper probability bounds of shape ``(c, k)``.
+    """
+    sizes = sizes.astype(np.float64)
+    counts = class_counts.astype(np.float64)
+    budgets = np.minimum(float(budget), sizes)
+    remaining = sizes - budgets  # m = |T| - n for each candidate side
+
+    lower = np.zeros_like(counts)
+    upper = np.ones_like(counts)
+    positive = remaining > 0
+    if method == "optimal":
+        safe_remaining = np.where(positive, remaining, 1.0)[:, None]
+        lower_pos = np.maximum(0.0, counts - budgets[:, None]) / safe_remaining
+        upper_pos = np.minimum(counts, remaining[:, None]) / safe_remaining
+    elif method == "box":
+        # Numerator [max(0, c - n), c], denominator [m, |T|] — interval division
+        # with a positive divisor.
+        numerator_lo = np.maximum(0.0, counts - budgets[:, None])
+        numerator_hi = counts
+        denominator_lo = np.where(positive, remaining, 1.0)[:, None]
+        denominator_hi = np.maximum(sizes, 1.0)[:, None]
+        lower_pos = numerator_lo / denominator_hi
+        upper_pos = numerator_hi / denominator_lo
+    else:
+        raise ValueError(f"unknown cprob method {method!r}")
+    mask = positive[:, None]
+    lower = np.where(mask, lower_pos, lower)
+    upper = np.where(mask, upper_pos, upper)
+    return lower, upper
+
+
+def _side_score_bounds(
+    sizes: np.ndarray, class_counts: np.ndarray, budget: int, method: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized bounds of ``|side| · ent#(side)`` for every candidate."""
+    prob_lower, prob_upper = _side_probability_bounds(
+        sizes, class_counts, budget, method
+    )
+    term_lower, term_upper = mul_bounds(
+        prob_lower, prob_upper, 1.0 - prob_upper, 1.0 - prob_lower
+    )
+    gini_lower = term_lower.sum(axis=1)
+    gini_upper = term_upper.sum(axis=1)
+    sizes = sizes.astype(np.float64)
+    budgets = np.minimum(float(budget), sizes)
+    size_lower = sizes - budgets
+    size_upper = sizes
+    return mul_bounds(size_lower, size_upper, gini_lower, gini_upper)
+
+
+def _scored_threshold_candidates(
+    trainset: AbstractTrainingSet, feature: int, kind: FeatureKind, method: str
+) -> Optional[_ScoredCandidates]:
+    """Score every threshold candidate of one (real or boolean) feature."""
+    X = trainset.features
+    y = trainset.labels
+    table = feature_split_table(X, y, feature, trainset.dataset.n_classes)
+    if table.n_candidates == 0:
+        return None
+    budget = trainset.n
+
+    left_lower, left_upper = _side_score_bounds(
+        table.left_sizes, table.left_class_counts, budget, method
+    )
+    right_lower, right_upper = _side_score_bounds(
+        table.right_sizes, table.right_class_counts, budget, method
+    )
+    score_lower = left_lower + right_lower
+    score_upper = left_upper + right_upper
+    universal = (table.left_sizes > budget) & (table.right_sizes > budget)
+
+    predicates: List[Predicate] = []
+    if kind is FeatureKind.REAL:
+        for a, b in zip(table.lower_values, table.upper_values):
+            predicates.append(SymbolicThresholdPredicate(feature, float(a), float(b)))
+    else:
+        for threshold in table.thresholds:
+            predicates.append(ThresholdPredicate(feature, float(threshold)))
+    return _ScoredCandidates(
+        predicates=predicates,
+        score_lower=score_lower,
+        score_upper=score_upper,
+        universal=universal,
+    )
+
+
+def _scored_pool_candidates(
+    trainset: AbstractTrainingSet, pool: Sequence[Predicate], method: str
+) -> Optional[_ScoredCandidates]:
+    """Score an explicit predicate pool (slow generic path)."""
+    predicates: List[Predicate] = []
+    lower: List[float] = []
+    upper: List[float] = []
+    universal: List[bool] = []
+    for predicate in pool:
+        left = trainset.split_down(predicate, True)
+        right = trainset.split_down(predicate, False)
+        if left.size == 0 or right.size == 0:
+            # Trivial for every concretization: not in Φ∃.
+            continue
+        score = size_interval(left) * gini_interval(left, method) + size_interval(
+            right
+        ) * gini_interval(right, method)
+        predicates.append(predicate)
+        lower.append(score.lo)
+        upper.append(score.hi)
+        universal.append(not left.can_be_empty() and not right.can_be_empty())
+    if not predicates:
+        return None
+    return _ScoredCandidates(
+        predicates=predicates,
+        score_lower=np.asarray(lower),
+        score_upper=np.asarray(upper),
+        universal=np.asarray(universal, dtype=bool),
+    )
+
+
+def _scored_categorical_candidates(
+    trainset: AbstractTrainingSet, feature: int, method: str
+) -> Optional[_ScoredCandidates]:
+    """Score equality predicates for one categorical feature."""
+    values = np.unique(trainset.features[:, feature])
+    pool = [EqualityPredicate(feature, float(v)) for v in values]
+    return _scored_pool_candidates(trainset, pool, method)
+
+
+def best_split_abstract(
+    trainset: AbstractTrainingSet,
+    *,
+    method: str = "optimal",
+    predicate_pool: Optional[Sequence[Predicate]] = None,
+) -> AbstractPredicateSet:
+    """``bestSplit#(⟨T, n⟩)`` of §4.6 (with the real-valued lifting of App. B).
+
+    Returns the abstract predicate set containing every predicate whose score
+    interval overlaps the minimal achievable score, plus ``⋄`` when some
+    concretization might admit no non-trivial split at all.
+    """
+    if trainset.size == 0:
+        return AbstractPredicateSet.of((), includes_null=True)
+
+    groups: List[_ScoredCandidates] = []
+    if predicate_pool is not None:
+        scored = _scored_pool_candidates(trainset, predicate_pool, method)
+        if scored is not None:
+            groups.append(scored)
+    else:
+        for feature, kind in enumerate(trainset.dataset.feature_kinds):
+            if kind is FeatureKind.CATEGORICAL:
+                scored = _scored_categorical_candidates(trainset, feature, method)
+            else:
+                scored = _scored_threshold_candidates(trainset, feature, kind, method)
+            if scored is not None:
+                groups.append(scored)
+
+    if not groups:
+        # Φ∃ is empty: every predicate is trivial on every concretization.
+        return AbstractPredicateSet.of((), includes_null=True)
+
+    any_universal = any(bool(group.universal.any()) for group in groups)
+    if not any_universal:
+        # Φ∀ = ∅: return all existentially non-trivial predicates plus ⋄.
+        predicates = [p for group in groups for p in group.predicates]
+        return AbstractPredicateSet.of(predicates, includes_null=True)
+
+    lub = min(
+        float(group.score_upper[group.universal].min())
+        for group in groups
+        if group.universal.any()
+    )
+    selected: List[Predicate] = []
+    for group in groups:
+        mask = group.score_lower <= lub + SCORE_TOLERANCE
+        for index in np.nonzero(mask)[0]:
+            selected.append(group.predicates[int(index)])
+    return AbstractPredicateSet.of(selected, includes_null=False)

@@ -1,0 +1,92 @@
+"""Tests for Gini impurity, entropy, and the split-score function."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.impurity import (
+    class_probabilities,
+    gini_from_labels,
+    gini_impurity,
+    shannon_entropy,
+    split_score,
+)
+
+
+class TestClassProbabilities:
+    def test_simple_counts(self):
+        assert np.allclose(class_probabilities([7, 2]), [7 / 9, 2 / 9])
+
+    def test_empty_counts_uniform(self):
+        assert np.allclose(class_probabilities([0, 0]), [0.5, 0.5])
+
+
+class TestGini:
+    def test_pure_set_is_zero(self):
+        assert gini_impurity([5, 0]) == 0.0
+        assert gini_impurity([0, 0, 9]) == 0.0
+
+    def test_balanced_binary_is_half(self):
+        assert gini_impurity([5, 5]) == pytest.approx(0.5)
+
+    def test_paper_example_value(self):
+        # Figure 2 left branch: 7 white, 2 black -> ent ≈ 0.35 (Example 3.4).
+        assert gini_impurity([7, 2]) == pytest.approx(0.3457, abs=1e-3)
+
+    def test_empty_is_zero(self):
+        assert gini_impurity([]) == 0.0
+        assert gini_impurity([0]) == 0.0
+
+    def test_from_labels(self):
+        assert gini_from_labels([0, 0, 1, 1], 2) == pytest.approx(0.5)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=2, max_size=5).filter(
+            lambda counts: sum(counts) > 0
+        )
+    )
+    def test_bounds(self, counts):
+        value = gini_impurity(counts)
+        k = len(counts)
+        assert 0.0 <= value <= 1.0 - 1.0 / k + 1e-9
+
+
+class TestEntropy:
+    def test_pure_set_is_zero(self):
+        assert shannon_entropy([4, 0]) == 0.0
+
+    def test_balanced_binary_is_one_bit(self):
+        assert shannon_entropy([8, 8]) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert shannon_entropy([]) == 0.0
+
+
+class TestSplitScore:
+    def test_paper_example_score(self):
+        # Example 3.4: score of x <= 10 on the Figure 2 dataset is ~3.1.
+        left = [7, 2]
+        right = [0, 4]
+        assert split_score(left, right) == pytest.approx(3.111, abs=1e-2)
+
+    def test_worse_split_has_higher_score(self):
+        good = split_score([7, 2], [0, 4])
+        worse = split_score([7, 3], [0, 3])
+        assert worse > good
+
+    def test_entropy_variant(self):
+        assert split_score([2, 2], [4, 0], impurity="entropy") == pytest.approx(4.0)
+
+    def test_unknown_impurity_rejected(self):
+        with pytest.raises(ValueError):
+            split_score([1, 1], [1, 1], impurity="nope")
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=2, max_size=3),
+        st.lists(st.integers(min_value=0, max_value=20), min_size=2, max_size=3),
+    )
+    def test_non_negative(self, left, right):
+        if len(left) != len(right):
+            left = left[: min(len(left), len(right))]
+            right = right[: len(left)]
+        assert split_score(left, right) >= 0.0

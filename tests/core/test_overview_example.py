@@ -1,0 +1,81 @@
+"""End-to-end checks of the worked example in §2 / §3 / §4 of the paper.
+
+These tests pin the concrete numbers the paper derives for the Figure 2
+dataset: the best split, its score, the classification probabilities, the
+naïve enumeration count, and the abstract class-probability intervals under
+2-poisoning.
+"""
+
+import pytest
+
+from repro.core.splitter import best_split
+from repro.core.trace_learner import learn_trace
+from repro.datasets.toy import BLACK, WHITE, figure2_dataset
+from repro.domains.trainingset import AbstractTrainingSet
+from repro.verify.enumeration import count_poisoned_datasets, verify_by_enumeration
+from repro.verify.transformers import cprob_box, cprob_optimal
+
+
+@pytest.fixture
+def dataset():
+    return figure2_dataset()
+
+
+class TestFigure2Dataset:
+    def test_composition(self, dataset):
+        assert len(dataset) == 13
+        counts = dataset.class_counts()
+        assert counts[WHITE] == 7 and counts[BLACK] == 6
+
+    def test_best_split_is_x_leq_10(self, dataset):
+        choice = best_split(dataset)
+        assert choice.predicate.threshold == pytest.approx(10.5)
+        # Example 3.4: |T↓φ| = 9, |T↓¬φ| = 4, score ≈ 3.1.
+        assert choice.left_size == 9 and choice.right_size == 4
+        assert choice.score == pytest.approx(3.11, abs=0.01)
+
+    def test_left_branch_probability(self, dataset):
+        # "White with probability 7/9" on the left branch.
+        result = learn_trace(dataset, [5.0], max_depth=1)
+        assert result.class_probabilities[WHITE] == pytest.approx(7 / 9)
+
+    def test_right_branch_probability(self, dataset):
+        # "Black with probability 1" on the right branch.
+        result = learn_trace(dataset, [18.0], max_depth=1)
+        assert result.class_probabilities[BLACK] == pytest.approx(1.0)
+
+
+class TestNaiveEnumeration:
+    def test_92_datasets_for_two_removals(self, dataset):
+        # §2: C(13,2) + C(13,1) + 1 = 92 datasets to enumerate.
+        assert count_poisoned_datasets(13, 2) == 92
+        result = verify_by_enumeration(dataset, [5.0], 2, max_depth=1)
+        assert result.datasets_checked == 92
+        assert result.robust
+
+    def test_larger_counts_match_formula(self):
+        # §4.1: |Δn(T)| = Σ_{i<=n} C(|T|, i).
+        assert count_poisoned_datasets(5, 5) == 2**5
+
+
+class TestAbstractIntervalsOfExample46(object):
+    def test_box_cprob_matches_paper(self, dataset):
+        # Example 4.6: cprob#(⟨T_left, 2⟩) = ⟨[5/9, 1], [0, 2/7]⟩ with the
+        # naïve (box) transformer.
+        left_indices = [i for i, value in enumerate(dataset.X[:, 0]) if value <= 10]
+        trainset = AbstractTrainingSet.from_indices(dataset, left_indices, 2)
+        intervals = cprob_box(trainset)
+        assert intervals[WHITE].lo == pytest.approx(5 / 9)
+        assert intervals[WHITE].hi == pytest.approx(1.0)
+        assert intervals[BLACK].lo == pytest.approx(0.0)
+        assert intervals[BLACK].hi == pytest.approx(2 / 7)
+
+    def test_optimal_cprob_is_tighter(self, dataset):
+        # The optimal transformer recovers the true worst case 5/7 ≈ 0.71
+        # mentioned in §2 ("the probability will be [0.71, 1]").
+        left_indices = [i for i, value in enumerate(dataset.X[:, 0]) if value <= 10]
+        trainset = AbstractTrainingSet.from_indices(dataset, left_indices, 2)
+        intervals = cprob_optimal(trainset)
+        assert intervals[WHITE].lo == pytest.approx(5 / 7)
+        assert intervals[WHITE].hi == pytest.approx(1.0)
+        assert intervals[BLACK].hi == pytest.approx(2 / 7)

@@ -1,0 +1,94 @@
+"""Tests for the predicate language, including symbolic three-valued predicates."""
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import (
+    EqualityPredicate,
+    SymbolicThresholdPredicate,
+    ThresholdPredicate,
+    Trilean,
+    point_satisfies,
+)
+
+
+class TestThresholdPredicate:
+    def test_point_evaluation(self):
+        predicate = ThresholdPredicate(feature=0, threshold=2.0)
+        assert predicate.evaluate([1.5])
+        assert predicate.evaluate([2.0])
+        assert not predicate.evaluate([2.5])
+
+    def test_matrix_evaluation(self):
+        predicate = ThresholdPredicate(feature=1, threshold=0.5)
+        X = np.array([[9.0, 0.0], [9.0, 1.0]])
+        assert predicate.evaluate_matrix(X).tolist() == [True, False]
+
+    def test_describe_uses_feature_names(self):
+        predicate = ThresholdPredicate(feature=0, threshold=3.0)
+        assert predicate.describe(["age"]) == "age <= 3"
+
+    def test_ordering_and_equality(self):
+        assert ThresholdPredicate(0, 1.0) == ThresholdPredicate(0, 1.0)
+        assert ThresholdPredicate(0, 1.0) < ThresholdPredicate(1, 0.0)
+
+
+class TestEqualityPredicate:
+    def test_point_and_matrix(self):
+        predicate = EqualityPredicate(feature=0, value=2.0)
+        assert predicate.evaluate([2.0])
+        assert not predicate.evaluate([3.0])
+        assert predicate.evaluate_matrix(np.array([[2.0], [3.0]])).tolist() == [True, False]
+
+    def test_describe(self):
+        assert EqualityPredicate(1, 4.0).describe() == "x1 == 4"
+
+
+class TestSymbolicThresholdPredicate:
+    def test_three_valued_evaluation(self):
+        predicate = SymbolicThresholdPredicate(feature=0, low=1.0, high=3.0)
+        assert predicate.evaluate_trilean([0.5]) is Trilean.TRUE
+        assert predicate.evaluate_trilean([1.0]) is Trilean.TRUE
+        assert predicate.evaluate_trilean([2.0]) is Trilean.MAYBE
+        assert predicate.evaluate_trilean([3.0]) is Trilean.FALSE
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            SymbolicThresholdPredicate(feature=0, low=2.0, high=2.0)
+
+    def test_contains_threshold_half_open(self):
+        predicate = SymbolicThresholdPredicate(0, 1.0, 3.0)
+        assert predicate.contains_threshold(1.0)
+        assert predicate.contains_threshold(2.9)
+        assert not predicate.contains_threshold(3.0)
+
+    def test_concrete_representative_is_member(self):
+        predicate = SymbolicThresholdPredicate(0, 1.0, 3.0)
+        representative = predicate.concrete_representative()
+        assert predicate.contains_threshold(representative.threshold)
+
+    def test_matrix_evaluation_uses_low_bound(self):
+        predicate = SymbolicThresholdPredicate(0, 1.0, 3.0)
+        assert predicate.evaluate_matrix(np.array([[0.5], [2.0]])).tolist() == [True, False]
+
+    def test_describe(self):
+        assert "[1, 3)" in SymbolicThresholdPredicate(0, 1.0, 3.0).describe()
+
+
+class TestTrilean:
+    def test_flags(self):
+        assert Trilean.TRUE.definitely_true
+        assert Trilean.FALSE.definitely_false
+        assert Trilean.MAYBE.possibly_true and Trilean.MAYBE.possibly_false
+        assert not Trilean.TRUE.possibly_false
+        assert not Trilean.FALSE.possibly_true
+
+
+class TestPointSatisfies:
+    def test_concrete_predicates_never_maybe(self):
+        assert point_satisfies(ThresholdPredicate(0, 1.0), [0.5]) is Trilean.TRUE
+        assert point_satisfies(ThresholdPredicate(0, 1.0), [2.5]) is Trilean.FALSE
+
+    def test_symbolic_predicate_can_be_maybe(self):
+        predicate = SymbolicThresholdPredicate(0, 1.0, 3.0)
+        assert point_satisfies(predicate, [2.0]) is Trilean.MAYBE

@@ -1,0 +1,97 @@
+"""Tests for the trace-based learner DTrace, including its equivalence to CART."""
+
+import numpy as np
+import pytest
+
+from repro.core.learner import DecisionTreeLearner
+from repro.core.predicates import ThresholdPredicate
+from repro.core.trace_learner import TraceLearner, learn_trace
+from repro.datasets.toy import figure2_dataset, tiny_boolean_dataset
+from tests.conftest import random_small_dataset, random_test_point
+
+
+class TestTraceLearnerBasics:
+    def test_figure2_left_trace(self):
+        result = learn_trace(figure2_dataset(), [5.0], max_depth=1)
+        assert result.prediction == 0
+        assert result.class_probabilities == pytest.approx((7 / 9, 2 / 9))
+        assert result.depth == 1
+        assert result.decisions[0][0] == ThresholdPredicate(0, 10.5)
+        assert result.decisions[0][1] is True
+
+    def test_figure2_right_trace_example_3_5(self):
+        # Example 3.5: DTrace(T, 18) follows [x > 10] and classifies black.
+        result = learn_trace(figure2_dataset(), [18.0], max_depth=1)
+        assert result.prediction == 1
+        assert result.class_probabilities == pytest.approx((0.0, 1.0))
+        assert result.decisions[0][1] is False
+        assert result.stopped_reason in ("depth", "pure")
+
+    def test_pure_subset_stops_early(self):
+        result = learn_trace(figure2_dataset(), [18.0], max_depth=4)
+        # After the first split the right branch is pure, so the trace stops.
+        assert result.depth == 1
+        assert result.stopped_reason == "pure"
+
+    def test_no_split_stops(self):
+        dataset = figure2_dataset().subset([0, 1])  # values 0 (black), 1 (white)
+        result = learn_trace(dataset, [0.0], max_depth=3)
+        assert result.depth == 1
+        # After filtering to a single element the subset is pure.
+        assert result.stopped_reason == "pure"
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ValueError):
+            learn_trace(figure2_dataset().subset([]), [1.0])
+
+    def test_predict_shorthand(self):
+        learner = TraceLearner(max_depth=1)
+        assert learner.predict(figure2_dataset(), [18.0]) == 1
+
+    def test_invalid_impurity(self):
+        with pytest.raises(ValueError):
+            TraceLearner(impurity="nope")
+
+
+class TestTraceCartEquivalence:
+    """DTrace(T, x) must classify x exactly like the full tree built on T."""
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_figure2_equivalence(self, depth):
+        dataset = figure2_dataset()
+        tree = DecisionTreeLearner(max_depth=depth).fit(dataset)
+        learner = TraceLearner(max_depth=depth)
+        for value in np.linspace(-1.0, 16.0, 35):
+            assert learner.predict(dataset, [value]) == tree.predict([value])
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_boolean_equivalence(self, depth):
+        dataset = tiny_boolean_dataset()
+        tree = DecisionTreeLearner(max_depth=depth).fit(dataset)
+        learner = TraceLearner(max_depth=depth)
+        for x0 in (0.0, 1.0):
+            for x1 in (0.0, 1.0):
+                assert learner.predict(dataset, [x0, x1]) == tree.predict([x0, x1])
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_datasets_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        dataset = random_small_dataset(rng)
+        depth = int(rng.integers(1, 4))
+        tree = DecisionTreeLearner(max_depth=depth).fit(dataset)
+        learner = TraceLearner(max_depth=depth)
+        for _ in range(5):
+            x = random_test_point(rng, dataset)
+            assert learner.predict(dataset, x) == tree.predict(x)
+
+    def test_trace_matches_tree_trace_predicates(self):
+        dataset = figure2_dataset()
+        tree = DecisionTreeLearner(max_depth=2).fit(dataset)
+        learner = TraceLearner(max_depth=2)
+        x = [3.0]
+        tree_trace = tree.trace_for(x)
+        dtrace_result = learner.run(dataset, x)
+        assert [p for p, _ in tree_trace.decisions] == [
+            p for p, _ in dtrace_result.decisions
+        ]
+        assert tree_trace.prediction == dtrace_result.prediction

@@ -1,0 +1,116 @@
+"""Tests for the decision-tree model and its trace-based view."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.learner import DecisionTreeLearner
+from repro.core.predicates import ThresholdPredicate
+from repro.core.tree import DecisionTree, TreeNode
+from repro.datasets.toy import figure2_dataset
+
+
+def hand_built_tree() -> DecisionTree:
+    """x0 <= 10.5 ? (mostly white) : (all black), mirroring Figure 2."""
+    left = TreeNode(class_counts=np.array([7, 2]))
+    right = TreeNode(class_counts=np.array([0, 4]))
+    root = TreeNode(
+        class_counts=np.array([7, 6]),
+        predicate=ThresholdPredicate(0, 10.5),
+        left=left,
+        right=right,
+    )
+    return DecisionTree(root=root, n_classes=2, class_names=("white", "black"))
+
+
+class TestTreeNode:
+    def test_leaf_probabilities(self):
+        node = TreeNode(class_counts=np.array([7, 2]))
+        assert node.is_leaf
+        assert np.allclose(node.class_probabilities(), [7 / 9, 2 / 9])
+        assert node.prediction() == 0
+
+    def test_empty_leaf_uniform(self):
+        node = TreeNode(class_counts=np.array([0, 0]))
+        assert np.allclose(node.class_probabilities(), [0.5, 0.5])
+
+
+class TestDecisionTree:
+    def test_predict_both_branches(self):
+        tree = hand_built_tree()
+        assert tree.predict([5.0]) == 0
+        assert tree.predict([18.0]) == 1
+
+    def test_predict_proba(self):
+        tree = hand_built_tree()
+        assert np.allclose(tree.predict_proba([5.0]), [7 / 9, 2 / 9])
+
+    def test_predict_batch(self):
+        tree = hand_built_tree()
+        assert tree.predict_batch(np.array([[5.0], [18.0]])).tolist() == [0, 1]
+
+    def test_trace_for_matches_prediction(self):
+        tree = hand_built_tree()
+        trace = tree.trace_for([18.0])
+        assert trace.prediction == 1
+        assert trace.depth == 1
+        assert trace.decisions[0][1] is False
+        assert trace.accepts([18.0])
+        assert not trace.accepts([5.0])
+
+    def test_traces_cover_input_space(self):
+        # Example 3.3: the Figure 2 tree has exactly two traces.
+        tree = hand_built_tree()
+        traces = tree.traces()
+        assert len(traces) == 2
+        predictions = {trace.prediction for trace in traces}
+        assert predictions == {0, 1}
+
+    def test_well_formedness_exactly_one_trace_per_input(self):
+        tree = DecisionTreeLearner(max_depth=3).fit(figure2_dataset())
+        for value in np.linspace(-2.0, 16.0, 37):
+            accepting = [t for t in tree.traces() if t.accepts([value])]
+            assert len(accepting) == 1
+
+    def test_statistics(self):
+        tree = hand_built_tree()
+        assert tree.depth() == 1
+        assert tree.n_nodes() == 3
+        assert tree.n_leaves() == 2
+
+    def test_to_text_renders_predicates_and_leaves(self):
+        text = hand_built_tree().to_text()
+        assert "x0 <= 10.5" in text
+        assert "white" in text and "black" in text
+
+    def test_trace_describe(self):
+        tree = hand_built_tree()
+        description = tree.trace_for([18.0]).describe()
+        assert "not(" in description
+
+
+class TestLearnedTreeConsistency:
+    def test_leaf_counts_partition_dataset(self):
+        dataset = figure2_dataset()
+        tree = DecisionTreeLearner(max_depth=2).fit(dataset)
+        total = sum(sum(trace.class_probabilities) * 0 + 1 for trace in tree.traces())
+        assert total == tree.n_leaves()
+        # Summing leaf sample counts recovers the dataset size.
+        leaf_total = 0
+
+        def collect(node: TreeNode) -> None:
+            nonlocal leaf_total
+            if node.is_leaf:
+                leaf_total += node.n_samples
+            else:
+                collect(node.left)
+                collect(node.right)
+
+        collect(tree.root)
+        assert leaf_total == len(dataset)
+
+    def test_depth_respects_limit(self):
+        dataset = figure2_dataset()
+        for depth in (1, 2, 3):
+            tree = DecisionTreeLearner(max_depth=depth).fit(dataset)
+            assert tree.depth() <= depth

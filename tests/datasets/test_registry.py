@@ -1,0 +1,55 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    dataset_summaries,
+    get_spec,
+    list_datasets,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_five_benchmarks_registered(self):
+        names = list_datasets()
+        assert names == [
+            "iris",
+            "mammography",
+            "wdbc",
+            "mnist17-binary",
+            "mnist17-real",
+        ]
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("cifar10")
+        with pytest.raises(KeyError):
+            load_dataset("cifar10")
+
+    def test_load_uses_default_scale(self):
+        split = load_dataset("iris", seed=0)
+        assert len(split.train) + len(split.test) == 150
+
+    def test_load_with_explicit_scale(self):
+        split = load_dataset("mammography", scale=0.1, seed=0)
+        assert len(split.train) + len(split.test) == 83
+
+    def test_mnist_defaults_are_reduced(self):
+        spec = get_spec("mnist17-binary")
+        assert spec.default_scale < 1.0
+        assert spec.paper_train_size == 13007
+
+    def test_summaries_have_table1_fields(self):
+        rows = dataset_summaries()
+        assert len(rows) == 5
+        for row in rows:
+            assert {"name", "paper_train_size", "n_features", "n_classes"} <= set(row)
+
+    def test_load_is_deterministic(self):
+        import numpy as np
+
+        a = load_dataset("wdbc", scale=0.2, seed=5)
+        b = load_dataset("wdbc", scale=0.2, seed=5)
+        assert np.array_equal(a.train.X, b.train.X)
+        assert np.array_equal(a.test.y, b.test.y)

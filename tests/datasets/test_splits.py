@@ -1,0 +1,58 @@
+"""Tests for train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.datasets.splits import train_test_split
+from repro.utils.validation import ValidationError
+
+
+def toy_dataset(size: int = 50, n_classes: int = 3) -> Dataset:
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(size, 2))
+    y = rng.integers(0, n_classes, size=size)
+    y[:n_classes] = np.arange(n_classes)  # ensure every class appears
+    return Dataset(X=X, y=y, n_classes=n_classes)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        split = train_test_split(toy_dataset(50), 0.2, rng=0)
+        assert len(split.train) == 40
+        assert len(split.test) == 10
+
+    def test_partition_is_disjoint_and_complete(self):
+        dataset = toy_dataset(40)
+        split = train_test_split(dataset, 0.25, rng=1)
+        train_rows = {tuple(row) for row in split.train.X}
+        test_rows = {tuple(row) for row in split.test.X}
+        assert not train_rows & test_rows
+        assert len(split.train) + len(split.test) == len(dataset)
+
+    def test_every_class_in_training_set(self):
+        dataset = toy_dataset(30, n_classes=5)
+        split = train_test_split(dataset, 0.5, rng=2)
+        assert set(np.unique(split.train.y)) == set(range(5))
+
+    def test_deterministic_given_seed(self):
+        dataset = toy_dataset(30)
+        a = train_test_split(dataset, 0.3, rng=7)
+        b = train_test_split(dataset, 0.3, rng=7)
+        assert np.array_equal(a.train.X, b.train.X)
+
+    def test_zero_fraction_keeps_everything_in_train(self):
+        dataset = toy_dataset(20)
+        split = train_test_split(dataset, 0.0, rng=0)
+        assert len(split.train) == 20
+        assert len(split.test) == 0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            train_test_split(toy_dataset(10), 1.5)
+
+    def test_names_and_describe(self):
+        split = train_test_split(toy_dataset(20), 0.2, rng=0)
+        assert split.train.name.endswith("-train")
+        assert split.test.name.endswith("-test")
+        assert "training" in split.describe()

@@ -1,0 +1,88 @@
+"""Tests for the low-level synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import FeatureKind
+from repro.datasets.synthetic import (
+    class_separation_report,
+    make_gaussian_classes,
+    make_prototype_patterns,
+    scaled_size,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestGaussianClasses:
+    def test_shapes_and_determinism(self):
+        centers = np.array([[0.0, 0.0], [5.0, 5.0]])
+        first = make_gaussian_classes(50, centers, 1.0, rng=7)
+        second = make_gaussian_classes(50, centers, 1.0, rng=7)
+        assert len(first) == 50
+        assert first.n_features == 2
+        assert np.array_equal(first.X, second.X)
+        assert np.array_equal(first.y, second.y)
+
+    def test_all_classes_present(self):
+        centers = np.zeros((3, 2))
+        dataset = make_gaussian_classes(300, centers, 1.0, rng=1)
+        assert set(np.unique(dataset.y)) == {0, 1, 2}
+
+    def test_class_weights_bias_sampling(self):
+        centers = np.zeros((2, 1))
+        dataset = make_gaussian_classes(
+            500, centers, 1.0, rng=2, class_weights=(0.9, 0.1)
+        )
+        counts = dataset.class_counts()
+        assert counts[0] > counts[1] * 3
+
+    def test_per_class_std(self):
+        centers = np.array([[0.0], [0.0]])
+        dataset = make_gaussian_classes(400, centers, [0.1, 5.0], rng=3)
+        tight = dataset.X[dataset.y == 0, 0].std()
+        wide = dataset.X[dataset.y == 1, 0].std()
+        assert wide > tight * 5
+
+    def test_rejects_bad_centers(self):
+        with pytest.raises(ValidationError):
+            make_gaussian_classes(10, np.zeros(3), 1.0)
+
+    def test_rejects_bad_std_shape(self):
+        with pytest.raises(ValidationError):
+            make_gaussian_classes(10, np.zeros((2, 2)), [1.0, 2.0, 3.0])
+
+
+class TestPrototypePatterns:
+    def test_boolean_features(self):
+        prototypes = np.array([[0, 0, 1, 1], [1, 1, 0, 0]], dtype=float)
+        dataset = make_prototype_patterns(60, prototypes, 0.1, rng=4)
+        assert all(kind is FeatureKind.BOOLEAN for kind in dataset.feature_kinds)
+        assert np.all(np.isin(dataset.X, (0.0, 1.0)))
+
+    def test_zero_noise_reproduces_prototypes(self):
+        prototypes = np.array([[0, 1], [1, 0]], dtype=float)
+        dataset = make_prototype_patterns(40, prototypes, 0.0, rng=5)
+        for row, label in zip(dataset.X, dataset.y):
+            assert np.array_equal(row, prototypes[label])
+
+    def test_rejects_non_binary_prototypes(self):
+        with pytest.raises(ValidationError):
+            make_prototype_patterns(10, np.array([[0.5, 1.0]]))
+
+
+class TestHelpers:
+    def test_scaled_size_floor(self):
+        assert scaled_size(1000, 0.001, minimum=8) == 8
+        assert scaled_size(1000, 0.5) == 500
+
+    def test_class_separation_report(self):
+        centers = np.array([[0.0], [10.0]])
+        dataset = make_gaussian_classes(200, centers, 1.0, rng=6)
+        distance, spread = class_separation_report(dataset)
+        assert distance > 5 * spread
+
+    def test_separation_single_class(self):
+        centers = np.array([[0.0]])
+        dataset = make_gaussian_classes(50, centers, 1.0, rng=7)
+        distance, _ = class_separation_report(dataset)
+        assert distance == 0.0

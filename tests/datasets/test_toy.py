@@ -1,0 +1,46 @@
+"""Tests for the toy datasets (Figure 2 and the tiny boolean set)."""
+
+import numpy as np
+
+from repro.core.dataset import FeatureKind
+from repro.datasets.toy import BLACK, WHITE, figure2_dataset, tiny_boolean_dataset
+
+
+class TestFigure2Dataset:
+    def test_shape(self):
+        dataset = figure2_dataset()
+        assert len(dataset) == 13
+        assert dataset.n_features == 1
+        assert dataset.n_classes == 2
+        assert dataset.feature_kinds == (FeatureKind.REAL,)
+
+    def test_left_right_composition(self):
+        dataset = figure2_dataset()
+        left = dataset.subset_mask(dataset.X[:, 0] <= 10)
+        right = dataset.subset_mask(dataset.X[:, 0] > 10)
+        assert left.class_counts()[WHITE] == 7
+        assert left.class_counts()[BLACK] == 2
+        assert right.class_counts()[BLACK] == 4
+        assert right.class_counts()[WHITE] == 0
+
+    def test_black_points_are_zero_and_four(self):
+        dataset = figure2_dataset()
+        left_black_values = dataset.X[(dataset.y == BLACK) & (dataset.X[:, 0] <= 10), 0]
+        assert sorted(left_black_values.tolist()) == [0.0, 4.0]
+
+    def test_deterministic(self):
+        first = figure2_dataset()
+        second = figure2_dataset()
+        assert np.array_equal(first.X, second.X)
+        assert np.array_equal(first.y, second.y)
+
+
+class TestTinyBooleanDataset:
+    def test_shape_and_kinds(self):
+        dataset = tiny_boolean_dataset()
+        assert len(dataset) == 8
+        assert all(kind is FeatureKind.BOOLEAN for kind in dataset.feature_kinds)
+
+    def test_label_follows_first_feature(self):
+        dataset = tiny_boolean_dataset()
+        assert np.array_equal(dataset.y, dataset.X[:, 0].astype(np.int64))

@@ -1,0 +1,125 @@
+"""Tests for the intervals abstract domain."""
+
+import numpy as np
+import pytest
+
+from repro.domains.interval import (
+    Interval,
+    add_bounds,
+    complement_bounds,
+    dominating_component,
+    join_interval_vectors,
+    mul_bounds,
+)
+
+
+class TestConstruction:
+    def test_point_and_unit(self):
+        assert Interval.point(3.0) == Interval(3.0, 3.0)
+        assert Interval.unit() == Interval(0.0, 1.0)
+        assert Interval.zero().is_point()
+
+    def test_from_values(self):
+        assert Interval.from_values([0.3, 0.1, 0.2]) == Interval(0.1, 0.3)
+
+    def test_from_empty_raises(self):
+        with pytest.raises(ValueError):
+            Interval.from_values([])
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+
+class TestPredicates:
+    def test_contains(self):
+        interval = Interval(0.2, 0.6)
+        assert interval.contains(0.2) and interval.contains(0.6) and interval.contains(0.4)
+        assert not interval.contains(0.7)
+
+    def test_intersects(self):
+        assert Interval(0, 1).intersects(Interval(1, 2))
+        assert not Interval(0, 1).intersects(Interval(1.1, 2))
+
+    def test_subset(self):
+        assert Interval(0.2, 0.4).is_subset_of(Interval(0, 1))
+        assert not Interval(0.2, 1.4).is_subset_of(Interval(0, 1))
+
+    def test_dominates_is_strict(self):
+        assert Interval(0.6, 0.9).dominates(Interval(0.1, 0.5))
+        assert not Interval(0.5, 0.9).dominates(Interval(0.1, 0.5))
+
+
+class TestLattice:
+    def test_join(self):
+        assert Interval(0, 1).join(Interval(2, 3)) == Interval(0, 3)
+
+    def test_meet(self):
+        assert Interval(0, 2).meet(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).meet(Interval(2, 3)) is None
+
+    def test_clamp(self):
+        assert Interval(-0.5, 1.5).clamp(0.0, 1.0) == Interval(0.0, 1.0)
+
+
+class TestArithmetic:
+    def test_add_sub_neg(self):
+        assert Interval(1, 2) + Interval(3, 4) == Interval(4, 6)
+        assert Interval(1, 2) - Interval(3, 4) == Interval(-3, -1)
+        assert -Interval(1, 2) == Interval(-2, -1)
+
+    def test_mul_with_negative_operands(self):
+        assert Interval(-1, 2) * Interval(3, 4) == Interval(-4, 8)
+
+    def test_scale(self):
+        assert Interval(1, 2).scale(-2) == Interval(-4, -2)
+
+    def test_divide(self):
+        assert Interval(1, 2).divide(Interval(2, 4)) == Interval(0.25, 1.0)
+
+    def test_divide_by_zero_interval(self):
+        with pytest.raises(ZeroDivisionError):
+            Interval(1, 2).divide(Interval(-1, 1))
+
+    def test_width_and_midpoint(self):
+        interval = Interval(1.0, 3.0)
+        assert interval.width == 2.0
+        assert interval.midpoint == 2.0
+
+
+class TestVectorHelpers:
+    def test_join_interval_vectors(self):
+        joined = join_interval_vectors(
+            (Interval(0, 0.5), Interval(0.5, 1)), (Interval(0.25, 0.75), Interval(0, 0.1))
+        )
+        assert joined == (Interval(0, 0.75), Interval(0, 1))
+
+    def test_join_interval_vectors_length_mismatch(self):
+        with pytest.raises(ValueError):
+            join_interval_vectors((Interval(0, 1),), (Interval(0, 1), Interval(0, 1)))
+
+    def test_dominating_component_found(self):
+        intervals = (Interval(0.7, 0.9), Interval(0.0, 0.3), Interval(0.1, 0.2))
+        assert dominating_component(intervals) == 0
+
+    def test_dominating_component_none_when_overlapping(self):
+        intervals = (Interval(0.4, 0.9), Interval(0.0, 0.5))
+        assert dominating_component(intervals) is None
+
+
+class TestBoundArrays:
+    def test_mul_bounds_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        lo1, hi1 = -rng.random(50), rng.random(50)
+        lo2, hi2 = -rng.random(50), rng.random(50)
+        lo, hi = mul_bounds(lo1, hi1, lo2, hi2)
+        for i in range(50):
+            expected = Interval(lo1[i], hi1[i]) * Interval(lo2[i], hi2[i])
+            assert lo[i] == pytest.approx(expected.lo)
+            assert hi[i] == pytest.approx(expected.hi)
+
+    def test_add_and_complement_bounds(self):
+        lo, hi = add_bounds(np.array([1.0]), np.array([2.0]), np.array([3.0]), np.array([4.0]))
+        assert lo[0] == 4.0 and hi[0] == 6.0
+        clo, chi = complement_bounds(np.array([0.2]), np.array([0.7]))
+        assert clo[0] == pytest.approx(0.3) and chi[0] == pytest.approx(0.8)

@@ -1,0 +1,69 @@
+"""Property-based tests of interval-arithmetic soundness."""
+
+from hypothesis import given, strategies as st
+
+from repro.domains.interval import Interval
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(finite)
+    b = draw(finite)
+    return Interval(min(a, b), max(a, b))
+
+
+@st.composite
+def interval_with_member(draw):
+    interval = draw(intervals())
+    t = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    member = interval.lo + t * (interval.hi - interval.lo)
+    return interval, member
+
+
+class TestArithmeticSoundness:
+    @given(interval_with_member(), interval_with_member())
+    def test_addition_contains_pointwise_sum(self, first, second):
+        (a, x), (b, y) = first, second
+        assert (a + b).contains(x + y)
+
+    @given(interval_with_member(), interval_with_member())
+    def test_subtraction_contains_pointwise_difference(self, first, second):
+        (a, x), (b, y) = first, second
+        assert (a - b).contains(x - y)
+
+    @given(interval_with_member(), interval_with_member())
+    def test_multiplication_contains_pointwise_product(self, first, second):
+        (a, x), (b, y) = first, second
+        product = (a * b)
+        # Allow a tiny relative tolerance for floating-point rounding.
+        slack = 1e-9 * (1.0 + abs(x * y))
+        assert product.lo - slack <= x * y <= product.hi + slack
+
+
+class TestLatticeLaws:
+    @given(intervals(), intervals())
+    def test_join_is_upper_bound(self, a, b):
+        joined = a.join(b)
+        assert a.is_subset_of(joined) and b.is_subset_of(joined)
+
+    @given(intervals(), intervals())
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(intervals(), intervals(), intervals())
+    def test_join_associative(self, a, b, c):
+        left = a.join(b).join(c)
+        right = a.join(b.join(c))
+        assert left == right
+
+    @given(intervals(), intervals())
+    def test_meet_is_lower_bound_when_defined(self, a, b):
+        met = a.meet(b)
+        if met is not None:
+            assert met.is_subset_of(a) and met.is_subset_of(b)
+
+    @given(intervals())
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a

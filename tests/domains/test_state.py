@@ -1,0 +1,60 @@
+"""Tests for abstract learner states (product and disjunctive)."""
+
+from repro.datasets.toy import figure2_dataset
+from repro.domains.predicate_set import AbstractPredicateSet
+from repro.domains.state import AbstractState, DisjunctiveState
+from repro.domains.trainingset import AbstractTrainingSet
+
+
+def make_trainset(n: int = 2) -> AbstractTrainingSet:
+    return AbstractTrainingSet.full(figure2_dataset(), n)
+
+
+class TestAbstractState:
+    def test_initial_state(self):
+        state = AbstractState.initial(make_trainset())
+        assert not state.is_bottom
+        assert state.predicates.includes_null
+        assert state.trainset.size == 13
+
+    def test_bottom_state(self):
+        assert AbstractState.bottom().is_bottom
+
+    def test_with_predicates_and_trainset(self):
+        state = AbstractState.initial(make_trainset())
+        updated = state.with_predicates(AbstractPredicateSet.of(()))
+        assert not updated.predicates.includes_null
+        cleared = updated.with_trainset(None)
+        assert cleared.is_bottom
+
+    def test_estimated_bytes_positive(self):
+        assert AbstractState.initial(make_trainset()).estimated_bytes() > 0
+        assert AbstractState.bottom().estimated_bytes() > 0
+
+    def test_describe(self):
+        assert "|T|=13" in AbstractState.initial(make_trainset()).describe()
+        assert AbstractState.bottom().describe() == "⊥"
+
+
+class TestDisjunctiveState:
+    def test_initial_has_one_disjunct(self):
+        state = DisjunctiveState.initial(make_trainset())
+        assert len(state) == 1
+        assert not state.is_bottom
+
+    def test_join_is_union(self):
+        a = DisjunctiveState.initial(make_trainset(1))
+        b = DisjunctiveState.initial(make_trainset(2))
+        joined = a.join(b)
+        assert len(joined) == 2
+
+    def test_of_drops_bottoms(self):
+        state = DisjunctiveState.of([AbstractState.bottom(), AbstractState.initial(make_trainset())])
+        assert len(state) == 1
+
+    def test_empty_is_bottom(self):
+        assert DisjunctiveState.of([]).is_bottom
+
+    def test_estimated_bytes(self):
+        state = DisjunctiveState.initial(make_trainset())
+        assert state.estimated_bytes() > 0

@@ -1,0 +1,134 @@
+"""Property-based soundness tests for the ⟨T, n⟩ abstract domain.
+
+These check the propositions of §4 of the paper by exhaustively or randomly
+sampling concretizations of small abstract elements:
+
+* Proposition 4.2 — the join overapproximates the union of concretizations.
+* Proposition 4.4 — ``split_down`` soundly abstracts concrete filtering.
+* The meet is a lower bound of its arguments; the ordering is consistent with
+  concretization inclusion.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dataset import Dataset
+from repro.core.predicates import SymbolicThresholdPredicate, ThresholdPredicate
+from repro.domains.trainingset import AbstractTrainingSet
+
+
+def base_dataset(size: int = 10) -> Dataset:
+    values = np.arange(size, dtype=float).reshape(-1, 1)
+    labels = (np.arange(size) % 2).astype(np.int64)
+    return Dataset(X=values, y=labels, n_classes=2)
+
+
+_DATASET = base_dataset()
+
+index_subsets = st.lists(
+    st.integers(min_value=0, max_value=9), min_size=1, max_size=10, unique=True
+)
+budgets = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def abstract_sets(draw):
+    indices = draw(index_subsets)
+    budget = draw(budgets)
+    return AbstractTrainingSet.from_indices(_DATASET, indices, budget)
+
+
+class TestJoinSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(abstract_sets(), abstract_sets())
+    def test_join_contains_both_concretization_sets(self, a, b):
+        joined = a.join(b)
+        for source in (a, b):
+            for concrete in source.concretizations():
+                assert joined.contains_concrete(concrete)
+
+    @settings(max_examples=60, deadline=None)
+    @given(abstract_sets(), abstract_sets())
+    def test_join_is_upper_bound_in_the_order(self, a, b):
+        joined = a.join(b)
+        assert a.is_leq(joined)
+        assert b.is_leq(joined)
+
+    @settings(max_examples=40, deadline=None)
+    @given(abstract_sets())
+    def test_join_idempotent(self, a):
+        joined = a.join(a)
+        assert joined.size == a.size and joined.n == a.n
+
+
+class TestMeetAndOrder:
+    @settings(max_examples=60, deadline=None)
+    @given(abstract_sets(), abstract_sets())
+    def test_meet_is_lower_bound(self, a, b):
+        met = a.meet(b)
+        if met is None:
+            return
+        assert met.is_leq(a)
+        assert met.is_leq(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(abstract_sets(), abstract_sets())
+    def test_order_implies_concretization_inclusion(self, a, b):
+        if a.is_leq(b):
+            for concrete in a.concretizations():
+                assert b.contains_concrete(concrete)
+
+    @settings(max_examples=40, deadline=None)
+    @given(abstract_sets())
+    def test_order_reflexive(self, a):
+        assert a.is_leq(a)
+
+
+class TestSplitDownSoundness:
+    @settings(max_examples=50, deadline=None)
+    @given(abstract_sets(), st.floats(min_value=-1.0, max_value=10.0, allow_nan=False))
+    def test_concrete_threshold_soundness(self, trainset, threshold):
+        """Proposition 4.4 for both polarities of a threshold predicate."""
+        predicate = ThresholdPredicate(0, threshold)
+        for branch in (True, False):
+            abstract_side = trainset.split_down(predicate, branch)
+            for concrete in trainset.concretizations():
+                values = _DATASET.X[concrete, 0]
+                mask = values <= threshold if branch else values > threshold
+                filtered = np.asarray(concrete)[mask]
+                assert abstract_side.contains_concrete(filtered)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        abstract_sets(),
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_symbolic_threshold_soundness(self, trainset, low, width):
+        """Proposition B.3: every concrete threshold in [low, high) is covered."""
+        low_value = float(low)
+        high_value = float(low + width)
+        predicate = SymbolicThresholdPredicate(0, low_value, high_value)
+        thresholds = np.arange(low_value, high_value, 0.5)
+        for branch in (True, False):
+            abstract_side = trainset.split_down(predicate, branch)
+            for concrete in trainset.concretizations():
+                values = _DATASET.X[concrete, 0]
+                for threshold in thresholds:
+                    mask = values <= threshold if branch else values > threshold
+                    filtered = np.asarray(concrete)[mask]
+                    assert abstract_side.contains_concrete(filtered)
+
+
+class TestPureRestrictionSoundness:
+    @settings(max_examples=50, deadline=None)
+    @given(abstract_sets())
+    def test_pure_restriction_covers_pure_concretizations(self, trainset):
+        """§4.7: every pure concretization survives the then-branch restriction."""
+        restricted = trainset.restrict_pure_any()
+        for concrete in trainset.concretizations():
+            labels = _DATASET.y[concrete]
+            if labels.size and np.unique(labels).size == 1:
+                assert restricted is not None
+                assert restricted.contains_concrete(concrete)

@@ -1,0 +1,52 @@
+"""Tests for the Box-vs-Disjuncts and cprob#-transformer ablations."""
+
+from repro.experiments.ablations import (
+    compare_cprob_transformers,
+    compare_domains,
+    render_cprob_ablation,
+    render_domain_ablation,
+)
+from repro.experiments.config import ExperimentConfig
+
+
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        seed=4,
+        depths=(1,),
+        n_test_points=3,
+        poisoning_amounts={"mnist17-binary": (1, 8)},
+        dataset_scales={"mnist17-binary": 0.02},
+        timeout_seconds=20.0,
+    )
+
+
+class TestDomainAblation:
+    def test_disjuncts_certify_at_least_as_many_points(self):
+        rows = compare_domains("mnist17-binary", tiny_config())
+        assert rows
+        for row in rows:
+            assert row.disjuncts_verified >= row.box_verified
+            assert row.attempted == 3
+
+    def test_render(self):
+        rows = compare_domains("mnist17-binary", tiny_config())
+        text = render_domain_ablation(rows)
+        assert "Box vs Disjuncts" in text
+        assert "disjuncts verified" in text
+
+
+class TestCprobAblation:
+    def test_optimal_transformer_is_at_least_as_precise(self):
+        rows = compare_cprob_transformers("mnist17-binary", tiny_config())
+        assert rows
+        for row in rows:
+            assert row.optimal_certified >= row.box_transformer_certified
+            assert (
+                row.optimal_mean_interval_width
+                <= row.box_transformer_mean_interval_width + 1e-9
+            )
+
+    def test_render(self):
+        rows = compare_cprob_transformers("mnist17-binary", tiny_config())
+        text = render_cprob_ablation(rows)
+        assert "footnote 6" in text

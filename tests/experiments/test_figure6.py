@@ -1,0 +1,48 @@
+"""Tests for the Figure 6 harness."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure6 import compute_figure6, render_figure6
+
+
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        seed=2,
+        depths=(1,),
+        n_test_points=3,
+        poisoning_amounts={"iris": (1, 2), "mnist17-binary": (1, 8)},
+        dataset_scales={"iris": 0.4, "mnist17-binary": 0.02},
+        timeout_seconds=20.0,
+    )
+
+
+class TestComputeFigure6:
+    def test_series_structure(self):
+        series = compute_figure6(tiny_config(), datasets=["iris"])
+        assert len(series) == 1
+        line = series[0]
+        assert line.dataset == "iris"
+        assert line.depth == 1
+        assert [n for n, _ in line.points] == [1, 2]
+        assert all(0.0 <= fraction <= 1.0 for _, fraction in line.points)
+        assert line.attempted == 3
+
+    def test_fractions_monotone_nonincreasing(self):
+        series = compute_figure6(tiny_config(), datasets=["mnist17-binary"])
+        fractions = [fraction for _, fraction in series[0].points]
+        assert all(b <= a + 1e-9 for a, b in zip(fractions, fractions[1:]))
+
+    def test_mnist_binary_verifies_something_at_small_n(self):
+        series = compute_figure6(tiny_config(), datasets=["mnist17-binary"])
+        assert series[0].fraction_at(1) > 0.0
+
+    def test_fraction_at_missing_level(self):
+        series = compute_figure6(tiny_config(), datasets=["iris"])
+        assert series[0].fraction_at(999) is None
+
+
+class TestRenderFigure6:
+    def test_render(self):
+        series = compute_figure6(tiny_config(), datasets=["iris"])
+        text = render_figure6(series)
+        assert "fraction verified" in text
+        assert "iris" in text

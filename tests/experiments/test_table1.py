@@ -1,0 +1,59 @@
+"""Tests for the Table 1 harness."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table1 import compute_table1, render_table1
+
+
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        seed=1,
+        dataset_scales={"iris": 0.4, "mnist17-binary": 0.01},
+    )
+
+
+class TestComputeTable1:
+    def test_rows_have_expected_fields(self):
+        rows = compute_table1(tiny_config(), datasets=["iris"], depths=(1, 2))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.dataset == "iris"
+        assert row.n_features == 4
+        assert row.n_classes == 3
+        assert set(row.accuracies) == {1, 2}
+        assert 0.0 <= row.accuracy_at(1) <= 1.0
+
+    def test_accuracy_generally_improves_with_depth(self):
+        rows = compute_table1(tiny_config(), datasets=["iris"], depths=(1, 3))
+        row = rows[0]
+        assert row.accuracy_at(3) >= row.accuracy_at(1) - 0.15
+
+    def test_covers_all_datasets_by_default(self):
+        rows = compute_table1(
+            ExperimentConfig(
+                dataset_scales={
+                    "iris": 0.3,
+                    "mammography": 0.1,
+                    "wdbc": 0.15,
+                    "mnist17-binary": 0.01,
+                    "mnist17-real": 0.01,
+                }
+            ),
+            depths=(1,),
+        )
+        assert [row.dataset for row in rows] == [
+            "iris",
+            "mammography",
+            "wdbc",
+            "mnist17-binary",
+            "mnist17-real",
+        ]
+        assert all(row.accuracy_at(1) > 0.3 for row in rows)
+
+
+class TestRenderTable1:
+    def test_render_contains_headers_and_rows(self):
+        rows = compute_table1(tiny_config(), datasets=["iris"], depths=(1, 2))
+        text = render_table1(rows)
+        assert "dataset" in text
+        assert "acc@d1 (%)" in text
+        assert "iris" in text

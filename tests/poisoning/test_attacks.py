@@ -1,0 +1,80 @@
+"""Tests for the concrete poisoning-attack search."""
+
+import numpy as np
+import pytest
+
+from repro.core.trace_learner import TraceLearner
+from repro.datasets.toy import figure2_dataset
+from repro.poisoning.attacks import greedy_removal_attack, random_removal_attack
+from tests.conftest import well_separated_dataset
+
+
+class TestGreedyRemovalAttack:
+    def test_attack_on_fragile_example_succeeds(self):
+        # The left branch of Figure 2 has a 7-vs-2 majority; with a budget of
+        # six removals the greedy attack can flip the classification of 5.
+        dataset = figure2_dataset()
+        attack = greedy_removal_attack(dataset, [5.0], 6, max_depth=1, rng=0)
+        assert attack.success
+        assert attack.final_prediction != attack.original_prediction
+        assert len(attack.removed_indices) <= 6
+
+    def test_successful_attack_replays(self):
+        dataset = figure2_dataset()
+        attack = greedy_removal_attack(dataset, [5.0], 6, max_depth=1, rng=0)
+        poisoned = dataset.remove(attack.removed_indices)
+        assert TraceLearner(max_depth=1).predict(poisoned, [5.0]) == attack.final_prediction
+
+    def test_attack_respects_budget(self):
+        dataset = figure2_dataset()
+        attack = greedy_removal_attack(dataset, [5.0], 2, max_depth=1, rng=0)
+        assert len(attack.removed_indices) <= 2
+
+    def test_robust_configuration_resists_attack(self):
+        dataset = well_separated_dataset()
+        attack = greedy_removal_attack(dataset, [0.5], 2, max_depth=1, rng=0)
+        assert not attack.success
+
+    def test_zero_budget_never_succeeds(self):
+        attack = greedy_removal_attack(figure2_dataset(), [5.0], 0, max_depth=1)
+        assert not attack.success
+        assert attack.removed_indices == ()
+        assert attack.evaluations == 0
+
+    def test_candidate_limit_sampling(self):
+        dataset = figure2_dataset()
+        attack = greedy_removal_attack(
+            dataset, [5.0], 3, max_depth=1, candidate_limit=4, rng=1
+        )
+        assert attack.evaluations <= 3 * 4
+
+    def test_original_prediction_reported(self):
+        attack = greedy_removal_attack(figure2_dataset(), [12.0], 1, max_depth=1)
+        assert attack.original_prediction == 1
+
+
+class TestRandomRemovalAttack:
+    def test_finds_attack_with_generous_budget(self):
+        dataset = figure2_dataset()
+        attack = random_removal_attack(
+            dataset, [5.0], 7, trials=800, max_depth=1, rng=0
+        )
+        assert attack.success
+        poisoned = dataset.remove(attack.removed_indices)
+        assert TraceLearner(max_depth=1).predict(poisoned, [5.0]) == attack.final_prediction
+
+    def test_failure_reports_original_prediction(self):
+        dataset = well_separated_dataset()
+        attack = random_removal_attack(dataset, [0.5], 1, trials=20, rng=0)
+        assert not attack.success
+        assert attack.final_prediction == attack.original_prediction
+        assert attack.removed_indices == ()
+
+    def test_zero_budget(self):
+        attack = random_removal_attack(figure2_dataset(), [5.0], 0, trials=5, rng=0)
+        assert not attack.success
+        assert attack.evaluations == 0
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(Exception):
+            random_removal_attack(figure2_dataset(), [5.0], 1, trials=0)

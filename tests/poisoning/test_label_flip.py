@@ -1,0 +1,164 @@
+"""Tests for the label-flip / combined poisoning extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.predicates import ThresholdPredicate
+from repro.datasets.toy import figure2_dataset, tiny_boolean_dataset
+from repro.poisoning.label_flip import (
+    FlipAbstractTrainingSet,
+    LabelFlipVerifier,
+    enumerate_label_flips,
+    flip_best_split_abstract,
+    flip_filter_abstract,
+    verify_flips_by_enumeration,
+)
+from tests.conftest import random_small_dataset, random_test_point, well_separated_dataset
+
+
+class TestFlipAbstractTrainingSet:
+    def test_budgets_clamped(self):
+        dataset = figure2_dataset()
+        trainset = FlipAbstractTrainingSet(dataset, np.array([0, 1]), 5, 7)
+        assert trainset.removals == 2 and trainset.flips == 2
+
+    def test_split_down_keeps_budgets(self):
+        dataset = figure2_dataset()
+        trainset = FlipAbstractTrainingSet.full(dataset, 1, 2)
+        left = trainset.split_down(ThresholdPredicate(0, 10.5), True)
+        assert left.size == 9
+        assert left.removals == 1 and left.flips == 2
+
+    def test_join_combines_budgets(self):
+        dataset = figure2_dataset()
+        a = FlipAbstractTrainingSet(dataset, np.array([0, 1, 2]), 1, 1)
+        b = FlipAbstractTrainingSet(dataset, np.array([1, 2, 3]), 0, 2)
+        joined = a.join(b)
+        assert joined.size == 4
+        assert joined.removals >= 1
+        assert joined.flips == 2
+
+    def test_probability_intervals_pure_flip(self):
+        # 4 black elements, one flip allowed: black probability in [3/4, 1].
+        dataset = figure2_dataset()
+        right = FlipAbstractTrainingSet(dataset, np.array([9, 10, 11, 12]), 0, 1)
+        intervals = right.class_probability_intervals()
+        assert intervals[1].lo == pytest.approx(0.75)
+        assert intervals[1].hi == pytest.approx(1.0)
+
+    def test_probability_intervals_sound_against_enumeration(self):
+        rng = np.random.default_rng(0)
+        dataset = random_small_dataset(rng, n_samples=7)
+        trainset = FlipAbstractTrainingSet.full(dataset, 0, 2)
+        intervals = trainset.class_probability_intervals()
+        for poisoned in enumerate_label_flips(dataset, 2):
+            probabilities = poisoned.class_probabilities()
+            for interval, probability in zip(intervals, probabilities):
+                assert interval.lo - 1e-9 <= probability <= interval.hi + 1e-9
+
+    def test_pure_feasibility(self):
+        dataset = figure2_dataset()
+        trainset = FlipAbstractTrainingSet.full(dataset, 0, 2)
+        assert not trainset.pure_is_feasible()
+        small = FlipAbstractTrainingSet(dataset, np.array([0, 1, 2]), 0, 1)
+        assert small.pure_is_feasible()
+        assert small.pure_exit_intervals() is not None
+
+    def test_entropy_definitely_zero(self):
+        dataset = figure2_dataset()
+        pure = FlipAbstractTrainingSet(dataset, np.array([11, 12]), 0, 0)
+        assert pure.entropy_definitely_zero()
+        noisy = FlipAbstractTrainingSet(dataset, np.array([11, 12]), 0, 1)
+        assert not noisy.entropy_definitely_zero()
+
+
+class TestFlipTransformers:
+    def test_best_split_zero_budget_matches_concrete(self):
+        dataset = figure2_dataset()
+        trainset = FlipAbstractTrainingSet.full(dataset, 0, 0)
+        predicates, includes_null = flip_best_split_abstract(trainset)
+        assert not includes_null
+        assert any(
+            getattr(p, "low", None) == 10.0 and getattr(p, "high", None) == 11.0
+            for p in predicates
+        )
+
+    def test_best_split_null_when_constant(self):
+        dataset = figure2_dataset()
+        trainset = FlipAbstractTrainingSet(dataset, np.array([3]), 0, 1)
+        predicates, includes_null = flip_best_split_abstract(trainset)
+        assert includes_null and not predicates
+
+    def test_filter_returns_side_containing_point(self):
+        dataset = figure2_dataset()
+        trainset = FlipAbstractTrainingSet.full(dataset, 0, 1)
+        filtered = flip_filter_abstract(trainset, [ThresholdPredicate(0, 10.5)], [4.0])
+        assert filtered is not None
+        assert filtered.size == 9
+
+    def test_filter_bottom_without_predicates(self):
+        dataset = figure2_dataset()
+        trainset = FlipAbstractTrainingSet.full(dataset, 0, 1)
+        assert flip_filter_abstract(trainset, [], [4.0]) is None
+
+
+class TestLabelFlipVerifier:
+    def test_zero_budget_certifies(self):
+        verifier = LabelFlipVerifier(max_depth=1)
+        result = verifier.verify(figure2_dataset(), [18.0], flips=0)
+        assert result.robust
+        assert result.certified_class == result.predicted_class == 1
+
+    def test_well_separated_data_certified_against_flips(self):
+        verifier = LabelFlipVerifier(max_depth=1)
+        result = verifier.verify(well_separated_dataset(50), [0.5], flips=2)
+        assert result.robust
+        assert result.certified_class == 0
+
+    def test_combined_budget_certified(self):
+        verifier = LabelFlipVerifier(max_depth=1)
+        result = verifier.verify(
+            well_separated_dataset(50), [11.0], flips=1, removals=1
+        )
+        assert result.robust
+        assert result.certified_class == 1
+
+    def test_excessive_flips_not_certified(self):
+        verifier = LabelFlipVerifier(max_depth=1)
+        result = verifier.verify(tiny_boolean_dataset(), [1.0, 0.0], flips=4)
+        assert not result.robust
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_soundness_against_flip_enumeration(self, seed):
+        rng = np.random.default_rng(seed)
+        dataset = random_small_dataset(rng, n_samples=int(rng.integers(6, 9)))
+        x = random_test_point(rng, dataset)
+        flips = int(rng.integers(1, 3))
+        depth = int(rng.integers(1, 3))
+        verifier = LabelFlipVerifier(max_depth=depth)
+        result = verifier.verify(dataset, x, flips=flips)
+        if result.robust:
+            assert verify_flips_by_enumeration(dataset, x, flips, max_depth=depth)
+
+
+class TestFlipEnumeration:
+    def test_enumeration_counts_binary(self):
+        dataset = tiny_boolean_dataset()
+        flipped = list(enumerate_label_flips(dataset, 1))
+        # 1 unchanged + 8 single flips (binary labels -> one alternative each).
+        assert len(flipped) == 9
+
+    def test_enumeration_multiclass(self):
+        X = np.zeros((3, 1))
+        dataset = Dataset(X=X, y=np.array([0, 1, 2]), n_classes=3)
+        flipped = list(enumerate_label_flips(dataset, 1))
+        assert len(flipped) == 1 + 3 * 2
+
+    def test_enumeration_oracle_detects_fragile_point(self):
+        # Flipping both black points of the left branch of Figure 2 cannot be
+        # necessary: a single flip near the decision boundary already changes
+        # some prediction when enough flips are allowed.
+        dataset = figure2_dataset()
+        assert verify_flips_by_enumeration(dataset, [18.0], 0, max_depth=1)
+        assert not verify_flips_by_enumeration(dataset, [5.0], 4, max_depth=1)

@@ -1,0 +1,80 @@
+"""Tests for the poisoning threat models."""
+
+import math
+
+import pytest
+
+from repro.poisoning.models import (
+    FractionalRemovalModel,
+    LabelFlipModel,
+    RemovalPoisoningModel,
+)
+
+
+class TestRemovalPoisoningModel:
+    def test_neighborhood_count_matches_paper_formula(self):
+        # §2: 92 datasets for |T| = 13 and n = 2.
+        model = RemovalPoisoningModel(2)
+        assert model.num_neighbors(13) == 92
+
+    def test_budget_clamped_to_training_size(self):
+        assert RemovalPoisoningModel(10).resolve_budget(4) == 4
+
+    def test_log10_matches_paper_magnitudes(self):
+        # §4.1: for MNIST-1-7 (|T| = 13007) and n = 50, |Δn(T)| ≈ 10^141.
+        model = RemovalPoisoningModel(50)
+        assert model.log10_num_neighbors(13007) == pytest.approx(141, abs=1.5)
+
+    def test_headline_example_magnitude(self):
+        # §2 / §6.2: n = 192 gives ~10^432 and n = 64 gives ~10^174 datasets.
+        assert RemovalPoisoningModel(192).log10_num_neighbors(13007) == pytest.approx(
+            432, abs=3
+        )
+        assert RemovalPoisoningModel(64).log10_num_neighbors(13007) == pytest.approx(
+            174, abs=2
+        )
+
+    def test_zero_budget(self):
+        model = RemovalPoisoningModel(0)
+        assert model.num_neighbors(100) == 1
+        assert model.log10_num_neighbors(100) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(Exception):
+            RemovalPoisoningModel(-1)
+
+    def test_describe(self):
+        assert "up to 5" in RemovalPoisoningModel(5).describe()
+
+
+class TestFractionalRemovalModel:
+    def test_budget_resolution(self):
+        model = FractionalRemovalModel(0.01)
+        assert model.resolve_budget(13007) == 130
+
+    def test_counts_match_equivalent_removal_model(self):
+        fractional = FractionalRemovalModel(0.1)
+        fixed = RemovalPoisoningModel(fractional.resolve_budget(50))
+        assert fractional.num_neighbors(50) == fixed.num_neighbors(50)
+
+    def test_rejects_out_of_range_fraction(self):
+        with pytest.raises(Exception):
+            FractionalRemovalModel(1.5)
+
+    def test_describe_mentions_percentage(self):
+        assert "%" in FractionalRemovalModel(0.05).describe()
+
+
+class TestLabelFlipModel:
+    def test_binary_counts(self):
+        model = LabelFlipModel(2, n_classes=2)
+        expected = 1 + math.comb(5, 1) + math.comb(5, 2)
+        assert model.num_neighbors(5) == expected
+
+    def test_multiclass_counts_scale_with_alternatives(self):
+        binary = LabelFlipModel(1, n_classes=2)
+        ternary = LabelFlipModel(1, n_classes=3)
+        assert ternary.num_neighbors(5) > binary.num_neighbors(5)
+
+    def test_describe(self):
+        assert "flip" in LabelFlipModel(3).describe()

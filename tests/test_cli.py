@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "cifar10"])
+
+    def test_parses_verify_options(self):
+        args = build_parser().parse_args(
+            ["verify", "iris", "--n", "3", "--depth", "2", "--domain", "box"]
+        )
+        assert args.dataset == "iris"
+        assert args.n == 3
+        assert args.domain == "box"
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "mnist17-binary" in output
+        assert "wdbc" in output
+
+    def test_verify_command_runs(self, capsys):
+        code = main(
+            [
+                "verify",
+                "iris",
+                "--n",
+                "1",
+                "--depth",
+                "1",
+                "--scale",
+                "0.3",
+                "--seed",
+                "1",
+                "--timeout",
+                "20",
+            ]
+        )
+        assert code in (0, 1)  # 0 = certified, 1 = inconclusive
+        output = capsys.readouterr().out
+        assert "test point #0" in output
+
+    def test_verify_command_bad_point(self, capsys):
+        code = main(
+            ["verify", "iris", "--point", "100000", "--scale", "0.3", "--depth", "1"]
+        )
+        assert code == 2
+
+    def test_table1_quick(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["table1", "--quick", "--save", "cli_table1"]) == 0
+        output = capsys.readouterr().out
+        assert "acc@d1 (%)" in output
+        assert (tmp_path / "cli_table1.txt").exists()
+
+    def test_figure_command_quick(self, capsys):
+        assert main(["figure", "iris", "--quick"]) == 0
+        assert "Figure 8" in capsys.readouterr().out

@@ -1,0 +1,47 @@
+"""Smoke tests for the example scripts.
+
+The examples are exercised as importable modules (compile + main presence) so
+the test suite stays fast; the benchmark/CI instructions in the README run
+them end to end.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExampleScripts:
+    def test_at_least_four_examples_exist(self):
+        assert len(EXAMPLE_FILES) >= 4
+        names = {path.name for path in EXAMPLE_FILES}
+        assert "quickstart.py" in names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_examples_parse_and_have_docstring(self, path):
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        assert ast.get_docstring(tree), f"{path.name} must document its scenario"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_examples_only_use_public_api(self, path):
+        """Examples must import from ``repro`` only (plus the standard library)."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source)
+        allowed_roots = {"repro", "argparse", "__future__", "numpy"}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                roots = {alias.name.split(".")[0] for alias in node.names}
+            elif isinstance(node, ast.ImportFrom):
+                roots = {(node.module or "").split(".")[0]}
+            else:
+                continue
+            assert roots <= allowed_roots, f"{path.name} imports {roots - allowed_roots}"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_examples_are_runnable_scripts(self, path):
+        source = path.read_text(encoding="utf-8")
+        assert '__name__ == "__main__"' in source

@@ -1,0 +1,54 @@
+"""Tests for the tracemalloc-based memory tracking."""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.utils.memory import MemoryBudget, MemoryTracker, peak_memory_bytes
+
+
+class TestMemoryTracker:
+    def test_records_positive_peak_for_allocation(self):
+        with MemoryTracker() as tracker:
+            buffer = np.zeros(200_000)
+            assert buffer.size == 200_000
+        assert tracker.peak_bytes > 100_000
+        assert tracker.peak_megabytes > 0.0
+
+    def test_stops_tracing_it_started(self):
+        assert not tracemalloc.is_tracing()
+        with MemoryTracker():
+            pass
+        assert not tracemalloc.is_tracing()
+
+    def test_nested_trackers(self):
+        with MemoryTracker() as outer:
+            with MemoryTracker() as inner:
+                buffer = np.zeros(100_000)
+                assert buffer is not None
+        assert inner.peak_bytes > 0
+        assert outer.peak_bytes >= 0
+
+
+class TestPeakMemoryBytes:
+    def test_zero_when_not_tracing(self):
+        assert not tracemalloc.is_tracing()
+        assert peak_memory_bytes() == 0
+
+    def test_positive_when_tracing(self):
+        with MemoryTracker():
+            _ = np.zeros(50_000)
+            assert peak_memory_bytes() > 0
+
+
+class TestMemoryBudget:
+    def test_unlimited_accepts_anything(self):
+        MemoryBudget(None).check(10**12)
+
+    def test_raises_when_exceeded(self):
+        with pytest.raises(MemoryError):
+            MemoryBudget(limit_bytes=100).check(200)
+
+    def test_passes_under_limit(self):
+        MemoryBudget(limit_bytes=1000).check(200)

@@ -1,0 +1,38 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+
+from repro.utils.rng import derive_seed, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_passthrough_generator(self):
+        generator = np.random.default_rng(1)
+        assert make_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_are_independent_but_deterministic(self):
+        first = [g.random() for g in spawn_rngs(7, 3)]
+        second = [g.random() for g in spawn_rngs(7, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(3, "a", 1) == derive_seed(3, "a", 1)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(3, "a") != derive_seed(3, "b")
+
+    def test_none_base_seed(self):
+        assert isinstance(derive_seed(None, "x"), int)

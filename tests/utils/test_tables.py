@@ -1,0 +1,52 @@
+"""Tests for the text-table reporting helper."""
+
+import pytest
+
+from repro.utils.tables import TextTable, format_float
+
+
+class TestFormatFloat:
+    def test_regular_value(self):
+        assert format_float(0.5) == "0.500"
+
+    def test_large_value_uses_scientific(self):
+        assert "e" in format_float(123456.0)
+
+    def test_tiny_value_uses_scientific(self):
+        assert "e" in format_float(1e-6)
+
+    def test_zero(self):
+        assert format_float(0.0) == "0.000"
+
+    def test_nan_and_inf(self):
+        assert format_float(float("nan")) == "nan"
+        assert format_float(float("inf")) == "inf"
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["dataset", "accuracy"])
+        table.add_row(["iris", 0.9])
+        table.add_row(["mnist17-binary", 0.987])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("dataset")
+        assert len(lines) == 4
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_rejects_wrong_arity(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_bool_formatting(self):
+        table = TextTable(["flag"])
+        table.add_row([True])
+        assert "yes" in table.render()
+
+    def test_csv_output(self):
+        table = TextTable(["a", "b"])
+        table.add_row([1, 2.0])
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert csv.splitlines()[1].startswith("1,")

@@ -1,0 +1,56 @@
+"""Tests for stopwatches and cooperative time budgets."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Stopwatch, TimeBudget, TimeoutExceeded
+
+
+class TestStopwatch:
+    def test_elapsed_is_monotone(self):
+        watch = Stopwatch().start()
+        first = watch.elapsed()
+        second = watch.elapsed()
+        assert second >= first >= 0.0
+
+    def test_stop_freezes_elapsed(self):
+        watch = Stopwatch().start()
+        watch.stop()
+        frozen = watch.elapsed()
+        time.sleep(0.01)
+        assert watch.elapsed() == frozen
+
+    def test_context_manager(self):
+        with Stopwatch() as watch:
+            pass
+        assert watch.elapsed() >= 0.0
+
+    def test_stop_without_start(self):
+        assert Stopwatch().stop() == 0.0
+
+
+class TestTimeBudget:
+    def test_unlimited_never_exhausts(self):
+        budget = TimeBudget.unlimited()
+        assert budget.remaining() is None
+        assert not budget.exhausted()
+        budget.check()
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            TimeBudget(0)
+        with pytest.raises(ValueError):
+            TimeBudget(-1)
+
+    def test_exhaustion_raises(self):
+        budget = TimeBudget(0.001)
+        time.sleep(0.01)
+        assert budget.exhausted()
+        with pytest.raises(TimeoutExceeded):
+            budget.check()
+
+    def test_fresh_budget_not_exhausted(self):
+        budget = TimeBudget(60.0)
+        assert not budget.exhausted()
+        assert budget.remaining() > 0

@@ -1,0 +1,93 @@
+"""Tests for the argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    ValidationError,
+    check_fraction,
+    check_index_array,
+    check_positive_int,
+    check_probability_vector,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_plain_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+        assert isinstance(check_positive_int(np.int64(7), "x"), int)
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "x")
+
+    def test_allows_zero_when_requested(self):
+        assert check_positive_int(0, "x", allow_zero=True) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(-1, "x", allow_zero=True)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, "x")
+
+
+class TestCheckFraction:
+    def test_accepts_bounds(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_fraction(1.5, "f")
+        with pytest.raises(ValidationError):
+            check_fraction(-0.1, "f")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_fraction("abc", "f")
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid_vector(self):
+        result = check_probability_vector([0.25, 0.75], "p")
+        assert result.shape == (2,)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([-0.5, 1.5], "p")
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([0.2, 0.2], "p")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([], "p")
+
+
+class TestCheckIndexArray:
+    def test_sorts_and_uniquifies(self):
+        result = check_index_array([3, 1, 1, 2], 5, "idx")
+        assert result.tolist() == [1, 2, 3]
+
+    def test_empty_input(self):
+        assert check_index_array([], 5, "idx").size == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_index_array([5], 5, "idx")
+        with pytest.raises(ValidationError):
+            check_index_array([-1], 5, "idx")
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(ValidationError):
+            check_index_array(np.zeros((2, 2), dtype=int), 5, "idx")

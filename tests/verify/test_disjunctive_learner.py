@@ -1,0 +1,112 @@
+"""Tests for the disjunctive-domain abstract learner (§5.2)."""
+
+import pytest
+
+from repro.core.trace_learner import TraceLearner
+from repro.datasets.toy import figure2_dataset, tiny_boolean_dataset
+from repro.domains.trainingset import AbstractTrainingSet
+from repro.utils.timing import TimeBudget, TimeoutExceeded
+from repro.verify.abstract_learner import BoxAbstractLearner
+from repro.verify.disjunctive_learner import (
+    DisjunctBudgetExceeded,
+    DisjunctiveAbstractLearner,
+)
+
+
+class TestBasicBehaviour:
+    def test_zero_poisoning_matches_concrete(self):
+        dataset = figure2_dataset()
+        trainset = AbstractTrainingSet.full(dataset, 0)
+        run = DisjunctiveAbstractLearner(max_depth=2).run(trainset, [12.0])
+        concrete = TraceLearner(max_depth=2).run(dataset, [12.0])
+        assert run.robust_class == concrete.prediction
+
+    def test_certifies_well_separated_data_with_poisoning(self):
+        from tests.conftest import well_separated_dataset
+
+        dataset = well_separated_dataset()
+        trainset = AbstractTrainingSet.full(dataset, 2)
+        for x, expected in (([0.5], 0), ([11.0], 1)):
+            run = DisjunctiveAbstractLearner(max_depth=1).run(trainset, x)
+            assert run.robust_class == expected
+
+    def test_requires_agreement_across_exits(self):
+        dataset = figure2_dataset()
+        trainset = AbstractTrainingSet.full(dataset, 6)
+        run = DisjunctiveAbstractLearner(max_depth=1).run(trainset, [5.0])
+        assert run.robust_class is None
+
+    def test_tracks_peak_disjuncts(self):
+        dataset = figure2_dataset()
+        trainset = AbstractTrainingSet.full(dataset, 2)
+        run = DisjunctiveAbstractLearner(max_depth=2).run(trainset, [5.0])
+        assert run.max_disjuncts >= 2
+        assert run.exit_count >= 1
+
+    def test_boolean_dataset(self):
+        dataset = tiny_boolean_dataset()
+        trainset = AbstractTrainingSet.full(dataset, 1)
+        run = DisjunctiveAbstractLearner(max_depth=2).run(trainset, [0.0, 1.0])
+        assert run.robust_class == 0
+
+
+class TestPrecisionRelativeToBox:
+    @pytest.mark.parametrize("x", [[1.5], [9.0], [13.0]])
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_disjuncts_at_least_as_precise_as_box(self, x, n):
+        """Any point the Box domain certifies, the disjunctive domain certifies."""
+        dataset = figure2_dataset()
+        trainset = AbstractTrainingSet.full(dataset, n)
+        for depth in (1, 2):
+            box = BoxAbstractLearner(max_depth=depth).run(trainset, x)
+            disjuncts = DisjunctiveAbstractLearner(max_depth=depth).run(trainset, x)
+            if box.robust_class is not None:
+                assert disjuncts.robust_class == box.robust_class
+
+    def test_disjunctive_intervals_no_wider_than_box_at_depth_one(self):
+        # At depth 1 each exit disjunct is one of the pieces whose join forms
+        # the Box exit state, so the joined disjunctive intervals are
+        # contained in the Box intervals.
+        dataset = figure2_dataset()
+        trainset = AbstractTrainingSet.full(dataset, 1)
+        box = BoxAbstractLearner(max_depth=1).run(trainset, [8.0])
+        disjuncts = DisjunctiveAbstractLearner(max_depth=1).run(trainset, [8.0])
+        for tight, loose in zip(disjuncts.class_intervals, box.class_intervals):
+            assert tight.lo >= loose.lo - 1e-9
+            assert tight.hi <= loose.hi + 1e-9
+
+
+class TestResourceLimits:
+    def test_disjunct_budget_enforced(self):
+        dataset = figure2_dataset()
+        trainset = AbstractTrainingSet.full(dataset, 3)
+        learner = DisjunctiveAbstractLearner(max_depth=3, max_disjuncts=2)
+        with pytest.raises(DisjunctBudgetExceeded):
+            learner.run(trainset, [5.0])
+
+    def test_timeout_enforced(self):
+        dataset = figure2_dataset()
+        trainset = AbstractTrainingSet.full(dataset, 2)
+        with pytest.raises(TimeoutExceeded):
+            DisjunctiveAbstractLearner(max_depth=3).run(
+                trainset, [5.0], time_budget=TimeBudget(1e-9)
+            )
+
+
+class TestSoundnessSmall:
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_concrete_predictions_never_escape_certification(self, n):
+        """If the disjunctive learner certifies, every concretization agrees."""
+        dataset = figure2_dataset()
+        trainset = AbstractTrainingSet.from_indices(dataset, range(10), n)
+        learner = DisjunctiveAbstractLearner(max_depth=2)
+        concrete_learner = TraceLearner(max_depth=2)
+        for x in ([0.5], [3.0], [9.5]):
+            run = learner.run(trainset, x)
+            if run.robust_class is None:
+                continue
+            for concrete in trainset.concretizations():
+                subset = dataset.subset(concrete)
+                if len(subset) == 0:
+                    continue
+                assert concrete_learner.predict(subset, x) == run.robust_class

@@ -1,0 +1,76 @@
+"""Tests for the naïve enumeration baseline."""
+
+import pytest
+
+from repro.datasets.toy import figure2_dataset
+from repro.utils.timing import TimeBudget, TimeoutExceeded
+from repro.verify.enumeration import (
+    count_poisoned_datasets,
+    enumerate_removal_sets,
+    verify_by_enumeration,
+)
+from tests.conftest import well_separated_dataset
+
+
+class TestEnumerationHelpers:
+    def test_enumerate_removal_sets_counts(self):
+        removals = list(enumerate_removal_sets(5, 2))
+        assert len(removals) == 1 + 5 + 10
+        assert removals[0] == ()
+
+    def test_count_formula(self):
+        assert count_poisoned_datasets(13, 2) == 92
+        assert count_poisoned_datasets(4, 10) == 2**4
+        assert count_poisoned_datasets(10, 0) == 1
+
+
+class TestVerifyByEnumeration:
+    def test_robust_case(self):
+        result = verify_by_enumeration(figure2_dataset(), [5.0], 2, max_depth=1)
+        assert result.robust
+        assert result.baseline_prediction == 0
+        assert result.counterexample_removals is None
+        assert not result.has_counterexample
+        assert result.predictions_seen == (0,)
+
+    def test_non_robust_case_finds_counterexample(self):
+        # Removing enough white elements flips the left-branch majority.
+        dataset = figure2_dataset()
+        result = verify_by_enumeration(dataset, [5.0], 6, max_depth=1)
+        assert not result.robust
+        assert result.has_counterexample
+        assert result.counterexample_prediction is not None
+        assert result.counterexample_prediction != result.baseline_prediction
+        assert len(result.counterexample_removals) <= 6
+
+    def test_counterexample_is_minimal_under_early_stop(self):
+        dataset = figure2_dataset()
+        result = verify_by_enumeration(dataset, [5.0], 6, max_depth=1)
+        # Enumeration visits removal sets in increasing size, so the reported
+        # counterexample uses the minimum number of removals that works.
+        smaller = verify_by_enumeration(
+            dataset, [5.0], len(result.counterexample_removals) - 1, max_depth=1
+        )
+        assert smaller.robust
+
+    def test_exhaustive_mode_collects_all_predictions(self):
+        dataset = figure2_dataset()
+        result = verify_by_enumeration(
+            dataset, [5.0], 6, max_depth=1, stop_at_first_counterexample=False
+        )
+        assert set(result.predictions_seen) == {0, 1}
+
+    def test_zero_budget_checks_single_dataset(self):
+        result = verify_by_enumeration(well_separated_dataset(4), [0.5], 0, max_depth=1)
+        assert result.robust
+        assert result.datasets_checked == 1
+
+    def test_time_budget_enforced(self):
+        with pytest.raises(TimeoutExceeded):
+            verify_by_enumeration(
+                figure2_dataset(),
+                [5.0],
+                6,
+                max_depth=2,
+                time_budget=TimeBudget(1e-9),
+            )
