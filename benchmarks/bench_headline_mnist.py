@@ -11,11 +11,11 @@ log10 sizes of the enumeration space that was avoided.
 
 import math
 
+from repro.api import CertificationEngine, CertificationRequest
 from repro.experiments.reporting import save_artifact
 from repro.experiments.runner import load_experiment_split, select_test_points
 from repro.poisoning.models import RemovalPoisoningModel
 from repro.utils.tables import TextTable
-from repro.verify.robustness import PoisoningVerifier
 
 from conftest import bench_config
 
@@ -30,15 +30,18 @@ def bench_headline_mnist_binary_depth2(benchmark):
     split = load_experiment_split("mnist17-binary", config)
     test_points = select_test_points(split, config, "mnist17-binary")
     poisoning = 64
-    verifier = PoisoningVerifier(
+    engine = CertificationEngine(
         max_depth=2,
         domain="either",
         timeout_seconds=config.timeout_seconds,
         max_disjuncts=config.max_disjuncts,
     )
+    request = CertificationRequest(
+        split.train, test_points, RemovalPoisoningModel(poisoning)
+    )
 
     def run():
-        return [verifier.verify(split.train, x, poisoning) for x in test_points]
+        return list(engine.verify(request).results)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 

@@ -3,14 +3,17 @@
 The removal model of the paper asks "what if some training rows were planted
 by an attacker?".  A complementary worry — common when labels come from
 crowdsourcing — is that the *labels* of genuine rows were corrupted.  This
-example uses the :class:`repro.poisoning.LabelFlipVerifier` extension to
-certify predictions of the MNIST-1-7-like classifier against
+example certifies predictions of the MNIST-1-7-like classifier against
 
-* up to ``f`` flipped labels,
-* and the combined threat of ``r`` planted rows plus ``f`` flipped labels,
+* up to ``n`` planted rows (:class:`repro.RemovalPoisoningModel`),
+* up to ``f`` flipped labels (:class:`repro.LabelFlipModel`),
+* and the combined threat of ``r`` planted rows plus ``f`` flipped labels
+  (via the lower-level :class:`repro.poisoning.LabelFlipVerifier` extension).
 
-and compares the certified budgets with the removal-only certificates of the
-main verifier.
+The two first-class threat models flow through the *same*
+``CertificationEngine.verify(request)`` entry point: the engine dispatches
+each model to the appropriate abstract-training-set initializer (``⟨T, n⟩``
+for removal, ``⟨T, 0, f⟩`` for flips).
 
 Run with:  python examples/label_flip_audit.py
 """
@@ -19,7 +22,13 @@ from __future__ import annotations
 
 import argparse
 
-from repro import PoisoningVerifier, load_dataset
+from repro import (
+    CertificationEngine,
+    CertificationRequest,
+    LabelFlipModel,
+    RemovalPoisoningModel,
+    load_dataset,
+)
 from repro.poisoning.label_flip import LabelFlipVerifier
 from repro.utils.tables import TextTable
 
@@ -36,24 +45,37 @@ def main() -> None:
     print(split.describe())
     print()
 
-    removal_verifier = PoisoningVerifier(
+    engine = CertificationEngine(
         max_depth=args.depth, domain="either", timeout_seconds=60.0
     )
-    flip_verifier = LabelFlipVerifier(max_depth=args.depth)
+    combined_verifier = LabelFlipVerifier(max_depth=args.depth)
+    digits = split.test.X[: min(args.digits, len(split.test))]
 
     budgets = (1, 4, 16)
     table = TextTable(
         ["digit", "budget", "removal-robust", "flip-robust", "combined-robust"]
     )
-    for index in range(min(args.digits, len(split.test))):
-        x = split.test.X[index]
-        for budget in budgets:
-            removal = removal_verifier.verify(split.train, x, budget).is_certified
-            flips = flip_verifier.verify(split.train, x, flips=budget).robust
-            combined = flip_verifier.verify(
-                split.train, x, flips=budget, removals=budget
+    for budget in budgets:
+        # One engine, one entry point, two different threat models.
+        removal_report = engine.verify(
+            CertificationRequest(split.train, digits, RemovalPoisoningModel(budget))
+        )
+        flip_report = engine.verify(
+            CertificationRequest(
+                split.train,
+                digits,
+                LabelFlipModel(budget, n_classes=split.train.n_classes),
+            )
+        )
+        for index, (removal, flips) in enumerate(
+            zip(removal_report.results, flip_report.results)
+        ):
+            combined = combined_verifier.verify(
+                split.train, digits[index], flips=budget, removals=budget
             ).robust
-            table.add_row([index, budget, removal, flips, combined])
+            table.add_row(
+                [index, budget, removal.is_certified, flips.is_certified, combined]
+            )
     print(table.render())
     print(
         "\nLabel flips are certified with the extension's combined ⟨T, r, f⟩ "

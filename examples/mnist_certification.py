@@ -22,8 +22,8 @@ from __future__ import annotations
 import argparse
 
 from repro import (
+    CertificationEngine,
     DecisionTreeLearner,
-    PoisoningVerifier,
     evaluate_accuracy,
     load_dataset,
     max_certified_poisoning,
@@ -47,7 +47,7 @@ def main() -> None:
     accuracy = evaluate_accuracy(tree, split.test.X, split.test.y)
     print(f"Depth-{args.depth} decision tree test accuracy: {accuracy:.1%}\n")
 
-    verifier = PoisoningVerifier(
+    engine = CertificationEngine(
         max_depth=args.depth, domain="either", timeout_seconds=120.0
     )
 
@@ -57,7 +57,7 @@ def main() -> None:
     for index in range(min(args.digits, len(split.test))):
         x = split.test.X[index]
         search = max_certified_poisoning(
-            verifier, split.train, x, max_n=len(split.train) // 4
+            engine, split.train, x, max_n=len(split.train) // 4
         )
         best = search.max_certified_n
         result = search.results.get(best) or next(iter(search.results.values()))

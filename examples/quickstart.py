@@ -8,8 +8,9 @@ real-valued benchmark:
    matter which (up to) two training elements an attacker contributed;
 3. cross-check the certificate against exhaustive enumeration of all 92
    poisoned training sets;
-4. repeat the exercise on the Iris-like benchmark with the high-level
-   :class:`repro.PoisoningVerifier` API.
+4. repeat the exercise on the Iris-like benchmark with the unified
+   :class:`repro.CertificationEngine` API: one batch request, an aggregate
+   report, and per-point streaming.
 
 Run with:  python examples/quickstart.py
 """
@@ -17,8 +18,9 @@ Run with:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import (
+    CertificationEngine,
+    CertificationRequest,
     DecisionTreeLearner,
-    PoisoningVerifier,
     RemovalPoisoningModel,
     figure2_dataset,
     learn_trace,
@@ -47,8 +49,8 @@ def overview_example() -> None:
     model = RemovalPoisoningModel(2)
     print(f"\n2-poisoning neighbourhood size: {model.num_neighbors(len(dataset))} training sets")
 
-    verifier = PoisoningVerifier(max_depth=1, domain="either")
-    result = verifier.verify(dataset, x, n=2)
+    engine = CertificationEngine(max_depth=1, domain="either")
+    result = engine.certify_point(dataset, x, model)
     print(f"Antidote verdict: {result.describe()}")
 
     oracle = verify_by_enumeration(dataset, x, 2, max_depth=1)
@@ -69,17 +71,21 @@ def iris_example() -> None:
     split = load_dataset("iris", seed=7)
     print(split.describe())
 
-    verifier = PoisoningVerifier(max_depth=2, domain="either", timeout_seconds=30.0)
-    poisoning = 2
-    certified = 0
-    for index, x in enumerate(split.test.X[:10]):
-        result = verifier.verify(split.train, x, poisoning)
-        certified += result.is_certified
+    engine = CertificationEngine(max_depth=2, domain="either", timeout_seconds=30.0)
+    request = CertificationRequest(
+        split.train, split.test.X[:10], RemovalPoisoningModel(2)
+    )
+    # certify_stream yields per-point verdicts in input order as they finish;
+    # engine.verify(request, n_jobs=4) runs the same batch on worker processes.
+    results = []
+    for index, result in enumerate(engine.certify_stream(request)):
+        results.append(result)
         label = split.train.class_names[result.predicted_class]
         print(f"  test point {index:2d}: predicted={label:12s} -> {result.status.value}"
               f" ({result.domain}, {result.elapsed_seconds:.2f}s)")
-    print(f"\nCertified {certified}/10 test points against {poisoning}-poisoning "
-          f"of {len(split.train)} training elements.")
+    certified = sum(result.is_certified for result in results)
+    print(f"\nCertified {certified}/{len(results)} test points against "
+          f"2-poisoning of {len(split.train)} training elements.")
 
 
 if __name__ == "__main__":

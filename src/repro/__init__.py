@@ -4,14 +4,19 @@ This package is a from-scratch Python reproduction of *Proving Data-Poisoning
 Robustness in Decision Trees* (Drews, Albarghouthi, D'Antoni — PLDI 2020).
 It provides:
 
+* the unified certification API (:mod:`repro.api`): the
+  :class:`CertificationEngine` single entry point, declarative
+  :class:`CertificationRequest` objects with first-class threat models,
+  parallel/streaming batch certification, and aggregate
+  :class:`CertificationReport` objects with JSON/CSV export;
 * a concrete decision-tree substrate (:mod:`repro.core`): datasets,
   predicates, CART-style learning, and the trace-based learner ``DTrace``;
 * the abstract domains of the paper (:mod:`repro.domains`): intervals, the
   ``⟨T, n⟩`` training-set domain, abstract predicate sets, and disjunctive
   states;
 * the verifier (:mod:`repro.verify`): the abstract learner ``DTrace#`` on the
-  Box and disjunctive domains, the robustness certification driver, the naïve
-  enumeration baseline, and the poisoning-amount search protocol;
+  Box and disjunctive domains, the naïve enumeration baseline, and the
+  poisoning-amount search protocol;
 * poisoning threat models and concrete attacks (:mod:`repro.poisoning`);
 * synthetic stand-ins for the paper's benchmark datasets
   (:mod:`repro.datasets`); and
@@ -20,13 +25,30 @@ It provides:
 
 Quickstart
 ----------
->>> from repro import PoisoningVerifier, load_dataset
+>>> from repro import CertificationEngine, CertificationRequest, RemovalPoisoningModel, load_dataset
 >>> split = load_dataset("iris", scale=0.5, seed=1)
->>> verifier = PoisoningVerifier(max_depth=2, domain="either")
->>> result = verifier.verify(split.train, split.test.X[0], n=2)
->>> result.status.value in {"robust", "unknown"}
+>>> engine = CertificationEngine(max_depth=2, domain="either")
+>>> report = engine.verify(
+...     CertificationRequest(split.train, split.test.X[:4], RemovalPoisoningModel(2))
+... )
+>>> report.total
+4
+>>> all(r.status.value in {"robust", "unknown"} for r in report)
 True
+
+One engine certifies every threat model through the same entry point
+(``RemovalPoisoningModel``, ``FractionalRemovalModel``, ``LabelFlipModel``),
+batches in parallel with ``engine.verify(request, n_jobs=4)``, and streams
+per-point results with ``engine.certify_stream(request)``.  The legacy
+``PoisoningVerifier`` API still works but is deprecated.
 """
+
+from repro.api import (
+    CertificationEngine,
+    CertificationReport,
+    CertificationRequest,
+    as_perturbation_model,
+)
 
 from repro.core.dataset import Dataset, FeatureKind
 from repro.core.learner import DecisionTreeLearner, evaluate_accuracy
@@ -61,6 +83,10 @@ from repro.verify.search import max_certified_poisoning, robustness_sweep
 __version__ = "0.1.0"
 
 __all__ = [
+    "CertificationEngine",
+    "CertificationReport",
+    "CertificationRequest",
+    "as_perturbation_model",
     "Dataset",
     "FeatureKind",
     "DecisionTreeLearner",

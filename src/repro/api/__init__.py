@@ -1,0 +1,31 @@
+"""The unified certification API.
+
+This subsystem decouples *what* to certify from *how* to certify it:
+
+* :class:`~repro.api.request.CertificationRequest` — a declarative problem
+  statement: dataset × test point(s) × a first-class
+  :class:`~repro.poisoning.models.PerturbationModel` threat model;
+* :class:`~repro.api.engine.CertificationEngine` — the solver: constructed
+  once, reused across points, dispatching every threat model through a single
+  ``verify(request)`` entry point, with process-pool batching
+  (``n_jobs=N``) and order-preserving streaming;
+* :class:`~repro.api.report.CertificationReport` — the aggregate result:
+  per-status counts, timing percentiles, JSON/CSV export.
+
+The CLI, the experiment harness, the examples, and the benchmarks all run on
+this API; the legacy :class:`repro.verify.robustness.PoisoningVerifier` is a
+deprecated shim delegating here.
+"""
+
+from repro.api.engine import FLIP_DOMAIN, CertificationEngine
+from repro.api.report import CertificationReport
+from repro.api.request import CertificationRequest, ModelLike, as_perturbation_model
+
+__all__ = [
+    "CertificationEngine",
+    "CertificationReport",
+    "CertificationRequest",
+    "FLIP_DOMAIN",
+    "ModelLike",
+    "as_perturbation_model",
+]

@@ -1,0 +1,450 @@
+"""The unified certification engine: one entry point for every threat model.
+
+:class:`CertificationEngine` is the *how* of certification.  It is configured
+once (tree depth, abstract domain, resource budgets) and then solves any
+number of :class:`~repro.api.request.CertificationRequest` objects:
+
+* the abstract learners (`BoxAbstractLearner`, `DisjunctiveAbstractLearner`)
+  and the concrete trace learner are constructed **once** per engine and
+  reused across every certified point — the legacy ``PoisoningVerifier``
+  rebuilt both on every ``verify()`` call;
+* the initial abstraction (``⟨T, n⟩`` for removal models, ``⟨T, 0, f⟩`` for
+  label flips) and ``log10 |Δ(T)|`` are computed once per (dataset, model)
+  pair and shared by every point of a batch;
+* removal-family models (:class:`RemovalPoisoningModel`,
+  :class:`FractionalRemovalModel`) and :class:`LabelFlipModel` dispatch
+  through the same ``verify(request)`` call into the appropriate
+  abstract-training-set initializer — the generic ``Δ(T)`` of the paper;
+* ``verify(request, n_jobs=N)`` certifies batches on a process pool, and
+  :meth:`certify_stream` yields per-point results incrementally in input
+  order for streaming consumers (CLI progress, dashboards).
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.api.report import CertificationReport
+from repro.api.request import CertificationRequest, ModelLike, as_perturbation_model
+from repro.core.dataset import Dataset
+from repro.core.trace_learner import TraceLearner
+from repro.domains.interval import Interval, dominating_component
+from repro.domains.trainingset import AbstractTrainingSet
+from repro.poisoning.label_flip import FlipAbstractTrainingSet, LabelFlipVerifier
+from repro.poisoning.models import (
+    FractionalRemovalModel,
+    LabelFlipModel,
+    PerturbationModel,
+    RemovalPoisoningModel,
+)
+from repro.utils.memory import MemoryTracker
+from repro.utils.timing import Stopwatch, TimeBudget, TimeoutExceeded
+from repro.verify.abstract_learner import AbstractRunResult, BoxAbstractLearner
+from repro.verify.disjunctive_learner import (
+    DisjunctBudgetExceeded,
+    DisjunctiveAbstractLearner,
+)
+from repro.verify.result import DOMAINS, VerificationResult, VerificationStatus
+
+#: Domain label reported for label-flip certificates (the flip extension only
+#: provides the Box-style learner).
+FLIP_DOMAIN = "flip-box"
+
+
+@dataclass(frozen=True)
+class _RequestPlan:
+    """Shared per-(dataset, model) state reused across every point of a batch.
+
+    ``amount`` is the model's nominal budget (what results report, matching
+    the legacy driver even when it exceeds the training size); ``budget`` is
+    the amount resolved against the training set, which seeds the initial
+    abstraction.
+    """
+
+    amount: int
+    budget: int
+    log10_datasets: float
+    removal_trainset: Optional[AbstractTrainingSet] = None
+    flip_trainset: Optional[FlipAbstractTrainingSet] = None
+
+
+@dataclass
+class CertificationEngine:
+    """Certify test points against first-class poisoning threat models.
+
+    Parameters
+    ----------
+    max_depth:
+        Decision-tree depth ``d`` of the learner being verified (1–4 in the
+        paper's evaluation).
+    domain:
+        ``"box"``, ``"disjuncts"``, or ``"either"`` (try Box first, fall back
+        to the more precise but more expensive disjunctive domain).  Ignored
+        for :class:`LabelFlipModel`, which only has a Box-style learner.
+    cprob_method:
+        ``"optimal"`` (default, footnote 6) or ``"box"``.
+    timeout_seconds:
+        Per-point wall-clock budget; ``None`` disables the timeout.
+    max_disjuncts:
+        Resource limit of the disjunctive learner.
+    predicate_pool:
+        Optional fixed predicate set Φ shared by the concrete and abstract
+        learners.
+    """
+
+    max_depth: int = 2
+    domain: str = "either"
+    cprob_method: str = "optimal"
+    timeout_seconds: Optional[float] = None
+    max_disjuncts: int = 4096
+    predicate_pool: Optional[Sequence] = None
+    impurity: str = "gini"
+    _trace_learner: TraceLearner = field(init=False, repr=False)
+    _box_learner: BoxAbstractLearner = field(init=False, repr=False)
+    _disjunctive_learner: DisjunctiveAbstractLearner = field(init=False, repr=False)
+    _flip_learner: LabelFlipVerifier = field(init=False, repr=False)
+    _plan_cache: Dict[Tuple[int, PerturbationModel], _RequestPlan] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if self.domain not in DOMAINS:
+            raise ValueError(f"domain must be one of {DOMAINS}, got {self.domain!r}")
+        self._trace_learner = TraceLearner(
+            max_depth=self.max_depth,
+            impurity=self.impurity,
+            predicate_pool=self.predicate_pool,
+        )
+        self._box_learner = BoxAbstractLearner(
+            max_depth=self.max_depth,
+            cprob_method=self.cprob_method,
+            predicate_pool=self.predicate_pool,
+        )
+        self._disjunctive_learner = DisjunctiveAbstractLearner(
+            max_depth=self.max_depth,
+            cprob_method=self.cprob_method,
+            predicate_pool=self.predicate_pool,
+            max_disjuncts=self.max_disjuncts,
+        )
+        self._flip_learner = LabelFlipVerifier(max_depth=self.max_depth)
+
+    def __getstate__(self) -> dict:
+        # The plan cache is keyed by dataset identity, which does not survive
+        # pickling — drop it so pool workers don't ship stale abstractions.
+        state = dict(self.__dict__)
+        state["_plan_cache"] = {}
+        return state
+
+    # ----------------------------------------------------------------- public
+    def verify(
+        self, request: CertificationRequest, *, n_jobs: int = 1
+    ) -> CertificationReport:
+        """Solve one certification request and aggregate into a report.
+
+        This is the single entry point all threat models flow through; with
+        ``n_jobs > 1`` the points of the request are certified on a process
+        pool (results stay in input order either way).
+        """
+        watch = Stopwatch().start()
+        results = list(self.certify_stream(request, n_jobs=n_jobs))
+        return CertificationReport(
+            results=results,
+            model_description=request.model.describe(),
+            dataset_name=request.dataset.name,
+            total_seconds=watch.elapsed(),
+        )
+
+    def certify_batch(
+        self,
+        dataset: Dataset,
+        points: np.ndarray,
+        model: ModelLike,
+        *,
+        n_jobs: int = 1,
+    ) -> CertificationReport:
+        """Certify every row of ``points`` against ``model`` (order preserved)."""
+        return self.verify(
+            CertificationRequest(dataset, points, as_perturbation_model(model)),
+            n_jobs=n_jobs,
+        )
+
+    def certify_stream(
+        self, request: CertificationRequest, *, n_jobs: int = 1
+    ) -> Iterator[VerificationResult]:
+        """Yield one :class:`VerificationResult` per request point, in order.
+
+        The stream is incremental: consumers see each point's verdict as soon
+        as it (and every earlier point) is done, which keeps progress
+        reporting responsive even for long batches.
+        """
+        dataset, model = request.dataset, request.model
+        rows = [np.asarray(row, dtype=float) for row in request.points]
+        workers = min(int(n_jobs), len(rows))
+        if workers <= 1:
+            plan = self._plan_for(dataset, model)
+            for row in rows:
+                yield self._certify_one(dataset, row, model, plan)
+            return
+        # Workers build their own plan in the pool initializer, so the parent
+        # does not precompute one here.
+        yielded = 0
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_pool_initializer,
+                initargs=(self, dataset, model),
+            ) as executor:
+                for result in executor.map(_pool_certify, rows):
+                    yielded += 1
+                    yield result
+            return
+        except (OSError, BrokenExecutor) as error:
+            # Worker processes could not be spawned (sandboxed hosts forbid
+            # fork/spawn, and the failure only surfaces once map() runs).
+            warnings.warn(
+                f"process pool unavailable ({error}); falling back to serial "
+                "certification",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        plan = self._plan_for(dataset, model)
+        for row in rows[yielded:]:
+            yield self._certify_one(dataset, row, model, plan)
+
+    def certify_point(
+        self, dataset: Dataset, x: Sequence[float], model: ModelLike
+    ) -> VerificationResult:
+        """Certify a single test point (convenience wrapper over :meth:`verify`)."""
+        model = as_perturbation_model(model)
+        return self._certify_one(
+            dataset, np.asarray(x, dtype=float), model, self._plan_for(dataset, model)
+        )
+
+    # ------------------------------------------------------------- dispatch
+    def _plan_for(self, dataset: Dataset, model: PerturbationModel) -> _RequestPlan:
+        """The shared initial abstraction for one (dataset, model) pair.
+
+        The cache key uses ``id(dataset)``; the cached plan keeps the dataset
+        alive, so the id cannot be recycled while its entry exists.
+        """
+        key = (id(dataset), model)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            budget = model.resolve_budget(len(dataset))
+            amount = int(getattr(model, "n", budget))
+            log10_datasets = model.log10_num_neighbors(len(dataset))
+            if isinstance(model, LabelFlipModel):
+                plan = _RequestPlan(
+                    amount=amount,
+                    budget=budget,
+                    log10_datasets=log10_datasets,
+                    flip_trainset=FlipAbstractTrainingSet.full(dataset, 0, budget),
+                )
+            else:
+                plan = _RequestPlan(
+                    amount=amount,
+                    budget=budget,
+                    log10_datasets=log10_datasets,
+                    removal_trainset=AbstractTrainingSet.full(dataset, budget),
+                )
+            if len(self._plan_cache) >= 8:
+                self._plan_cache.pop(next(iter(self._plan_cache)))
+            self._plan_cache[key] = plan
+        return plan
+
+    def _certify_one(
+        self,
+        dataset: Dataset,
+        x: np.ndarray,
+        model: PerturbationModel,
+        plan: _RequestPlan,
+    ) -> VerificationResult:
+        if plan.flip_trainset is not None:
+            return self._certify_flip(dataset, x, plan)
+        return self._certify_removal(dataset, x, plan)
+
+    def _certify_removal(
+        self, dataset: Dataset, x: np.ndarray, plan: _RequestPlan
+    ) -> VerificationResult:
+        assert plan.removal_trainset is not None
+        predicted = self._trace_learner.predict(dataset, x)
+        domains = ["box", "disjuncts"] if self.domain == "either" else [self.domain]
+        watch = Stopwatch().start()
+        budget = (
+            TimeBudget(self.timeout_seconds)
+            if self.timeout_seconds
+            else TimeBudget.unlimited()
+        )
+        last_result: Optional[VerificationResult] = None
+        with MemoryTracker() as memory:
+            for domain in domains:
+                outcome = self._run_domain(domain, plan.removal_trainset, x, budget)
+                result = self._build_result(
+                    outcome,
+                    domain=domain,
+                    n=plan.amount,
+                    predicted=predicted,
+                    log10_datasets=plan.log10_datasets,
+                )
+                last_result = result
+                if result.is_certified:
+                    break
+        assert last_result is not None
+        return replace(
+            last_result,
+            elapsed_seconds=watch.elapsed(),
+            peak_memory_bytes=memory.peak_bytes,
+        )
+
+    def _certify_flip(
+        self, dataset: Dataset, x: np.ndarray, plan: _RequestPlan
+    ) -> VerificationResult:
+        assert plan.flip_trainset is not None
+        predicted = self._trace_learner.predict(dataset, x)
+        watch = Stopwatch().start()
+        budget = (
+            TimeBudget(self.timeout_seconds)
+            if self.timeout_seconds
+            else TimeBudget.unlimited()
+        )
+        with MemoryTracker() as memory:
+            try:
+                intervals, iterations = self._flip_learner.run(
+                    plan.flip_trainset, x, time_budget=budget
+                )
+            except TimeoutExceeded as error:
+                return VerificationResult(
+                    status=VerificationStatus.TIMEOUT,
+                    poisoning_amount=plan.amount,
+                    predicted_class=int(predicted),
+                    certified_class=None,
+                    class_intervals=(),
+                    domain=FLIP_DOMAIN,
+                    elapsed_seconds=watch.elapsed(),
+                    peak_memory_bytes=memory.peak_bytes,
+                    exit_count=0,
+                    max_disjuncts=0,
+                    log10_num_datasets=plan.log10_datasets,
+                    message=str(error),
+                )
+        certified = dominating_component(intervals)
+        status = (
+            VerificationStatus.ROBUST
+            if certified is not None
+            else VerificationStatus.UNKNOWN
+        )
+        return VerificationResult(
+            status=status,
+            poisoning_amount=plan.amount,
+            predicted_class=int(predicted),
+            certified_class=certified,
+            class_intervals=intervals,
+            domain=FLIP_DOMAIN,
+            elapsed_seconds=watch.elapsed(),
+            peak_memory_bytes=memory.peak_bytes,
+            exit_count=iterations,
+            max_disjuncts=1,
+            log10_num_datasets=plan.log10_datasets,
+            message="" if status.is_certified else "no dominating class interval",
+        )
+
+    # ---------------------------------------------------------------- helpers
+    def _run_domain(
+        self,
+        domain: str,
+        trainset: AbstractTrainingSet,
+        x: Sequence[float],
+        budget: TimeBudget,
+    ) -> "_DomainOutcome":
+        learner = self._box_learner if domain == "box" else self._disjunctive_learner
+        try:
+            run = learner.run(trainset, x, time_budget=budget)
+        except TimeoutExceeded as error:
+            return _DomainOutcome(run=None, failure=VerificationStatus.TIMEOUT, message=str(error))
+        except (DisjunctBudgetExceeded, MemoryError) as error:
+            return _DomainOutcome(
+                run=None,
+                failure=VerificationStatus.RESOURCE_EXHAUSTED,
+                message=str(error),
+            )
+        return _DomainOutcome(run=run, failure=None, message="")
+
+    def _build_result(
+        self,
+        outcome: "_DomainOutcome",
+        *,
+        domain: str,
+        n: int,
+        predicted: int,
+        log10_datasets: float,
+    ) -> VerificationResult:
+        if outcome.run is None:
+            assert outcome.failure is not None
+            return VerificationResult(
+                status=outcome.failure,
+                poisoning_amount=n,
+                predicted_class=predicted,
+                certified_class=None,
+                class_intervals=(),
+                domain=domain,
+                elapsed_seconds=0.0,
+                peak_memory_bytes=0,
+                exit_count=0,
+                max_disjuncts=0,
+                log10_num_datasets=log10_datasets,
+                message=outcome.message,
+            )
+        run: AbstractRunResult = outcome.run
+        robust_class = run.robust_class
+        status = (
+            VerificationStatus.ROBUST if robust_class is not None else VerificationStatus.UNKNOWN
+        )
+        return VerificationResult(
+            status=status,
+            poisoning_amount=n,
+            predicted_class=predicted,
+            certified_class=robust_class,
+            class_intervals=run.class_intervals,
+            domain=domain,
+            elapsed_seconds=0.0,
+            peak_memory_bytes=0,
+            exit_count=run.exit_count,
+            max_disjuncts=run.max_disjuncts,
+            log10_num_datasets=log10_datasets,
+            message="" if status.is_certified else "no dominating class interval",
+        )
+
+
+@dataclass(frozen=True)
+class _DomainOutcome:
+    run: Optional[AbstractRunResult]
+    failure: Optional[VerificationStatus]
+    message: str
+
+
+# ---------------------------------------------------------------------------
+# Process-pool plumbing.  Workers receive the engine/dataset/model once via
+# the pool initializer and certify one row per task, so only the (small) test
+# points travel through the task queue.
+# ---------------------------------------------------------------------------
+
+_POOL_STATE: dict = {}
+
+
+def _pool_initializer(
+    engine: CertificationEngine, dataset: Dataset, model: PerturbationModel
+) -> None:
+    _POOL_STATE["engine"] = engine
+    _POOL_STATE["dataset"] = dataset
+    _POOL_STATE["model"] = model
+    _POOL_STATE["plan"] = engine._plan_for(dataset, model)
+
+
+def _pool_certify(row: np.ndarray) -> VerificationResult:
+    state = _POOL_STATE
+    return state["engine"]._certify_one(state["dataset"], row, state["model"], state["plan"])

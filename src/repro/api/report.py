@@ -1,0 +1,215 @@
+"""Aggregate certification reports: counts, timings, and export formats.
+
+A :class:`CertificationReport` is what :class:`repro.api.CertificationEngine`
+returns for a batch request.  It replaces the ad-hoc result-list handling the
+CLI and the experiment harness used to do by hand, and it distinguishes the
+two situations the legacy ``certified_fraction`` conflated: *nothing was
+certified* (fraction ``0.0``) versus *there was nothing to certify* (fraction
+``None``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.utils.tables import TextTable
+from repro.verify.result import VerificationResult, VerificationStatus
+
+#: Column order of :meth:`CertificationReport.to_csv` (one row per result).
+CSV_FIELDS = (
+    "index",
+    "status",
+    "poisoning_amount",
+    "predicted_class",
+    "certified_class",
+    "domain",
+    "elapsed_seconds",
+    "peak_memory_bytes",
+    "exit_count",
+    "max_disjuncts",
+    "log10_num_datasets",
+    "class_intervals",
+    "message",
+)
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sequence."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = (len(sorted_values) - 1) * q
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    weight = position - lower
+    return float(sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight)
+
+
+@dataclass
+class CertificationReport:
+    """Per-point results of one certification batch plus aggregate views.
+
+    Attributes
+    ----------
+    results:
+        One :class:`VerificationResult` per requested test point, in request
+        order.
+    model_description:
+        Human-readable description of the threat model that was certified
+        against (``PerturbationModel.describe()``).
+    dataset_name / total_seconds:
+        Provenance: which dataset the batch ran on and the wall-clock time of
+        the whole batch (including any process-pool overhead).
+    """
+
+    results: List[VerificationResult] = field(default_factory=list)
+    model_description: str = ""
+    dataset_name: str = ""
+    total_seconds: float = 0.0
+
+    # -------------------------------------------------------------- counting
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[VerificationResult]:
+        return iter(self.results)
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def certified_count(self) -> int:
+        return sum(result.is_certified for result in self.results)
+
+    @property
+    def certified_fraction(self) -> Optional[float]:
+        """Fraction of points proven robust, or ``None`` for an empty batch.
+
+        Returning ``None`` (instead of the legacy ``0.0``) keeps "nothing to
+        certify" distinguishable from "nothing certified".
+        """
+        if not self.results:
+            return None
+        return self.certified_count / len(self.results)
+
+    @property
+    def status_counts(self) -> Dict[str, int]:
+        """Per-status counts; every status is present, including zero counts."""
+        counts = {status.value: 0 for status in VerificationStatus}
+        for result in self.results:
+            counts[result.status.value] += 1
+        return counts
+
+    # ---------------------------------------------------------------- timing
+    @property
+    def mean_seconds(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(result.elapsed_seconds for result in self.results) / len(self.results)
+
+    @property
+    def mean_peak_memory_bytes(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(result.peak_memory_bytes for result in self.results) / len(self.results)
+
+    def elapsed_percentile(self, q: float) -> float:
+        """Per-point elapsed-seconds percentile, ``q`` in ``[0, 1]``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile must be in [0, 1], got {q}")
+        return _percentile(sorted(result.elapsed_seconds for result in self.results), q)
+
+    @property
+    def timing_summary(self) -> Dict[str, float]:
+        """Mean / p50 / p90 / max of the per-point wall-clock times."""
+        elapsed = sorted(result.elapsed_seconds for result in self.results)
+        return {
+            "mean_seconds": self.mean_seconds,
+            "p50_seconds": _percentile(elapsed, 0.50),
+            "p90_seconds": _percentile(elapsed, 0.90),
+            "max_seconds": elapsed[-1] if elapsed else float("nan"),
+        }
+
+    # ---------------------------------------------------------------- export
+    def to_dict(self) -> dict:
+        """JSON-serializable summary + per-point payloads."""
+        return {
+            "dataset_name": self.dataset_name,
+            "model_description": self.model_description,
+            "total_seconds": self.total_seconds,
+            "total": self.total,
+            "certified_count": self.certified_count,
+            "certified_fraction": self.certified_fraction,
+            "status_counts": self.status_counts,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CertificationReport":
+        """Reconstruct a report from :meth:`to_dict` output (JSON round-trip)."""
+        return cls(
+            results=[VerificationResult.from_dict(entry) for entry in payload["results"]],
+            model_description=str(payload.get("model_description", "")),
+            dataset_name=str(payload.get("dataset_name", "")),
+            total_seconds=float(payload.get("total_seconds", 0.0)),
+        )
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CertificationReport":
+        return cls.from_dict(json.loads(text))
+
+    def to_csv(self) -> str:
+        """One CSV row per result (intervals serialized as a JSON cell)."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(CSV_FIELDS))
+        writer.writeheader()
+        for index, result in enumerate(self.results):
+            row = result.to_dict()
+            row["index"] = index
+            row["class_intervals"] = json.dumps(row["class_intervals"])
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    # --------------------------------------------------------------- display
+    def render(self) -> str:
+        """Human-readable summary table (for the CLI and saved artifacts)."""
+        counts = self.status_counts
+        timing = self.timing_summary
+        fraction = self.certified_fraction
+        table = TextTable(["metric", "value"])
+        table.add_row(["dataset", self.dataset_name or "-"])
+        table.add_row(["threat model", self.model_description or "-"])
+        table.add_row(["points", self.total])
+        table.add_row(["certified", self.certified_count])
+        table.add_row(
+            ["certified fraction", "n/a (empty)" if fraction is None else f"{fraction:.1%}"]
+        )
+        for status in VerificationStatus:
+            table.add_row([f"status: {status.value}", counts[status.value]])
+        if self.results:
+            table.add_row(["mean time (s)", f"{timing['mean_seconds']:.3f}"])
+            table.add_row(["p50 time (s)", f"{timing['p50_seconds']:.3f}"])
+            table.add_row(["p90 time (s)", f"{timing['p90_seconds']:.3f}"])
+            table.add_row(["max time (s)", f"{timing['max_seconds']:.3f}"])
+        table.add_row(["batch wall-clock (s)", f"{self.total_seconds:.3f}"])
+        return table.render()
+
+    def describe(self) -> str:
+        fraction = self.certified_fraction
+        if fraction is None:
+            return "no test points were requested"
+        return (
+            f"certified {self.certified_count}/{self.total} point(s) "
+            f"({fraction:.1%}) against {self.model_description} "
+            f"in {self.total_seconds:.2f}s"
+        )

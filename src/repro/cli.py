@@ -5,6 +5,11 @@ The CLI exposes the main workflows without writing any Python:
 * ``repro-antidote datasets`` — list the benchmark datasets (Table 1 metadata);
 * ``repro-antidote verify <dataset> --n 8 --depth 2 --point 0`` — certify one
   test point against ``Δn`` poisoning;
+* ``repro-antidote certify <dataset> --model removal --n 4 --points 16
+  --n-jobs 4`` — batch-certify test points against a chosen threat model
+  (removal, fractional removal, or label flips) on the unified
+  :class:`repro.api.CertificationEngine`, streaming per-point verdicts and
+  printing an aggregate report (optionally exported as JSON/CSV);
 * ``repro-antidote table1`` — regenerate Table 1;
 * ``repro-antidote figure6`` — regenerate the Figure 6 series;
 * ``repro-antidote figure <dataset>`` — regenerate the dataset's performance
@@ -20,8 +25,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.api import CertificationEngine, CertificationReport, CertificationRequest
 from repro.datasets.registry import dataset_summaries, list_datasets, load_dataset
 from repro.experiments.ablations import (
     compare_cprob_transformers,
@@ -37,8 +44,14 @@ from repro.experiments.perf_figures import (
 )
 from repro.experiments.reporting import save_artifact
 from repro.experiments.table1 import compute_table1, render_table1
+from repro.poisoning.models import (
+    FractionalRemovalModel,
+    LabelFlipModel,
+    PerturbationModel,
+    RemovalPoisoningModel,
+)
 from repro.utils.tables import TextTable
-from repro.verify.robustness import PoisoningVerifier
+from repro.utils.timing import Stopwatch
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,6 +73,37 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--scale", type=float, default=None, help="dataset scale (1.0 = paper size)")
     verify.add_argument("--seed", type=int, default=0)
     verify.add_argument("--timeout", type=float, default=60.0)
+
+    certify = subparsers.add_parser(
+        "certify", help="batch-certify test points against a threat model"
+    )
+    certify.add_argument("dataset", choices=list_datasets())
+    certify.add_argument(
+        "--model",
+        choices=("removal", "fraction", "label-flip"),
+        default="removal",
+        help="threat model: element removal (Δn), fractional removal, or label flips",
+    )
+    certify.add_argument("--n", type=int, default=1,
+                         help="budget for the removal / label-flip models")
+    certify.add_argument("--fraction", type=float, default=0.01,
+                         help="budget for the fractional-removal model")
+    certify.add_argument("--points", type=int, default=8,
+                         help="number of test points to certify (from index 0)")
+    certify.add_argument("--depth", type=int, default=2, help="decision-tree depth")
+    certify.add_argument("--domain", choices=("box", "disjuncts", "either"), default="either")
+    certify.add_argument("--n-jobs", type=int, default=1,
+                         help="worker processes for the batch (1 = serial)")
+    certify.add_argument("--scale", type=float, default=None,
+                         help="dataset scale (1.0 = paper size)")
+    certify.add_argument("--seed", type=int, default=0)
+    certify.add_argument("--timeout", type=float, default=60.0)
+    certify.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the full report as JSON")
+    certify.add_argument("--csv", default=None, metavar="PATH",
+                         help="also write per-point results as CSV")
+    certify.add_argument("--quiet", action="store_true",
+                         help="suppress the per-point streaming lines")
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1")
     _add_experiment_arguments(table1)
@@ -130,10 +174,10 @@ def _command_verify(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    verifier = PoisoningVerifier(
+    engine = CertificationEngine(
         max_depth=args.depth, domain=args.domain, timeout_seconds=args.timeout
     )
-    result = verifier.verify(split.train, split.test.X[args.point], args.n)
+    result = engine.certify_point(split.train, split.test.X[args.point], args.n)
     print(split.describe())
     print(f"test point #{args.point}: {result.describe()}")
     if result.is_certified:
@@ -143,6 +187,55 @@ def _command_verify(args: argparse.Namespace) -> int:
             f"(~10^{result.log10_num_datasets:.0f} poisoned training sets covered)."
         )
     return 0 if result.is_certified else 1
+
+
+def _threat_model(args: argparse.Namespace, n_classes: int) -> PerturbationModel:
+    if args.model == "removal":
+        return RemovalPoisoningModel(args.n)
+    if args.model == "fraction":
+        return FractionalRemovalModel(args.fraction)
+    return LabelFlipModel(args.n, n_classes=n_classes)
+
+
+def _command_certify(args: argparse.Namespace) -> int:
+    split = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    count = max(0, min(args.points, len(split.test)))
+    try:
+        model = _threat_model(args, split.train.n_classes)
+    except ValueError as error:
+        print(f"error: invalid threat-model budget: {error}", file=sys.stderr)
+        return 2
+    engine = CertificationEngine(
+        max_depth=args.depth, domain=args.domain, timeout_seconds=args.timeout
+    )
+    request = CertificationRequest(split.train, split.test.X[:count], model)
+    print(split.describe())
+    print(request.describe())
+
+    watch = Stopwatch().start()
+    results = []
+    for index, result in enumerate(
+        engine.certify_stream(request, n_jobs=args.n_jobs)
+    ):
+        results.append(result)
+        if not args.quiet:
+            print(f"  point {index:3d}: {result.describe()}")
+    report = CertificationReport(
+        results=results,
+        model_description=model.describe(),
+        dataset_name=split.train.name,
+        total_seconds=watch.elapsed(),
+    )
+    print()
+    print(report.render())
+    print(report.describe())
+    if args.json:
+        Path(args.json).write_text(report.to_json(indent=2), encoding="utf-8")
+        print(f"[report JSON written to {args.json}]", file=sys.stderr)
+    if args.csv:
+        Path(args.csv).write_text(report.to_csv(), encoding="utf-8")
+        print(f"[per-point CSV written to {args.csv}]", file=sys.stderr)
+    return 0
 
 
 def _command_table1(args: argparse.Namespace) -> int:
@@ -178,6 +271,7 @@ def _command_ablation(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "datasets": _command_datasets,
     "verify": _command_verify,
+    "certify": _command_certify,
     "table1": _command_table1,
     "figure6": _command_figure6,
     "figure": _command_figure,

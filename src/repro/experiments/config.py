@@ -55,6 +55,9 @@ class ExperimentConfig:
         memory limit).
     cprob_method:
         ``"optimal"`` (paper implementation) or ``"box"``.
+    n_jobs:
+        Worker processes per grid-cell batch (1 = serial); forwarded to
+        :meth:`repro.api.CertificationEngine.certify_batch`.
     """
 
     seed: int = 0
@@ -68,6 +71,7 @@ class ExperimentConfig:
     timeout_seconds: Optional[float] = 30.0
     max_disjuncts: int = 4096
     cprob_method: str = "optimal"
+    n_jobs: int = 1
 
     def amounts_for(self, dataset_name: str) -> Tuple[int, ...]:
         """Poisoning grid for one dataset (falls back to a generic grid)."""

@@ -12,9 +12,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import load_experiment_split, select_test_points
+from repro.experiments.runner import (
+    load_experiment_split,
+    make_engine,
+    select_test_points,
+)
 from repro.utils.tables import TextTable
-from repro.verify.robustness import PoisoningVerifier
 from repro.verify.search import robustness_sweep
 
 
@@ -48,15 +51,14 @@ def compute_figure6(
         test_points = select_test_points(split, config, name)
         amounts = config.amounts_for(name)
         for depth in config.depths:
-            verifier = PoisoningVerifier(
-                max_depth=depth,
-                domain="either",
-                cprob_method=config.cprob_method,
-                timeout_seconds=config.timeout_seconds,
-                max_disjuncts=config.max_disjuncts,
-            )
+            engine = make_engine(depth, "either", config)
             records = robustness_sweep(
-                verifier, split.train, test_points, amounts, incremental=True
+                engine,
+                split.train,
+                test_points,
+                amounts,
+                incremental=True,
+                n_jobs=config.n_jobs,
             )
             fractions = {record.poisoning_amount: record.fraction_certified for record in records}
             # Levels skipped by the incremental protocol (because no point was

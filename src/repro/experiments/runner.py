@@ -2,23 +2,32 @@
 
 The harnesses all follow the same pattern: load a benchmark dataset at the
 configured scale, pick a deterministic subset of test points, and run the
-verifier over a grid of (depth, domain, poisoning amount) combinations while
-collecting per-instance timing and memory measurements.  This module factors
-that plumbing out of the per-figure modules.
+certification engine over a grid of (depth, domain, poisoning amount)
+combinations while collecting per-instance timing and memory measurements.
+This module factors that plumbing out of the per-figure modules.
+
+Since the unified-API redesign the grid cells run on
+:class:`repro.api.CertificationEngine` (one engine per (depth, domain) cell,
+reused across every point, optionally parallel via ``config.n_jobs``) and
+aggregate through :class:`repro.api.CertificationReport`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.api import CertificationEngine, CertificationReport
 from repro.datasets.registry import load_dataset
 from repro.datasets.splits import DatasetSplit
 from repro.experiments.config import ExperimentConfig
+from repro.poisoning.models import RemovalPoisoningModel
 from repro.utils.rng import derive_seed, make_rng
-from repro.verify.robustness import PoisoningVerifier, VerificationResult
+from repro.verify.result import VerificationResult
+from repro.verify.robustness import PoisoningVerifier
 
 
 def load_experiment_split(dataset_name: str, config: ExperimentConfig) -> DatasetSplit:
@@ -44,17 +53,35 @@ def select_test_points(
     return split.test.X[np.sort(chosen)]
 
 
-def make_verifier(
+def make_engine(
     depth: int, domain: str, config: ExperimentConfig
-) -> PoisoningVerifier:
-    """Build a verifier for one grid cell of the experiment."""
-    return PoisoningVerifier(
+) -> CertificationEngine:
+    """Build a certification engine for one grid cell of the experiment."""
+    return CertificationEngine(
         max_depth=depth,
         domain=domain,
         cprob_method=config.cprob_method,
         timeout_seconds=config.timeout_seconds,
         max_disjuncts=config.max_disjuncts,
     )
+
+
+def make_verifier(
+    depth: int, domain: str, config: ExperimentConfig
+) -> PoisoningVerifier:
+    """Deprecated: build a legacy verifier for one grid cell.
+
+    Kept for backwards compatibility; new code should use :func:`make_engine`.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return PoisoningVerifier(
+            max_depth=depth,
+            domain=domain,
+            cprob_method=config.cprob_method,
+            timeout_seconds=config.timeout_seconds,
+            max_disjuncts=config.max_disjuncts,
+        )
 
 
 @dataclass(frozen=True)
@@ -76,6 +103,30 @@ class GridCellResult:
     def fraction_verified(self) -> float:
         return self.verified / self.attempted if self.attempted else 0.0
 
+    @classmethod
+    def from_report(
+        cls,
+        dataset_name: str,
+        domain: str,
+        depth: int,
+        poisoning_amount: int,
+        report: CertificationReport,
+    ) -> "GridCellResult":
+        """Project an engine report onto one grid-cell record."""
+        counts = report.status_counts
+        return cls(
+            dataset=dataset_name,
+            domain=domain,
+            depth=depth,
+            poisoning_amount=poisoning_amount,
+            attempted=report.total,
+            verified=report.certified_count,
+            timeouts=counts["timeout"],
+            resource_exhausted=counts["resource_exhausted"],
+            average_seconds=report.mean_seconds,
+            average_peak_memory_bytes=report.mean_peak_memory_bytes,
+        )
+
 
 def run_grid_cell(
     dataset_name: str,
@@ -87,11 +138,17 @@ def run_grid_cell(
     config: ExperimentConfig,
 ) -> Tuple[GridCellResult, List[VerificationResult]]:
     """Verify every selected test point for one (depth, domain, n) cell."""
-    verifier = make_verifier(depth, domain, config)
-    results = [verifier.verify(split.train, x, poisoning_amount) for x in test_points]
-    return summarize_results(
-        dataset_name, domain, depth, poisoning_amount, results
-    ), results
+    engine = make_engine(depth, domain, config)
+    report = engine.certify_batch(
+        split.train,
+        test_points,
+        RemovalPoisoningModel(poisoning_amount),
+        n_jobs=config.n_jobs,
+    )
+    cell = GridCellResult.from_report(
+        dataset_name, domain, depth, poisoning_amount, report
+    )
+    return cell, list(report.results)
 
 
 def summarize_results(
@@ -102,23 +159,9 @@ def summarize_results(
     results: Sequence[VerificationResult],
 ) -> GridCellResult:
     """Aggregate a list of per-point results into one grid-cell record."""
-    attempted = len(results)
-    verified = sum(result.is_certified for result in results)
-    timeouts = sum(result.status.value == "timeout" for result in results)
-    exhausted = sum(result.status.value == "resource_exhausted" for result in results)
-    seconds = [result.elapsed_seconds for result in results]
-    memory = [result.peak_memory_bytes for result in results]
-    return GridCellResult(
-        dataset=dataset_name,
-        domain=domain,
-        depth=depth,
-        poisoning_amount=poisoning_amount,
-        attempted=attempted,
-        verified=verified,
-        timeouts=timeouts,
-        resource_exhausted=exhausted,
-        average_seconds=float(np.mean(seconds)) if seconds else 0.0,
-        average_peak_memory_bytes=float(np.mean(memory)) if memory else 0.0,
+    report = CertificationReport(results=list(results), dataset_name=dataset_name)
+    return GridCellResult.from_report(
+        dataset_name, domain, depth, poisoning_amount, report
     )
 
 

@@ -37,6 +37,7 @@ from repro.core.predicates import (
 from repro.core.splitter import feature_split_table
 from repro.core.trace_learner import TraceLearner
 from repro.domains.interval import Interval, dominating_component, join_interval_vectors, mul_bounds
+from repro.utils.timing import TimeBudget
 from repro.utils.validation import ValidationError, check_index_array, check_positive_int
 
 
@@ -336,14 +337,20 @@ class LabelFlipVerifier:
     max_depth: int = 2
 
     def run(
-        self, trainset: FlipAbstractTrainingSet, x: Sequence[float]
+        self,
+        trainset: FlipAbstractTrainingSet,
+        x: Sequence[float],
+        *,
+        time_budget: Optional[TimeBudget] = None,
     ) -> Tuple[Tuple[Interval, ...], int]:
+        budget = time_budget or TimeBudget.unlimited()
         exits: List[Tuple[Interval, ...]] = []
         state: Optional[FlipAbstractTrainingSet] = trainset
         iterations = 0
         for _ in range(self.max_depth):
             if state is None:
                 break
+            budget.check()
             iterations += 1
             pure_exit = state.pure_exit_intervals()
             if pure_exit is not None:

@@ -1,143 +1,62 @@
-"""The robustness certification driver (Corollary 4.12 plus resource handling).
+"""Legacy robustness certification driver (deprecated shim).
 
-:class:`PoisoningVerifier` wraps the abstract learners into the end-to-end
-workflow the paper evaluates: given a training set, a test point, and a
-poisoning budget ``n``, it runs ``DTrace#`` on the initial abstraction
-``⟨T, n⟩`` and reports whether a single class interval dominates (the point is
-*certified robust*), or whether the analysis was inconclusive, timed out, or
-exhausted its disjunct/memory budget — the same three failure modes reported
-in §6.1 of the paper.
+:class:`PoisoningVerifier` was the original end-to-end workflow object: given
+a training set, a test point, and a poisoning budget ``n``, it runs
+``DTrace#`` on the initial abstraction ``⟨T, n⟩`` and reports whether a
+single class interval dominates (Corollary 4.12).  It is kept for backwards
+compatibility but is now a thin wrapper over
+:class:`repro.api.CertificationEngine`, which additionally supports
+first-class threat models (fractional removal, label flips), parallel batch
+certification, streaming, and aggregate reports.  New code should use the
+engine directly::
+
+    from repro.api import CertificationEngine, CertificationRequest
+    engine = CertificationEngine(max_depth=2, domain="either")
+    report = engine.verify(CertificationRequest(dataset, X_test, RemovalPoisoningModel(8)))
+
+The result types (:class:`VerificationStatus`, :class:`VerificationResult`)
+now live in :mod:`repro.verify.result` and are re-exported here.
 """
 
 from __future__ import annotations
 
-import enum
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.dataset import Dataset
-from repro.core.trace_learner import TraceLearner
-from repro.domains.interval import Interval
-from repro.domains.trainingset import AbstractTrainingSet
-from repro.utils.memory import MemoryTracker
-from repro.utils.timing import Stopwatch, TimeBudget, TimeoutExceeded
-from repro.verify.abstract_learner import AbstractRunResult, BoxAbstractLearner
-from repro.verify.disjunctive_learner import (
-    DisjunctBudgetExceeded,
-    DisjunctiveAbstractLearner,
+from repro.poisoning.models import RemovalPoisoningModel
+from repro.verify.result import (  # noqa: F401  (re-exported legacy names)
+    DOMAINS,
+    VerificationResult,
+    VerificationStatus,
 )
 
-#: The abstract domains the verifier can use.  ``"either"`` mimics the paper's
-#: headline experiment (Figure 6), which counts a point as verified when at
-#: least one of the two domains succeeds.
-DOMAINS = ("box", "disjuncts", "either")
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.engine import CertificationEngine
 
-
-class VerificationStatus(enum.Enum):
-    """Outcome of a verification attempt."""
-
-    ROBUST = "robust"
-    UNKNOWN = "unknown"
-    TIMEOUT = "timeout"
-    RESOURCE_EXHAUSTED = "resource_exhausted"
-
-    @property
-    def is_certified(self) -> bool:
-        return self is VerificationStatus.ROBUST
-
-
-@dataclass(frozen=True)
-class VerificationResult:
-    """The result of certifying one test point against ``n``-poisoning.
-
-    Attributes
-    ----------
-    status:
-        Whether robustness was proven (``ROBUST``) or why not.
-    poisoning_amount:
-        The ``n`` of the ``Δn`` perturbation model that was checked.
-    predicted_class:
-        The concrete prediction of ``DTrace`` on the unpoisoned training set.
-    certified_class:
-        The dominating class of the abstract result when ``status`` is
-        ``ROBUST`` (always equal to ``predicted_class`` by soundness).
-    class_intervals:
-        The abstract class-probability intervals of the (joined) exit states.
-    domain:
-        Which abstract domain produced the reported result.
-    elapsed_seconds / peak_memory_bytes:
-        Wall-clock time and peak Python-heap allocation of the attempt.
-    log10_num_datasets:
-        ``log10 |Δn(T)|`` — the size of the space a naïve enumeration baseline
-        would need to explore.
-    """
-
-    status: VerificationStatus
-    poisoning_amount: int
-    predicted_class: int
-    certified_class: Optional[int]
-    class_intervals: Tuple[Interval, ...]
-    domain: str
-    elapsed_seconds: float
-    peak_memory_bytes: int
-    exit_count: int
-    max_disjuncts: int
-    log10_num_datasets: float
-    message: str = ""
-
-    @property
-    def is_certified(self) -> bool:
-        return self.status.is_certified
-
-    def to_dict(self) -> dict:
-        """Return a JSON-serializable summary (for logs, CSV export, dashboards)."""
-        return {
-            "status": self.status.value,
-            "poisoning_amount": self.poisoning_amount,
-            "predicted_class": self.predicted_class,
-            "certified_class": self.certified_class,
-            "class_intervals": [[interval.lo, interval.hi] for interval in self.class_intervals],
-            "domain": self.domain,
-            "elapsed_seconds": self.elapsed_seconds,
-            "peak_memory_bytes": self.peak_memory_bytes,
-            "exit_count": self.exit_count,
-            "max_disjuncts": self.max_disjuncts,
-            "log10_num_datasets": self.log10_num_datasets,
-            "message": self.message,
-        }
-
-    def describe(self) -> str:
-        intervals = ", ".join(str(interval) for interval in self.class_intervals)
-        return (
-            f"{self.status.value} (n={self.poisoning_amount}, domain={self.domain}, "
-            f"prediction={self.predicted_class}, intervals=[{intervals}], "
-            f"time={self.elapsed_seconds:.3f}s)"
-        )
+__all__ = [
+    "DOMAINS",
+    "PoisoningVerifier",
+    "VerificationResult",
+    "VerificationStatus",
+]
 
 
 @dataclass
 class PoisoningVerifier:
-    """Certify test points against the ``Δn`` data-poisoning model.
+    """Deprecated: certify test points against the ``Δn`` data-poisoning model.
 
-    Parameters
-    ----------
-    max_depth:
-        Decision-tree depth ``d`` of the learner being verified (1–4 in the
-        paper's evaluation).
-    domain:
-        ``"box"``, ``"disjuncts"``, or ``"either"`` (try Box first, fall back
-        to the more precise but more expensive disjunctive domain).
-    cprob_method:
-        ``"optimal"`` (default, footnote 6) or ``"box"``.
-    timeout_seconds:
-        Per-point wall-clock budget; ``None`` disables the timeout.
-    max_disjuncts:
-        Resource limit of the disjunctive learner.
-    predicate_pool:
-        Optional fixed predicate set Φ shared by the concrete and abstract
-        learners.
+    This class delegates to :class:`repro.api.CertificationEngine`; it exists
+    so that code written against the original API keeps working.  The
+    parameters are unchanged (see the engine for their documentation).
+
+    .. deprecated:: 0.2
+        Use :class:`repro.api.CertificationEngine`, which supports arbitrary
+        :class:`~repro.poisoning.models.PerturbationModel` threat models,
+        ``n_jobs`` parallel batches, and aggregate reports.
     """
 
     max_depth: int = 2
@@ -147,167 +66,60 @@ class PoisoningVerifier:
     max_disjuncts: int = 4096
     predicate_pool: Optional[Sequence] = None
     impurity: str = "gini"
-    _trace_learner: TraceLearner = field(init=False, repr=False)
+    _engine: "CertificationEngine" = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        if self.domain not in DOMAINS:
-            raise ValueError(f"domain must be one of {DOMAINS}, got {self.domain!r}")
-        self._trace_learner = TraceLearner(
-            max_depth=self.max_depth,
-            impurity=self.impurity,
-            predicate_pool=self.predicate_pool,
+        # Imported here (not at module top) so that `import repro.api` and
+        # `import repro.verify` can each be the first import without a cycle.
+        from repro.api.engine import CertificationEngine
+
+        warnings.warn(
+            "PoisoningVerifier is deprecated; use repro.api.CertificationEngine "
+            "(verify(CertificationRequest(...)) supports every threat model, "
+            "parallel batches, and reports)",
+            DeprecationWarning,
+            stacklevel=3,
         )
+        self._engine = CertificationEngine(
+            max_depth=self.max_depth,
+            domain=self.domain,
+            cprob_method=self.cprob_method,
+            timeout_seconds=self.timeout_seconds,
+            max_disjuncts=self.max_disjuncts,
+            predicate_pool=self.predicate_pool,
+            impurity=self.impurity,
+        )
+
+    @property
+    def engine(self) -> CertificationEngine:
+        """The engine this shim delegates to."""
+        return self._engine
 
     # ----------------------------------------------------------------- public
     def verify(self, dataset: Dataset, x: Sequence[float], n: int) -> VerificationResult:
         """Attempt to prove that ``x``'s classification is robust to ``Δn(T)``."""
         if n < 0:
             raise ValueError(f"poisoning amount must be non-negative, got {n}")
-        trainset = AbstractTrainingSet.full(dataset, n)
-        predicted = self._trace_learner.predict(dataset, x)
-        log10_datasets = trainset.log10_num_concretizations()
-
-        domains = ["box", "disjuncts"] if self.domain == "either" else [self.domain]
-        watch = Stopwatch().start()
-        budget = TimeBudget(self.timeout_seconds) if self.timeout_seconds else TimeBudget.unlimited()
-
-        last_result: Optional[VerificationResult] = None
-        with MemoryTracker() as memory:
-            for domain in domains:
-                outcome = self._run_domain(domain, trainset, x, budget)
-                result = self._build_result(
-                    outcome,
-                    domain=domain,
-                    n=n,
-                    predicted=predicted,
-                    elapsed=watch.elapsed(),
-                    peak_memory=0,
-                    log10_datasets=log10_datasets,
-                )
-                last_result = result
-                if result.is_certified:
-                    break
-        assert last_result is not None
-        return _with_memory(last_result, memory.peak_bytes, watch.elapsed())
+        return self._engine.certify_point(dataset, x, RemovalPoisoningModel(n))
 
     def verify_batch(
         self, dataset: Dataset, X_test: np.ndarray, n: int
     ) -> List[VerificationResult]:
         """Certify every row of ``X_test`` independently."""
+        if n < 0:
+            raise ValueError(f"poisoning amount must be non-negative, got {n}")
         X_test = np.asarray(X_test, dtype=float)
-        return [self.verify(dataset, row, n) for row in X_test]
+        return list(self._engine.certify_batch(dataset, X_test, RemovalPoisoningModel(n)))
 
     def certified_fraction(self, dataset: Dataset, X_test: np.ndarray, n: int) -> float:
-        """Fraction of the given test points proven robust at poisoning level ``n``."""
+        """Fraction of the given test points proven robust at poisoning level ``n``.
+
+        Legacy behavior: an empty test set yields ``0.0``.  The engine's
+        :class:`~repro.api.report.CertificationReport.certified_fraction`
+        returns ``None`` in that case, distinguishing "nothing to certify"
+        from "nothing certified".
+        """
         results = self.verify_batch(dataset, X_test, n)
         if not results:
             return 0.0
         return sum(result.is_certified for result in results) / len(results)
-
-    # ---------------------------------------------------------------- helpers
-    def _run_domain(
-        self,
-        domain: str,
-        trainset: AbstractTrainingSet,
-        x: Sequence[float],
-        budget: TimeBudget,
-    ) -> "_DomainOutcome":
-        try:
-            if domain == "box":
-                learner = BoxAbstractLearner(
-                    max_depth=self.max_depth,
-                    cprob_method=self.cprob_method,
-                    predicate_pool=self.predicate_pool,
-                )
-                run = learner.run(trainset, x, time_budget=budget)
-            else:
-                learner = DisjunctiveAbstractLearner(
-                    max_depth=self.max_depth,
-                    cprob_method=self.cprob_method,
-                    predicate_pool=self.predicate_pool,
-                    max_disjuncts=self.max_disjuncts,
-                )
-                run = learner.run(trainset, x, time_budget=budget)
-        except TimeoutExceeded as error:
-            return _DomainOutcome(run=None, failure=VerificationStatus.TIMEOUT, message=str(error))
-        except (DisjunctBudgetExceeded, MemoryError) as error:
-            return _DomainOutcome(
-                run=None,
-                failure=VerificationStatus.RESOURCE_EXHAUSTED,
-                message=str(error),
-            )
-        return _DomainOutcome(run=run, failure=None, message="")
-
-    def _build_result(
-        self,
-        outcome: "_DomainOutcome",
-        *,
-        domain: str,
-        n: int,
-        predicted: int,
-        elapsed: float,
-        peak_memory: int,
-        log10_datasets: float,
-    ) -> VerificationResult:
-        if outcome.run is None:
-            assert outcome.failure is not None
-            return VerificationResult(
-                status=outcome.failure,
-                poisoning_amount=n,
-                predicted_class=predicted,
-                certified_class=None,
-                class_intervals=(),
-                domain=domain,
-                elapsed_seconds=elapsed,
-                peak_memory_bytes=peak_memory,
-                exit_count=0,
-                max_disjuncts=0,
-                log10_num_datasets=log10_datasets,
-                message=outcome.message,
-            )
-        run: AbstractRunResult = outcome.run
-        robust_class = run.robust_class
-        status = (
-            VerificationStatus.ROBUST if robust_class is not None else VerificationStatus.UNKNOWN
-        )
-        return VerificationResult(
-            status=status,
-            poisoning_amount=n,
-            predicted_class=predicted,
-            certified_class=robust_class,
-            class_intervals=run.class_intervals,
-            domain=domain,
-            elapsed_seconds=elapsed,
-            peak_memory_bytes=peak_memory,
-            exit_count=run.exit_count,
-            max_disjuncts=run.max_disjuncts,
-            log10_num_datasets=log10_datasets,
-            message="" if status.is_certified else "no dominating class interval",
-        )
-
-
-@dataclass(frozen=True)
-class _DomainOutcome:
-    run: Optional[AbstractRunResult]
-    failure: Optional[VerificationStatus]
-    message: str
-
-
-def _with_memory(
-    result: VerificationResult, peak_bytes: int, elapsed: float
-) -> VerificationResult:
-    """Return a copy of ``result`` with the final memory/time measurements."""
-    return VerificationResult(
-        status=result.status,
-        poisoning_amount=result.poisoning_amount,
-        predicted_class=result.predicted_class,
-        certified_class=result.certified_class,
-        class_intervals=result.class_intervals,
-        domain=result.domain,
-        elapsed_seconds=elapsed,
-        peak_memory_bytes=peak_bytes,
-        exit_count=result.exit_count,
-        max_disjuncts=result.max_disjuncts,
-        log10_num_datasets=result.log10_num_datasets,
-        message=result.message,
-    )

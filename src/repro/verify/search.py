@@ -12,17 +12,36 @@ first failure.  This module provides:
   re-attempting at level ``n`` only the points that were still certified at
   the previous level (certification is monotonically harder in ``n``, so this
   mirrors the paper's incremental protocol).
+
+Both entry points run on the unified :class:`repro.api.CertificationEngine`;
+a legacy :class:`~repro.verify.robustness.PoisoningVerifier` is still
+accepted and silently unwrapped to its engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.dataset import Dataset
-from repro.verify.robustness import PoisoningVerifier, VerificationResult
+from repro.poisoning.models import RemovalPoisoningModel
+from repro.verify.result import VerificationResult
+from repro.verify.robustness import PoisoningVerifier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.engine import CertificationEngine
+
+#: Either the modern engine or the deprecated shim.
+VerifierLike = Union["CertificationEngine", PoisoningVerifier]
+
+
+def _as_engine(verifier: VerifierLike) -> "CertificationEngine":
+    # Duck-typed (rather than isinstance) so this module never has to import
+    # the engine at module scope, which would recreate the api/verify cycle.
+    engine = getattr(verifier, "engine", None)
+    return engine if engine is not None else verifier
 
 
 @dataclass(frozen=True)
@@ -39,7 +58,7 @@ class PoisoningSearchResult:
 
 
 def max_certified_poisoning(
-    verifier: PoisoningVerifier,
+    verifier: VerifierLike,
     dataset: Dataset,
     x: Sequence[float],
     *,
@@ -51,6 +70,7 @@ def max_certified_poisoning(
     Uses the doubling phase followed by a binary search, assuming (as the
     paper's protocol does) that certification is monotone in ``n``.
     """
+    engine = _as_engine(verifier)
     if max_n is None:
         max_n = len(dataset)
     max_n = min(max_n, len(dataset))
@@ -60,7 +80,7 @@ def max_certified_poisoning(
     def attempt(n: int) -> bool:
         if n in attempts:
             return attempts[n]
-        result = verifier.verify(dataset, x, n)
+        result = engine.certify_point(dataset, x, RemovalPoisoningModel(n))
         attempts[n] = result.is_certified
         results[n] = result
         return attempts[n]
@@ -106,52 +126,49 @@ class SweepRecord:
 
 
 def robustness_sweep(
-    verifier: PoisoningVerifier,
+    verifier: VerifierLike,
     dataset: Dataset,
     test_points: np.ndarray,
     amounts: Sequence[int],
     *,
     incremental: bool = True,
     keep_results: bool = False,
+    n_jobs: int = 1,
 ) -> List[SweepRecord]:
     """Sweep the poisoning amount over ``amounts`` and aggregate per level.
 
     With ``incremental=True`` (the paper's protocol), only the points still
     certified at the previous level are re-attempted at the next level; points
-    that already failed count as not certified at every larger ``n``.
+    that already failed count as not certified at every larger ``n``.  With
+    ``n_jobs > 1`` each level's batch is certified on a process pool.
     """
+    engine = _as_engine(verifier)
     test_points = np.asarray(test_points, dtype=float)
     total = test_points.shape[0]
     active = list(range(total))
     records: List[SweepRecord] = []
 
     for n in sorted(int(a) for a in amounts):
-        level_results: List[VerificationResult] = []
-        certified_indices: List[int] = []
-        for index in active:
-            result = verifier.verify(dataset, test_points[index], n)
-            level_results.append(result)
-            if result.is_certified:
-                certified_indices.append(index)
-        attempted = len(active)
-        certified = len(certified_indices)
-        elapsed = [result.elapsed_seconds for result in level_results]
-        memory = [result.peak_memory_bytes for result in level_results]
+        report = engine.certify_batch(
+            dataset, test_points[active], RemovalPoisoningModel(n), n_jobs=n_jobs
+        )
+        level_results = list(report.results)
+        certified_indices = [
+            index
+            for index, result in zip(active, level_results)
+            if result.is_certified
+        ]
+        counts = report.status_counts
         records.append(
             SweepRecord(
                 poisoning_amount=n,
-                attempted=attempted,
-                certified=certified,
-                fraction_certified=certified / total if total else 0.0,
-                average_seconds=float(np.mean(elapsed)) if elapsed else 0.0,
-                average_peak_memory_bytes=float(np.mean(memory)) if memory else 0.0,
-                timeouts=sum(
-                    result.status.value == "timeout" for result in level_results
-                ),
-                resource_exhausted=sum(
-                    result.status.value == "resource_exhausted"
-                    for result in level_results
-                ),
+                attempted=len(active),
+                certified=len(certified_indices),
+                fraction_certified=len(certified_indices) / total if total else 0.0,
+                average_seconds=report.mean_seconds,
+                average_peak_memory_bytes=report.mean_peak_memory_bytes,
+                timeouts=counts["timeout"],
+                resource_exhausted=counts["resource_exhausted"],
                 results=level_results if keep_results else [],
             )
         )

@@ -1,0 +1,185 @@
+"""Tests for the unified CertificationEngine: dispatch, reuse, and budgets."""
+
+import numpy as np
+import pytest
+
+from repro.api import CertificationEngine, CertificationRequest, as_perturbation_model
+from repro.datasets.toy import figure2_dataset
+from repro.poisoning.models import (
+    FractionalRemovalModel,
+    LabelFlipModel,
+    RemovalPoisoningModel,
+)
+from repro.verify.result import VerificationResult, VerificationStatus
+from tests.conftest import well_separated_dataset
+
+
+class TestConfiguration:
+    def test_rejects_unknown_domain(self):
+        with pytest.raises(ValueError):
+            CertificationEngine(domain="magic")
+
+    def test_rejects_negative_budget(self):
+        engine = CertificationEngine(max_depth=1)
+        with pytest.raises(ValueError):
+            engine.certify_point(figure2_dataset(), [5.0], -1)
+
+    def test_rejects_non_model_threat(self):
+        with pytest.raises(ValueError):
+            as_perturbation_model("three")
+        with pytest.raises(ValueError):
+            as_perturbation_model(True)
+
+    def test_learners_constructed_once(self):
+        engine = CertificationEngine(max_depth=1, domain="either")
+        box_before = engine._box_learner
+        disjunctive_before = engine._disjunctive_learner
+        engine.certify_point(figure2_dataset(), [5.0], 1)
+        engine.certify_point(figure2_dataset(), [5.0], 2)
+        assert engine._box_learner is box_before
+        assert engine._disjunctive_learner is disjunctive_before
+
+
+class TestRequest:
+    def test_single_point_normalized_to_matrix(self):
+        request = CertificationRequest.single(figure2_dataset(), [5.0], 2)
+        assert request.points.shape == (1, 1)
+        assert request.n_points == 1
+        assert isinstance(request.model, RemovalPoisoningModel)
+
+    def test_feature_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CertificationRequest(figure2_dataset(), np.zeros((2, 3)), 1)
+
+    def test_budget_resolves_against_training_size(self):
+        dataset = figure2_dataset()
+        request = CertificationRequest(dataset, [[5.0]], FractionalRemovalModel(0.25))
+        assert request.budget == int(0.25 * len(dataset))
+
+    def test_caller_array_not_frozen(self):
+        """The request copies its points; the caller's array stays writable."""
+        X = np.array([[5.0], [6.0]])
+        request = CertificationRequest(figure2_dataset(), X, 1)
+        X[0, 0] = 99.0  # must not raise, and must not leak into the request
+        assert request.points[0, 0] == 5.0
+
+
+class TestThreatModelDispatch:
+    """All three threat models certify through the single verify(request) call."""
+
+    def test_removal_model(self):
+        engine = CertificationEngine(max_depth=1, domain="box")
+        report = engine.verify(
+            CertificationRequest(well_separated_dataset(), [[0.5]], RemovalPoisoningModel(2))
+        )
+        (result,) = report.results
+        assert result.status is VerificationStatus.ROBUST
+        assert result.domain == "box"
+        assert result.poisoning_amount == 2
+
+    def test_fractional_model_resolves_budget(self):
+        dataset = well_separated_dataset()
+        engine = CertificationEngine(max_depth=1, domain="box")
+        fraction = FractionalRemovalModel(0.05)
+        report = engine.verify(CertificationRequest(dataset, [[0.5]], fraction))
+        (result,) = report.results
+        assert result.poisoning_amount == fraction.resolve_budget(len(dataset))
+        assert result.status is VerificationStatus.ROBUST
+
+    def test_fractional_matches_equivalent_removal(self):
+        dataset = well_separated_dataset()
+        engine = CertificationEngine(max_depth=1, domain="either")
+        x = [[0.5]]
+        fractional = engine.verify(
+            CertificationRequest(dataset, x, FractionalRemovalModel(0.1))
+        ).results[0]
+        explicit = engine.verify(
+            CertificationRequest(dataset, x, RemovalPoisoningModel(len(dataset) // 10))
+        ).results[0]
+        assert fractional.status == explicit.status
+        assert fractional.class_intervals == explicit.class_intervals
+
+    def test_label_flip_model(self):
+        engine = CertificationEngine(max_depth=1)
+        report = engine.verify(
+            CertificationRequest(well_separated_dataset(), [[0.5]], LabelFlipModel(2))
+        )
+        (result,) = report.results
+        assert result.domain == "flip-box"
+        assert result.status in (VerificationStatus.ROBUST, VerificationStatus.UNKNOWN)
+        assert result.poisoning_amount == 2
+
+    def test_label_flip_matches_extension_verifier(self):
+        from repro.poisoning.label_flip import LabelFlipVerifier
+
+        dataset = well_separated_dataset()
+        engine = CertificationEngine(max_depth=2)
+        unified = engine.certify_point(dataset, [0.5], LabelFlipModel(3))
+        extension = LabelFlipVerifier(max_depth=2).verify(dataset, [0.5], flips=3)
+        assert unified.is_certified == extension.robust
+        assert unified.certified_class == extension.certified_class
+        assert unified.class_intervals == extension.class_intervals
+
+    def test_oversized_budget_reports_requested_amount(self):
+        """Legacy parity: n > |T| is clamped for the abstraction but reported as given."""
+        dataset = figure2_dataset()
+        engine = CertificationEngine(max_depth=1, domain="box")
+        result = engine.certify_point(dataset, [5.0], 10_000)
+        assert result.poisoning_amount == 10_000
+
+    def test_int_budget_coerces_to_removal_model(self):
+        engine = CertificationEngine(max_depth=1, domain="box")
+        by_int = engine.certify_point(well_separated_dataset(), [0.5], 2)
+        by_model = engine.certify_point(
+            well_separated_dataset(), [0.5], RemovalPoisoningModel(2)
+        )
+        assert by_int.status == by_model.status
+        assert by_int.class_intervals == by_model.class_intervals
+
+
+class TestParityWithLegacyVerifier:
+    def test_matches_poisoning_verifier_on_figure2(self):
+        from repro.verify.robustness import PoisoningVerifier
+
+        dataset = figure2_dataset()
+        engine = CertificationEngine(max_depth=2, domain="either")
+        with pytest.deprecated_call():
+            verifier = PoisoningVerifier(max_depth=2, domain="either")
+        for n in (0, 1, 2, 8):
+            modern = engine.certify_point(dataset, [5.0], n)
+            legacy = verifier.verify(dataset, [5.0], n)
+            assert modern.status == legacy.status
+            assert modern.certified_class == legacy.certified_class
+            assert modern.class_intervals == legacy.class_intervals
+
+
+class TestResourceHandling:
+    def test_timeout_reported(self):
+        engine = CertificationEngine(
+            max_depth=4, domain="disjuncts", timeout_seconds=1e-9
+        )
+        result = engine.certify_point(figure2_dataset(), [5.0], 2)
+        assert result.status is VerificationStatus.TIMEOUT
+
+    def test_resource_exhaustion_reported(self):
+        engine = CertificationEngine(max_depth=3, domain="disjuncts", max_disjuncts=2)
+        result = engine.certify_point(figure2_dataset(), [5.0], 3)
+        assert result.status is VerificationStatus.RESOURCE_EXHAUSTED
+
+    def test_memory_and_time_measured(self):
+        engine = CertificationEngine(max_depth=1, domain="box")
+        result = engine.certify_point(figure2_dataset(), [5.0], 2)
+        assert result.elapsed_seconds >= 0.0
+        assert result.peak_memory_bytes >= 0
+        assert isinstance(result, VerificationResult)
+
+
+class TestEmptyBatch:
+    def test_empty_request_yields_empty_report_with_none_fraction(self):
+        """Regression: empty batches must not read as 'nothing certified'."""
+        engine = CertificationEngine(max_depth=1)
+        report = engine.certify_batch(figure2_dataset(), np.empty((0, 1)), 1)
+        assert report.total == 0
+        assert report.certified_count == 0
+        assert report.certified_fraction is None
+        assert report.status_counts["robust"] == 0

@@ -1,0 +1,87 @@
+"""Tests for parallel batch certification and order-preserving streaming."""
+
+import numpy as np
+
+from repro.api import CertificationEngine, CertificationRequest
+from repro.datasets.registry import load_dataset
+from repro.poisoning.models import LabelFlipModel, RemovalPoisoningModel
+from tests.conftest import well_separated_dataset
+
+
+def _iris_request(count: int = 8, n: int = 2) -> CertificationRequest:
+    split = load_dataset("iris", scale=0.5, seed=3)
+    reps = -(-count // len(split.test))
+    points = np.tile(split.test.X, (reps, 1))[:count]
+    return CertificationRequest(split.train, points, RemovalPoisoningModel(n))
+
+
+class TestParallelParity:
+    def test_n_jobs_matches_serial_statuses(self):
+        engine = CertificationEngine(max_depth=1, domain="either", timeout_seconds=30.0)
+        request = _iris_request()
+        serial = engine.verify(request, n_jobs=1)
+        parallel = engine.verify(request, n_jobs=2)
+        assert [r.status for r in serial.results] == [r.status for r in parallel.results]
+        assert [r.certified_class for r in serial.results] == [
+            r.certified_class for r in parallel.results
+        ]
+        assert [r.class_intervals for r in serial.results] == [
+            r.class_intervals for r in parallel.results
+        ]
+
+    def test_parallel_label_flip_dispatch(self):
+        dataset = well_separated_dataset()
+        engine = CertificationEngine(max_depth=1)
+        request = CertificationRequest(
+            dataset, np.array([[0.5], [11.0], [1.0], [10.5]]), LabelFlipModel(1)
+        )
+        serial = engine.verify(request)
+        parallel = engine.verify(request, n_jobs=2)
+        assert [r.status for r in serial.results] == [r.status for r in parallel.results]
+        assert all(r.domain == "flip-box" for r in parallel.results)
+
+    def test_parallel_report_preserves_input_order(self):
+        """Each result's prediction must match its own point, not another's."""
+        dataset = well_separated_dataset()
+        engine = CertificationEngine(max_depth=1, domain="box")
+        points = np.array([[0.5], [11.0], [0.8], [10.2], [1.2], [11.5]])
+        report = engine.verify(
+            CertificationRequest(dataset, points, RemovalPoisoningModel(1)), n_jobs=2
+        )
+        expected = [0, 1, 0, 1, 0, 1]
+        assert [r.predicted_class for r in report.results] == expected
+
+
+class TestStreaming:
+    def test_stream_yields_in_order_serial(self):
+        engine = CertificationEngine(max_depth=1, domain="box")
+        request = _iris_request(count=5, n=1)
+        streamed = list(engine.certify_stream(request))
+        batch = engine.verify(request)
+        assert len(streamed) == 5
+        assert [r.status for r in streamed] == [r.status for r in batch.results]
+
+    def test_stream_yields_in_order_parallel(self):
+        dataset = well_separated_dataset()
+        engine = CertificationEngine(max_depth=1, domain="box")
+        points = np.array([[0.5], [11.0], [0.8], [10.2]])
+        request = CertificationRequest(dataset, points, RemovalPoisoningModel(1))
+        streamed = list(engine.certify_stream(request, n_jobs=2))
+        assert [r.predicted_class for r in streamed] == [0, 1, 0, 1]
+
+    def test_stream_is_lazy(self):
+        """The first result must be available before the whole batch finishes."""
+        engine = CertificationEngine(max_depth=1, domain="box")
+        request = _iris_request(count=4, n=1)
+        iterator = engine.certify_stream(request)
+        first = next(iterator)
+        assert first.status is not None
+        remaining = list(iterator)
+        assert len(remaining) == 3
+
+    def test_empty_request_streams_nothing(self):
+        engine = CertificationEngine(max_depth=1)
+        request = CertificationRequest(
+            well_separated_dataset(), np.empty((0, 1)), RemovalPoisoningModel(1)
+        )
+        assert list(engine.certify_stream(request, n_jobs=4)) == []

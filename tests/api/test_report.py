@@ -1,0 +1,136 @@
+"""Tests for CertificationReport aggregation and serialization."""
+
+import csv
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import CertificationEngine, CertificationReport, CertificationRequest
+from repro.domains.interval import Interval
+from repro.poisoning.models import RemovalPoisoningModel
+from repro.verify.result import VerificationResult, VerificationStatus
+from tests.conftest import well_separated_dataset
+
+
+def _result(
+    status: VerificationStatus = VerificationStatus.ROBUST,
+    elapsed: float = 0.5,
+    certified: int = 0,
+) -> VerificationResult:
+    return VerificationResult(
+        status=status,
+        poisoning_amount=2,
+        predicted_class=0,
+        certified_class=certified if status is VerificationStatus.ROBUST else None,
+        class_intervals=(Interval(0.6, 1.0), Interval(0.0, 0.4)),
+        domain="box",
+        elapsed_seconds=elapsed,
+        peak_memory_bytes=1024,
+        exit_count=1,
+        max_disjuncts=1,
+        log10_num_datasets=3.5,
+        message="",
+    )
+
+
+def _engine_report() -> CertificationReport:
+    engine = CertificationEngine(max_depth=1, domain="box")
+    return engine.verify(
+        CertificationRequest(
+            well_separated_dataset(),
+            np.array([[0.5], [11.0], [5.0]]),
+            RemovalPoisoningModel(1),
+        )
+    )
+
+
+class TestAggregation:
+    def test_counts_and_fraction(self):
+        report = CertificationReport(
+            results=[
+                _result(VerificationStatus.ROBUST),
+                _result(VerificationStatus.UNKNOWN),
+                _result(VerificationStatus.TIMEOUT),
+                _result(VerificationStatus.ROBUST),
+            ]
+        )
+        assert report.total == 4
+        assert report.certified_count == 2
+        assert report.certified_fraction == pytest.approx(0.5)
+        counts = report.status_counts
+        assert counts == {
+            "robust": 2,
+            "unknown": 1,
+            "timeout": 1,
+            "resource_exhausted": 0,
+        }
+
+    def test_empty_report_distinguishes_nothing_to_certify(self):
+        """Regression for the legacy 0.0-on-empty conflation."""
+        report = CertificationReport()
+        assert report.total == 0
+        assert report.certified_fraction is None
+        assert "no test points" in report.describe()
+        # ...while an all-failed report really is 0.0.
+        failed = CertificationReport(results=[_result(VerificationStatus.UNKNOWN)])
+        assert failed.certified_fraction == 0.0
+
+    def test_timing_percentiles(self):
+        report = CertificationReport(
+            results=[_result(elapsed=seconds) for seconds in (0.1, 0.2, 0.3, 0.4, 0.5)]
+        )
+        assert report.mean_seconds == pytest.approx(0.3)
+        assert report.elapsed_percentile(0.5) == pytest.approx(0.3)
+        assert report.timing_summary["p90_seconds"] == pytest.approx(0.46)
+        assert report.timing_summary["max_seconds"] == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            report.elapsed_percentile(1.5)
+
+    def test_iteration_and_len(self):
+        report = CertificationReport(results=[_result(), _result()])
+        assert len(report) == 2
+        assert all(isinstance(r, VerificationResult) for r in report)
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        report = _engine_report()
+        restored = CertificationReport.from_dict(report.to_dict())
+        assert restored.total == report.total
+        assert restored.certified_count == report.certified_count
+        assert [r.status for r in restored.results] == [r.status for r in report.results]
+        assert [r.class_intervals for r in restored.results] == [
+            r.class_intervals for r in report.results
+        ]
+
+    def test_json_round_trip(self):
+        report = _engine_report()
+        text = report.to_json(indent=2)
+        decoded = json.loads(text)
+        assert decoded["total"] == report.total
+        restored = CertificationReport.from_json(text)
+        assert restored.model_description == report.model_description
+        assert restored.dataset_name == report.dataset_name
+        assert [r.to_dict() for r in restored.results] == [
+            r.to_dict() for r in report.results
+        ]
+
+    def test_csv_export(self):
+        report = _engine_report()
+        rows = list(csv.DictReader(io.StringIO(report.to_csv())))
+        assert len(rows) == report.total
+        assert rows[0]["index"] == "0"
+        assert rows[0]["status"] in {s.value for s in VerificationStatus}
+        # The intervals cell is itself valid JSON.
+        intervals = json.loads(rows[0]["class_intervals"])
+        assert len(intervals) == 2
+
+    def test_render_mentions_key_metrics(self):
+        report = _engine_report()
+        rendered = report.render()
+        assert "certified fraction" in rendered
+        assert "p90 time (s)" in rendered
+        empty = CertificationReport().render()
+        assert "n/a (empty)" in empty

@@ -1,0 +1,86 @@
+"""Tests for the deprecated PoisoningVerifier shim over the engine."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import CertificationEngine
+from repro.datasets.toy import figure2_dataset
+from repro.verify.robustness import PoisoningVerifier
+from repro.verify.search import max_certified_poisoning, robustness_sweep
+from tests.conftest import well_separated_dataset
+
+
+def _quiet_verifier(**kwargs) -> PoisoningVerifier:
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return PoisoningVerifier(**kwargs)
+
+
+class TestDeprecation:
+    def test_construction_warns(self):
+        with pytest.deprecated_call():
+            PoisoningVerifier(max_depth=1)
+
+    def test_shim_exposes_engine(self):
+        verifier = _quiet_verifier(max_depth=1, domain="box", timeout_seconds=5.0)
+        assert isinstance(verifier.engine, CertificationEngine)
+        assert verifier.engine.max_depth == 1
+        assert verifier.engine.domain == "box"
+        assert verifier.engine.timeout_seconds == 5.0
+
+
+class TestDelegation:
+    def test_verify_matches_engine(self):
+        dataset = figure2_dataset()
+        verifier = _quiet_verifier(max_depth=2, domain="either")
+        legacy = verifier.verify(dataset, [5.0], 2)
+        modern = verifier.engine.certify_point(dataset, [5.0], 2)
+        assert legacy.status == modern.status
+        assert legacy.class_intervals == modern.class_intervals
+
+    def test_verify_batch_order(self):
+        dataset = well_separated_dataset()
+        verifier = _quiet_verifier(max_depth=1, domain="box")
+        X = np.array([[0.5], [11.0], [1.0]])
+        results = verifier.verify_batch(dataset, X, 1)
+        assert len(results) == 3
+        assert results[0].predicted_class == 0
+        assert results[1].predicted_class == 1
+
+    def test_negative_budget_still_value_error(self):
+        verifier = _quiet_verifier(max_depth=1)
+        with pytest.raises(ValueError):
+            verifier.verify(figure2_dataset(), [5.0], -1)
+        with pytest.raises(ValueError):
+            verifier.verify_batch(figure2_dataset(), np.array([[5.0]]), -2)
+
+    def test_certified_fraction_legacy_empty_behavior(self):
+        """The shim keeps the documented legacy 0.0; the engine reports None."""
+        verifier = _quiet_verifier(max_depth=1)
+        dataset = figure2_dataset()
+        empty = np.empty((0, 1))
+        assert verifier.certified_fraction(dataset, empty, 1) == 0.0
+        assert verifier.engine.certify_batch(dataset, empty, 1).certified_fraction is None
+
+
+class TestSearchAcceptsBoth:
+    def test_search_with_engine_and_shim_agree(self):
+        dataset = well_separated_dataset()
+        engine = CertificationEngine(max_depth=1, domain="box")
+        shim = _quiet_verifier(max_depth=1, domain="box")
+        by_engine = max_certified_poisoning(engine, dataset, [0.5], max_n=8)
+        by_shim = max_certified_poisoning(shim, dataset, [0.5], max_n=8)
+        assert by_engine.max_certified_n == by_shim.max_certified_n
+        assert by_engine.attempts == by_shim.attempts
+
+    def test_sweep_with_engine(self):
+        dataset = well_separated_dataset()
+        engine = CertificationEngine(max_depth=1, domain="box")
+        records = robustness_sweep(
+            engine, dataset, np.array([[0.5], [11.0]]), amounts=(1, 2)
+        )
+        assert records
+        assert records[0].attempted == 2
+        assert 0.0 <= records[0].fraction_certified <= 1.0
