@@ -1,22 +1,30 @@
 """Benchmark for the engine's parallel batch certification.
 
 The unified :class:`repro.api.CertificationEngine` certifies the points of a
-batch request on a process pool (``n_jobs=N``) while preserving input order.
-This benchmark certifies ≥32 Iris test points serially and with ``n_jobs=4``
-and records both wall-clock times; the statuses must be identical (the
-acceptance bar of the API redesign), and on multi-core hosts the parallel
-batch must be measurably faster.
+batch request on a process pool (``n_jobs=N``) while preserving input order;
+since the `repro.runtime` subsystem, pool workers attach the training set
+from shared memory by default instead of unpickling a private copy.  This
+benchmark certifies ≥32 Iris test points three ways — serially, on a pool
+with the pickled-dataset baseline, and on a pool with the shared-memory
+plane — and records wall-clock plus points/sec for each.  The statuses must
+be identical across all three (the acceptance bar of the API redesign), and
+on multi-core hosts the pooled runs must be measurably faster than serial.
+
+Besides the rendered table, the run writes ``results/BENCH_parallel.json``
+(points/sec per mode) so the performance trajectory is tracked across PRs.
 """
 
+import json
 import os
 import time
 
 import numpy as np
 
 from repro.api import CertificationEngine, CertificationRequest
-from repro.experiments.reporting import save_artifact
+from repro.experiments.reporting import results_directory, save_artifact
 from repro.experiments.runner import load_experiment_split
 from repro.poisoning.models import RemovalPoisoningModel
+from repro.runtime import CertificationRuntime
 from repro.utils.tables import TextTable
 
 from conftest import bench_config
@@ -26,48 +34,95 @@ def bench_parallel_batch_iris(benchmark):
     config = bench_config(timeout_seconds=30.0)
     split = load_experiment_split("iris", config)
     # Tile the test split up to 32 points so the batch is large enough for the
-    # pool to amortize its startup cost.
+    # pool to amortize its startup cost; jitter the copies so the runtime's
+    # duplicate-point dedup cannot shortcut any mode (all three must certify
+    # all 32 points for the comparison to be fair).
     reps = -(-32 // len(split.test))  # ceil division
     points = np.tile(split.test.X, (reps, 1))[:32]
-    engine = CertificationEngine(
-        max_depth=2, domain="either", timeout_seconds=config.timeout_seconds
-    )
+    points = points + np.random.default_rng(0).normal(0.0, 1e-9, size=points.shape)
     request = CertificationRequest(split.train, points, RemovalPoisoningModel(4))
 
-    def serial():
-        return engine.verify(request, n_jobs=1)
+    def make_engine(runtime=None):
+        return CertificationEngine(
+            max_depth=2,
+            domain="either",
+            timeout_seconds=config.timeout_seconds,
+            runtime=runtime,
+        )
 
-    serial_start = time.perf_counter()
-    serial_report = serial()
-    serial_seconds = time.perf_counter() - serial_start
+    def timed(engine, n_jobs):
+        start = time.perf_counter()
+        report = engine.verify(request, n_jobs=n_jobs)
+        return report, time.perf_counter() - start
 
-    parallel_start = time.perf_counter()
-    parallel_report = benchmark.pedantic(
-        lambda: engine.verify(request, n_jobs=4), rounds=1, iterations=1
+    serial_report, serial_seconds = timed(make_engine(), 1)
+    # Pickled-dataset pool: the pre-runtime baseline, kept as the comparison
+    # point for the shared-memory plane.
+    pickled_report, pickled_seconds = timed(
+        make_engine(CertificationRuntime(shared_memory=False)), 4
     )
-    parallel_seconds = time.perf_counter() - parallel_start
-
-    table = TextTable(["mode", "points", "certified", "wall-clock (s)"])
-    table.add_row(["serial", serial_report.total, serial_report.certified_count, serial_seconds])
-    table.add_row(
-        ["n_jobs=4", parallel_report.total, parallel_report.certified_count, parallel_seconds]
+    shared_engine = make_engine()
+    shared_start = time.perf_counter()
+    shared_report = benchmark.pedantic(
+        lambda: shared_engine.verify(request, n_jobs=4), rounds=1, iterations=1
     )
+    shared_seconds = time.perf_counter() - shared_start
+
+    modes = [
+        ("serial", serial_report, serial_seconds),
+        ("pool (pickled dataset)", pickled_report, pickled_seconds),
+        ("pool (shared memory)", shared_report, shared_seconds),
+    ]
+    table = TextTable(["mode", "points", "certified", "wall-clock (s)", "points/s"])
+    points_per_second = {}
+    for mode, report, seconds in modes:
+        rate = report.total / seconds if seconds else float("inf")
+        points_per_second[mode] = rate
+        table.add_row(
+            [mode, report.total, report.certified_count, f"{seconds:.3f}", f"{rate:.2f}"]
+        )
     save_artifact(
         "parallel_engine",
         f"Parallel batch certification (iris, depth 2, n=4, {os.cpu_count()} CPUs)\n"
         + table.render(),
     )
+    (results_directory() / "BENCH_parallel.json").write_text(
+        json.dumps(
+            {
+                "dataset": "iris",
+                "points": serial_report.total,
+                "n_jobs": 4,
+                "cpus": os.cpu_count(),
+                "points_per_second": {
+                    "serial": points_per_second["serial"],
+                    "pooled": points_per_second["pool (pickled dataset)"],
+                    "shared_memory": points_per_second["pool (shared memory)"],
+                },
+                "wall_clock_seconds": {
+                    "serial": serial_seconds,
+                    "pooled": pickled_seconds,
+                    "shared_memory": shared_seconds,
+                },
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
 
-    # Order-preserving parity: the parallel batch must agree point-for-point.
-    assert [r.status for r in parallel_report.results] == [
-        r.status for r in serial_report.results
-    ]
-    assert parallel_report.certified_count == serial_report.certified_count
-    assert parallel_report.total == 32
-    # On multi-core hosts the pool must beat the serial loop outright; on a
+    # Order-preserving parity: every mode must agree point-for-point.
+    for _, report, _ in modes[1:]:
+        assert [r.status for r in report.results] == [
+            r.status for r in serial_report.results
+        ]
+        assert report.certified_count == serial_report.certified_count
+    assert serial_report.total == 32
+    # On multi-core hosts the pools must beat the serial loop outright; on a
     # single CPU there is nothing to win, so only require bounded overhead.
     cpus = os.cpu_count() or 1
     if cpus >= 2:
-        assert parallel_seconds < serial_seconds
+        assert pickled_seconds < serial_seconds
+        assert shared_seconds < serial_seconds
     else:
-        assert parallel_seconds < serial_seconds * 3.0
+        assert pickled_seconds < serial_seconds * 3.0
+        assert shared_seconds < serial_seconds * 3.0

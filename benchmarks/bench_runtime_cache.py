@@ -1,0 +1,137 @@
+"""Benchmark for the `repro.runtime` scaling layer.
+
+Two claims are measured:
+
+1. **Shared-memory dataset plane**: pool workers that attach a published
+   ≥2k-row dataset from shared memory must receive it faster than workers
+   that unpickle a private copy.  The comparison isolates the data plane —
+   identical pools, identical trivial per-task work, only the dataset
+   transport differs — so the certification compute cannot mask the
+   difference.
+2. **Persistent certification cache**: rerunning an identical batch against
+   a warm cache must perform **zero** learner invocations and finish far
+   faster than the cold run.
+
+Artifacts: ``results/runtime_cache.txt`` (rendered table) and
+``results/BENCH_runtime_cache.json`` (machine-readable, tracked across PRs).
+"""
+
+import json
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.api import CertificationEngine, CertificationRequest
+from repro.core.dataset import Dataset
+from repro.experiments.reporting import results_directory, save_artifact
+from repro.poisoning.models import RemovalPoisoningModel
+from repro.runtime import CertificationRuntime, SharedDatasetHandle, default_store
+from repro.utils.tables import TextTable
+
+#: Size of the data-plane benchmark dataset (rows × features ≈ 4 MB of X).
+PLANE_ROWS = 2048
+PLANE_FEATURES = 256
+POOL_WORKERS = 2
+PLANE_ROUNDS = 5
+
+
+def _plane_dataset() -> Dataset:
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(PLANE_ROWS, PLANE_FEATURES))
+    y = (X[:, 0] > 0).astype(np.int64)
+    return Dataset(X=X, y=y, n_classes=2, name="plane-bench")
+
+
+def _certification_dataset() -> Dataset:
+    """A ≥2k-row two-cluster set cheap enough to certify many points on."""
+    rng = np.random.default_rng(11)
+    per_class = PLANE_ROWS // 2
+    X = np.concatenate(
+        [rng.normal(0.0, 1.0, per_class), rng.normal(10.0, 1.0, per_class)]
+    ).reshape(-1, 1)
+    y = np.concatenate(
+        [np.zeros(per_class), np.ones(per_class)]
+    ).astype(np.int64)
+    return Dataset(X=X, y=y, n_classes=2, name="cache-bench")
+
+
+def _touch_dataset(payload) -> float:
+    """Trivial worker task: materialize the dataset and read one element."""
+    dataset = payload.attach() if isinstance(payload, SharedDatasetHandle) else payload
+    return float(dataset.X[0, 0]) + len(dataset)
+
+
+def _time_dispatch(payload) -> float:
+    """Wall-clock of a fresh pool receiving ``payload`` in every worker."""
+    start = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=POOL_WORKERS) as executor:
+        checks = list(executor.map(_touch_dataset, [payload] * POOL_WORKERS))
+    elapsed = time.perf_counter() - start
+    assert all(np.isfinite(check) for check in checks)
+    return elapsed
+
+
+def bench_runtime_shared_memory_and_cache(benchmark, tmp_path):
+    dataset = _plane_dataset()
+    handle = default_store().publish(dataset)
+    if handle is None:
+        pytest.skip("shared memory unavailable on this host")
+
+    # -- 1. data plane: pickled dataset vs shared-memory handle -------------
+    try:
+        pickled_seconds = min(_time_dispatch(dataset) for _ in range(PLANE_ROUNDS))
+        shared_seconds = min(_time_dispatch(handle) for _ in range(PLANE_ROUNDS))
+    except (OSError, BrokenExecutor):
+        pytest.skip("process pools unavailable on this host")
+
+    # -- 2. verdict cache: cold run vs warm rerun ---------------------------
+    cert_dataset = _certification_dataset()
+    engine = CertificationEngine(
+        max_depth=1,
+        domain="box",
+        timeout_seconds=30.0,
+        runtime=CertificationRuntime(tmp_path / "cache"),
+    )
+    points = np.linspace(-1.0, 12.0, 16).reshape(-1, 1)
+    request = CertificationRequest(cert_dataset, points, RemovalPoisoningModel(2))
+
+    cold_start = time.perf_counter()
+    cold = engine.verify(request)
+    cold_seconds = time.perf_counter() - cold_start
+
+    warm_start = time.perf_counter()
+    warm = benchmark.pedantic(lambda: engine.verify(request), rounds=1, iterations=1)
+    warm_seconds = time.perf_counter() - warm_start
+
+    table = TextTable(["measurement", "value"])
+    table.add_row(["dataset", f"{PLANE_ROWS}x{PLANE_FEATURES} (~{dataset.X.nbytes >> 20} MB)"])
+    table.add_row(["pool dispatch, pickled (s)", f"{pickled_seconds:.4f}"])
+    table.add_row(["pool dispatch, shared memory (s)", f"{shared_seconds:.4f}"])
+    table.add_row(["dispatch speedup", f"{pickled_seconds / shared_seconds:.2f}x"])
+    table.add_row(["cold batch (s)", f"{cold_seconds:.4f}"])
+    table.add_row(["warm batch (s)", f"{warm_seconds:.4f}"])
+    table.add_row(["warm learner invocations", warm.runtime_stats["learner_invocations"]])
+    save_artifact("runtime_cache", "Runtime data plane + verdict cache\n" + table.render())
+    payload = {
+        "dataset_rows": PLANE_ROWS,
+        "dataset_features": PLANE_FEATURES,
+        "pool_workers": POOL_WORKERS,
+        "pickled_dispatch_seconds": pickled_seconds,
+        "shared_memory_dispatch_seconds": shared_seconds,
+        "cold_batch_seconds": cold_seconds,
+        "warm_batch_seconds": warm_seconds,
+        "warm_learner_invocations": warm.runtime_stats["learner_invocations"],
+        "warm_hit_rate": warm.runtime_stats["hit_rate"],
+    }
+    (results_directory() / "BENCH_runtime_cache.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # The shared-memory plane must beat per-worker pickling on a multi-MB set.
+    assert shared_seconds < pickled_seconds
+    # A warm cache answers the identical batch without touching the learners.
+    assert warm.runtime_stats["learner_invocations"] == 0
+    assert [r.status for r in warm.results] == [r.status for r in cold.results]
+    assert warm_seconds < cold_seconds

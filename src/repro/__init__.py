@@ -70,6 +70,13 @@ from repro.poisoning.models import (
     PerturbationModel,
     RemovalPoisoningModel,
 )
+from repro.runtime import (
+    CertificationCache,
+    CertificationRuntime,
+    DatasetStore,
+    SharedDatasetHandle,
+    fingerprint_dataset,
+)
 from repro.verify.abstract_learner import BoxAbstractLearner
 from repro.verify.disjunctive_learner import DisjunctiveAbstractLearner
 from repro.verify.enumeration import EnumerationResult, verify_by_enumeration
@@ -123,5 +130,10 @@ __all__ = [
     "VerificationStatus",
     "max_certified_poisoning",
     "robustness_sweep",
+    "CertificationCache",
+    "CertificationRuntime",
+    "DatasetStore",
+    "SharedDatasetHandle",
+    "fingerprint_dataset",
     "__version__",
 ]

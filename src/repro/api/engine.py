@@ -17,7 +17,14 @@ number of :class:`~repro.api.request.CertificationRequest` objects:
   abstract-training-set initializer — the generic ``Δ(T)`` of the paper;
 * ``verify(request, n_jobs=N)`` certifies batches on a process pool, and
   :meth:`certify_stream` yields per-point results incrementally in input
-  order for streaming consumers (CLI progress, dashboards).
+  order for streaming consumers (CLI progress, dashboards);
+* an attached :class:`~repro.runtime.CertificationRuntime` (the ``runtime=``
+  parameter) adds the scaling layer: pool workers attach the training set
+  zero-copy from shared memory instead of unpickling a private copy, repeat
+  queries answer from the persistent verdict cache (with budget-monotone
+  derivation), and long batches checkpoint to a resumable run journal.
+  Engines without an explicit runtime still get the shared-memory dataset
+  plane by default whenever ``n_jobs > 1``.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from __future__ import annotations
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -42,6 +49,8 @@ from repro.poisoning.models import (
     PerturbationModel,
     RemovalPoisoningModel,
 )
+from repro.runtime.fingerprint import fingerprint_dataset
+from repro.runtime.shm import SharedDatasetHandle
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch, TimeBudget, TimeoutExceeded
 from repro.verify.abstract_learner import AbstractRunResult, BoxAbstractLearner
@@ -50,6 +59,9 @@ from repro.verify.disjunctive_learner import (
     DisjunctiveAbstractLearner,
 )
 from repro.verify.result import DOMAINS, VerificationResult, VerificationStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import CertificationRuntime
 
 #: Domain label reported for label-flip certificates (the flip extension only
 #: provides the Box-style learner).
@@ -95,6 +107,11 @@ class CertificationEngine:
     predicate_pool:
         Optional fixed predicate set Φ shared by the concrete and abstract
         learners.
+    runtime:
+        Optional :class:`~repro.runtime.CertificationRuntime` providing the
+        shared-memory dataset plane, the persistent verdict cache, and
+        resumable run journals.  Without one, parallel batches
+        (``n_jobs > 1``) still use the process-wide shared-memory default.
     """
 
     max_depth: int = 2
@@ -104,11 +121,12 @@ class CertificationEngine:
     max_disjuncts: int = 4096
     predicate_pool: Optional[Sequence] = None
     impurity: str = "gini"
+    runtime: Optional["CertificationRuntime"] = None
     _trace_learner: TraceLearner = field(init=False, repr=False)
     _box_learner: BoxAbstractLearner = field(init=False, repr=False)
     _disjunctive_learner: DisjunctiveAbstractLearner = field(init=False, repr=False)
     _flip_learner: LabelFlipVerifier = field(init=False, repr=False)
-    _plan_cache: Dict[Tuple[int, PerturbationModel], _RequestPlan] = field(
+    _plan_cache: Dict[Tuple[str, PerturbationModel], _RequestPlan] = field(
         init=False, repr=False, default_factory=dict
     )
 
@@ -134,10 +152,13 @@ class CertificationEngine:
         self._flip_learner = LabelFlipVerifier(max_depth=self.max_depth)
 
     def __getstate__(self) -> dict:
-        # The plan cache is keyed by dataset identity, which does not survive
-        # pickling — drop it so pool workers don't ship stale abstractions.
+        # Cached plans hold full abstract training sets — shipping them to
+        # pool workers would defeat the shared-memory dataset plane, so they
+        # are rebuilt worker-side.  The runtime (sqlite handles, shared-memory
+        # registries) is parent-only state and never travels either.
         state = dict(self.__dict__)
         state["_plan_cache"] = {}
+        state["runtime"] = None
         return state
 
     # ----------------------------------------------------------------- public
@@ -152,11 +173,15 @@ class CertificationEngine:
         """
         watch = Stopwatch().start()
         results = list(self.certify_stream(request, n_jobs=n_jobs))
+        runtime_stats = None
+        if self.runtime is not None and self.runtime.last_batch_stats is not None:
+            runtime_stats = self.runtime.last_batch_stats.snapshot()
         return CertificationReport(
             results=results,
             model_description=request.model.describe(),
             dataset_name=request.dataset.name,
             total_seconds=watch.elapsed(),
+            runtime_stats=runtime_stats,
         )
 
     def certify_batch(
@@ -181,23 +206,63 @@ class CertificationEngine:
         The stream is incremental: consumers see each point's verdict as soon
         as it (and every earlier point) is done, which keeps progress
         reporting responsive even for long batches.
+
+        With a :class:`~repro.runtime.CertificationRuntime` attached, points
+        flow through its cache/journal first and only the misses reach the
+        learners; without one, parallel batches still get the process-wide
+        shared-memory dataset plane.
         """
         dataset, model = request.dataset, request.model
         rows = [np.asarray(row, dtype=float) for row in request.points]
+        workers = min(int(n_jobs), len(rows))
+        runtime = self.runtime
+        if runtime is not None:
+            yield from runtime.stream(self, dataset, model, rows, n_jobs=workers)
+            return
+        shared_handle = None
+        if workers > 1:
+            # Deferred import: repro.runtime pulls in this module's siblings.
+            from repro.runtime.runtime import default_runtime
+
+            shared_handle = default_runtime().publish(dataset)
+        yield from self._compute_stream(
+            dataset, rows, model, n_jobs=workers, shared_handle=shared_handle
+        )
+
+    def _compute_stream(
+        self,
+        dataset: Dataset,
+        rows: Sequence[np.ndarray],
+        model: PerturbationModel,
+        *,
+        n_jobs: int = 1,
+        shared_handle: Optional[SharedDatasetHandle] = None,
+    ) -> Iterator[VerificationResult]:
+        """Run the learners over ``rows`` in order (no cache consultation).
+
+        This is the compute primitive under :meth:`certify_stream` and the
+        runtime layer.  With ``n_jobs > 1`` the rows are certified on a
+        process pool whose workers receive ``shared_handle`` (attaching the
+        dataset zero-copy) when one is given, and the pickled dataset
+        otherwise; pool failures fall back to serial certification.
+        """
         workers = min(int(n_jobs), len(rows))
         if workers <= 1:
             plan = self._plan_for(dataset, model)
             for row in rows:
                 yield self._certify_one(dataset, row, model, plan)
             return
-        # Workers build their own plan in the pool initializer, so the parent
-        # does not precompute one here.
+        # Workers rebuild the dataset (from shared memory when possible) and
+        # their own plan in the pool initializer, so the parent ships neither.
+        payload: Union[Dataset, SharedDatasetHandle] = (
+            shared_handle if shared_handle is not None else dataset
+        )
         yielded = 0
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_pool_initializer,
-                initargs=(self, dataset, model),
+                initargs=(self, payload, model),
             ) as executor:
                 for result in executor.map(_pool_certify, rows):
                     yielded += 1
@@ -221,6 +286,8 @@ class CertificationEngine:
     ) -> VerificationResult:
         """Certify a single test point (convenience wrapper over :meth:`verify`)."""
         model = as_perturbation_model(model)
+        if self.runtime is not None:
+            return self.runtime.certify_point(self, dataset, x, model)
         return self._certify_one(
             dataset, np.asarray(x, dtype=float), model, self._plan_for(dataset, model)
         )
@@ -229,14 +296,16 @@ class CertificationEngine:
     def _plan_for(self, dataset: Dataset, model: PerturbationModel) -> _RequestPlan:
         """The shared initial abstraction for one (dataset, model) pair.
 
-        The cache key uses ``id(dataset)``; the cached plan keeps the dataset
-        alive, so the id cannot be recycled while its entry exists.
+        Keyed by the dataset's content fingerprint: object ids can be
+        recycled after a dataset is garbage-collected (serving a stale plan),
+        and content keys additionally let equal copies of a dataset — e.g.
+        one rebuilt from shared memory — share a plan.
         """
-        key = (id(dataset), model)
+        key = (fingerprint_dataset(dataset), model)
         plan = self._plan_cache.get(key)
         if plan is None:
             budget = model.resolve_budget(len(dataset))
-            amount = int(getattr(model, "n", budget))
+            amount = model.nominal_amount(len(dataset))
             log10_datasets = model.log10_num_neighbors(len(dataset))
             if isinstance(model, LabelFlipModel):
                 plan = _RequestPlan(
@@ -428,17 +497,22 @@ class _DomainOutcome:
 
 
 # ---------------------------------------------------------------------------
-# Process-pool plumbing.  Workers receive the engine/dataset/model once via
-# the pool initializer and certify one row per task, so only the (small) test
-# points travel through the task queue.
+# Process-pool plumbing.  Workers receive the engine/model once via the pool
+# initializer together with either a SharedDatasetHandle (attached zero-copy
+# from shared memory) or, as a fallback, the pickled dataset; afterwards only
+# the (small) test points travel through the task queue.
 # ---------------------------------------------------------------------------
 
 _POOL_STATE: dict = {}
 
 
 def _pool_initializer(
-    engine: CertificationEngine, dataset: Dataset, model: PerturbationModel
+    engine: CertificationEngine,
+    dataset: Union[Dataset, SharedDatasetHandle],
+    model: PerturbationModel,
 ) -> None:
+    if isinstance(dataset, SharedDatasetHandle):
+        dataset = dataset.attach()
     _POOL_STATE["engine"] = engine
     _POOL_STATE["dataset"] = dataset
     _POOL_STATE["model"] = model

@@ -66,12 +66,18 @@ class CertificationReport:
     dataset_name / total_seconds:
         Provenance: which dataset the batch ran on and the wall-clock time of
         the whole batch (including any process-pool overhead).
+    runtime_stats:
+        Optional counters from the :class:`~repro.runtime.CertificationRuntime`
+        that served the batch (cache hits/misses, monotone derivations,
+        journal restores, learner invocations, shared-memory use); ``None``
+        when no runtime was involved.
     """
 
     results: List[VerificationResult] = field(default_factory=list)
     model_description: str = ""
     dataset_name: str = ""
     total_seconds: float = 0.0
+    runtime_stats: Optional[Dict] = None
 
     # -------------------------------------------------------------- counting
     def __len__(self) -> int:
@@ -140,7 +146,7 @@ class CertificationReport:
     # ---------------------------------------------------------------- export
     def to_dict(self) -> dict:
         """JSON-serializable summary + per-point payloads."""
-        return {
+        payload = {
             "dataset_name": self.dataset_name,
             "model_description": self.model_description,
             "total_seconds": self.total_seconds,
@@ -150,15 +156,20 @@ class CertificationReport:
             "status_counts": self.status_counts,
             "results": [result.to_dict() for result in self.results],
         }
+        if self.runtime_stats is not None:
+            payload["runtime_stats"] = dict(self.runtime_stats)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "CertificationReport":
         """Reconstruct a report from :meth:`to_dict` output (JSON round-trip)."""
+        runtime_stats = payload.get("runtime_stats")
         return cls(
             results=[VerificationResult.from_dict(entry) for entry in payload["results"]],
             model_description=str(payload.get("model_description", "")),
             dataset_name=str(payload.get("dataset_name", "")),
             total_seconds=float(payload.get("total_seconds", 0.0)),
+            runtime_stats=None if runtime_stats is None else dict(runtime_stats),
         )
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
@@ -202,6 +213,29 @@ class CertificationReport:
             table.add_row(["p90 time (s)", f"{timing['p90_seconds']:.3f}"])
             table.add_row(["max time (s)", f"{timing['max_seconds']:.3f}"])
         table.add_row(["batch wall-clock (s)", f"{self.total_seconds:.3f}"])
+        stats = self.runtime_stats
+        if stats is not None:
+            hits = int(stats.get("cache_hits", 0)) + int(
+                stats.get("cache_monotone_hits", 0)
+            )
+            misses = int(stats.get("cache_misses", 0))
+            restored = int(stats.get("journal_restored", 0))
+            hit_rate = stats.get("hit_rate")
+            if hits or misses or restored:
+                table.add_row(
+                    [
+                        "cache",
+                        f"{hits} hit(s), {misses} miss(es), "
+                        f"{restored} journal-restored"
+                        + ("" if hit_rate is None else f" ({hit_rate:.1%} served)"),
+                    ]
+                )
+            table.add_row(
+                ["learner invocations", int(stats.get("learner_invocations", 0))]
+            )
+            table.add_row(
+                ["shared-memory plane", "yes" if stats.get("shared_memory") else "no"]
+            )
         return table.render()
 
     def describe(self) -> str:

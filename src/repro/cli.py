@@ -9,7 +9,11 @@ The CLI exposes the main workflows without writing any Python:
   --n-jobs 4`` — batch-certify test points against a chosen threat model
   (removal, fractional removal, or label flips) on the unified
   :class:`repro.api.CertificationEngine`, streaming per-point verdicts and
-  printing an aggregate report (optionally exported as JSON/CSV);
+  printing an aggregate report (optionally exported as JSON/CSV); with
+  ``--cache-dir`` the run goes through the persistent certification cache
+  and a resumable journal (``--resume`` continues an interrupted batch);
+* ``repro-antidote cache stats|clear --cache-dir DIR`` — inspect or empty a
+  certification cache;
 * ``repro-antidote table1`` — regenerate Table 1;
 * ``repro-antidote figure6`` — regenerate the Figure 6 series;
 * ``repro-antidote figure <dataset>`` — regenerate the dataset's performance
@@ -50,6 +54,7 @@ from repro.poisoning.models import (
     PerturbationModel,
     RemovalPoisoningModel,
 )
+from repro.runtime import CertificationCache, CertificationRuntime
 from repro.utils.tables import TextTable
 from repro.utils.timing import Stopwatch
 
@@ -104,6 +109,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write per-point results as CSV")
     certify.add_argument("--quiet", action="store_true",
                          help="suppress the per-point streaming lines")
+    certify.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent certification cache + run journal directory")
+    certify.add_argument("--resume", action="store_true",
+                         help="continue an interrupted run from its journal "
+                         "(requires --cache-dir)")
+    certify.add_argument("--max-new-points", type=int, default=None, metavar="N",
+                         help="stop after N uncached points (exit code 3; rerun "
+                         "with --resume to continue)")
+    certify.add_argument("--no-shared-memory", action="store_true",
+                         help="disable the shared-memory dataset plane for "
+                         "pool workers (pickle the dataset instead)")
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear a persistent certification cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--cache-dir", required=True, metavar="DIR")
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1")
     _add_experiment_arguments(table1)
@@ -205,8 +227,27 @@ def _command_certify(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: invalid threat-model budget: {error}", file=sys.stderr)
         return 2
+    if args.cache_dir is None and (args.resume or args.max_new_points is not None):
+        # Without a journal there is nothing to resume and an interrupted run
+        # could never make progress — refuse rather than loop forever.
+        print(
+            "error: --resume and --max-new-points require --cache-dir",
+            file=sys.stderr,
+        )
+        return 2
+    runtime = None
+    if args.cache_dir is not None or args.no_shared_memory:
+        runtime = CertificationRuntime(
+            args.cache_dir,
+            shared_memory=not args.no_shared_memory,
+            resume=args.resume,
+            max_new_points=args.max_new_points,
+        )
     engine = CertificationEngine(
-        max_depth=args.depth, domain=args.domain, timeout_seconds=args.timeout
+        max_depth=args.depth,
+        domain=args.domain,
+        timeout_seconds=args.timeout,
+        runtime=runtime,
     )
     request = CertificationRequest(split.train, split.test.X[:count], model)
     print(split.describe())
@@ -220,11 +261,13 @@ def _command_certify(args: argparse.Namespace) -> int:
         results.append(result)
         if not args.quiet:
             print(f"  point {index:3d}: {result.describe()}")
+    batch_stats = runtime.last_batch_stats if runtime is not None else None
     report = CertificationReport(
         results=results,
         model_description=model.describe(),
         dataset_name=split.train.name,
         total_seconds=watch.elapsed(),
+        runtime_stats=None if batch_stats is None else batch_stats.snapshot(),
     )
     print()
     print(report.render())
@@ -235,6 +278,37 @@ def _command_certify(args: argparse.Namespace) -> int:
     if args.csv:
         Path(args.csv).write_text(report.to_csv(), encoding="utf-8")
         print(f"[per-point CSV written to {args.csv}]", file=sys.stderr)
+    if batch_stats is not None and batch_stats.truncated_at is not None:
+        print(
+            f"interrupted after {batch_stats.learner_invocations} new point(s) "
+            f"({len(results)}/{count} done); rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    cache_dir = Path(args.cache_dir).expanduser()
+    if not (cache_dir / CertificationCache.DB_NAME).is_file():
+        # Inspection commands must not fabricate a database: a typo'd path
+        # would silently report an empty cache instead of the mistake.
+        print(f"error: no certification cache at {cache_dir}", file=sys.stderr)
+        return 2
+    cache = CertificationCache(cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached verdict(s) from {cache.db_path}")
+        return 0
+    stats = cache.stats()
+    table = TextTable(["metric", "value"])
+    table.add_row(["path", stats["path"]])
+    table.add_row(["verdicts", stats["verdicts"]])
+    for status, count in sorted(stats["by_status"].items()):
+        table.add_row([f"status: {status}", count])
+    table.add_row(["datasets", stats["datasets"]])
+    table.add_row(["size (bytes)", stats["size_bytes"]])
+    print(table.render())
     return 0
 
 
@@ -272,6 +346,7 @@ _COMMANDS = {
     "datasets": _command_datasets,
     "verify": _command_verify,
     "certify": _command_certify,
+    "cache": _command_cache,
     "table1": _command_table1,
     "figure6": _command_figure6,
     "figure": _command_figure,

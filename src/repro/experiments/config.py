@@ -58,6 +58,12 @@ class ExperimentConfig:
     n_jobs:
         Worker processes per grid-cell batch (1 = serial); forwarded to
         :meth:`repro.api.CertificationEngine.certify_batch`.
+    cache_dir:
+        Optional persistent certification-cache directory.  When set, every
+        grid cell runs through a :class:`~repro.runtime.CertificationRuntime`
+        against it, so re-running an experiment (or running a different
+        experiment that overlaps it) answers repeated queries from disk
+        instead of re-running the learners.
     """
 
     seed: int = 0
@@ -72,6 +78,7 @@ class ExperimentConfig:
     max_disjuncts: int = 4096
     cprob_method: str = "optimal"
     n_jobs: int = 1
+    cache_dir: Optional[str] = None
 
     def amounts_for(self, dataset_name: str) -> Tuple[int, ...]:
         """Poisoning grid for one dataset (falls back to a generic grid)."""

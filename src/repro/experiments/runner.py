@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +26,7 @@ from repro.datasets.registry import load_dataset
 from repro.datasets.splits import DatasetSplit
 from repro.experiments.config import ExperimentConfig
 from repro.poisoning.models import RemovalPoisoningModel
+from repro.runtime import CertificationRuntime
 from repro.utils.rng import derive_seed, make_rng
 from repro.verify.result import VerificationResult
 from repro.verify.robustness import PoisoningVerifier
@@ -53,6 +55,27 @@ def select_test_points(
     return split.test.X[np.sort(chosen)]
 
 
+#: One runtime (one sqlite connection, one stats accumulator) per cache
+#: directory, shared by every grid cell of every experiment in the process.
+_RUNTIMES: Dict[str, CertificationRuntime] = {}
+
+
+def make_runtime(config: ExperimentConfig) -> Optional[CertificationRuntime]:
+    """The certification runtime an experiment's engines share.
+
+    Returns ``None`` when the config names no cache directory (engines then
+    fall back to the default shared-memory-only behavior for parallel
+    batches).
+    """
+    if config.cache_dir is None:
+        return None
+    key = str(Path(config.cache_dir).expanduser().resolve())
+    runtime = _RUNTIMES.get(key)
+    if runtime is None:
+        runtime = _RUNTIMES[key] = CertificationRuntime(config.cache_dir)
+    return runtime
+
+
 def make_engine(
     depth: int, domain: str, config: ExperimentConfig
 ) -> CertificationEngine:
@@ -63,6 +86,7 @@ def make_engine(
         cprob_method=config.cprob_method,
         timeout_seconds=config.timeout_seconds,
         max_disjuncts=config.max_disjuncts,
+        runtime=make_runtime(config),
     )
 
 

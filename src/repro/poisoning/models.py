@@ -46,6 +46,15 @@ class PerturbationModel(abc.ABC):
     def describe(self) -> str:
         """Human-readable description of the threat model."""
 
+    def nominal_amount(self, training_size: int) -> int:
+        """The budget as results report it (may exceed the training size).
+
+        Defaults to the resolved budget; models parameterized by an explicit
+        count ``n`` override this to report ``n`` itself, matching how the
+        paper quotes poisoning amounts.
+        """
+        return self.resolve_budget(training_size)
+
     def log10_num_neighbors(self, training_size: int) -> float:
         """``log10 |Δ(T)|``; the scale a naïve enumeration would face."""
         return _log10_of_big_int(self.num_neighbors(training_size))
@@ -62,6 +71,9 @@ class RemovalPoisoningModel(PerturbationModel):
 
     def resolve_budget(self, training_size: int) -> int:
         return min(self.n, training_size)
+
+    def nominal_amount(self, training_size: int) -> int:
+        return self.n
 
     def num_neighbors(self, training_size: int) -> int:
         budget = self.resolve_budget(training_size)
@@ -113,6 +125,9 @@ class LabelFlipModel(PerturbationModel):
 
     def resolve_budget(self, training_size: int) -> int:
         return min(self.n, training_size)
+
+    def nominal_amount(self, training_size: int) -> int:
+        return self.n
 
     def num_neighbors(self, training_size: int) -> int:
         budget = self.resolve_budget(training_size)

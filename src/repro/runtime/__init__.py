@@ -1,0 +1,54 @@
+"""`repro.runtime` — the scaling layer under the certification engine.
+
+Three cooperating pieces turn the one-shot :class:`~repro.api.CertificationEngine`
+into a service that absorbs repeated, overlapping certification traffic:
+
+* the **shared-memory dataset plane** (:class:`DatasetStore`,
+  :class:`SharedDatasetHandle`): datasets are published once and attached
+  zero-copy by pool workers instead of being pickled into each one;
+* the **persistent certification cache** (:class:`CertificationCache`):
+  verdicts keyed by content fingerprints, with budget-monotone derivation
+  for removal/label-flip families;
+* the **resumable run journal** (:class:`RunJournal`): per-point checkpoints
+  that let a killed batch restart where it left off.
+
+:class:`CertificationRuntime` is the facade binding them together; pass it to
+``CertificationEngine(runtime=...)`` or let parallel batches pick up the
+process-wide shared-memory default.
+"""
+
+from repro.runtime.cache import CacheHit, CertificationCache
+from repro.runtime.fingerprint import (
+    engine_cache_key,
+    fingerprint_dataset,
+    model_cache_key,
+    monotone_in_budget,
+    point_digest,
+)
+from repro.runtime.journal import RunJournal, run_id
+from repro.runtime.runtime import (
+    BatchStats,
+    BudgetSweepOutcome,
+    CertificationRuntime,
+    default_runtime,
+)
+from repro.runtime.shm import DatasetStore, SharedDatasetHandle, default_store
+
+__all__ = [
+    "BatchStats",
+    "BudgetSweepOutcome",
+    "CacheHit",
+    "CertificationCache",
+    "CertificationRuntime",
+    "DatasetStore",
+    "RunJournal",
+    "SharedDatasetHandle",
+    "default_runtime",
+    "default_store",
+    "engine_cache_key",
+    "fingerprint_dataset",
+    "model_cache_key",
+    "monotone_in_budget",
+    "point_digest",
+    "run_id",
+]

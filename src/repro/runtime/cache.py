@@ -1,0 +1,246 @@
+"""Persistent, monotonicity-aware verdict cache.
+
+Certification verdicts are pure functions of ``(dataset content, test point,
+perturbation family + budget, engine configuration)`` — nothing about the
+host, the process, or the wall clock can change whether a point is robust.
+That makes them ideal cache entries: this module stores them in a sqlite
+database under a cache directory, keyed by the content-addressed identities
+of :mod:`repro.runtime.fingerprint`.
+
+Beyond exact-key hits, the cache exploits **budget monotonicity** (the
+perturbation spaces of the removal and label-flip families are nested in the
+budget):
+
+* a point proven ``robust`` at budget ``n`` answers every query at ``n' ≤ n``;
+* a point left ``unknown`` at budget ``n`` answers every query at ``n' ≥ n``.
+
+Only decisive verdicts (``robust`` / ``unknown``) are stored.  ``timeout``
+and ``resource_exhausted`` outcomes depend on the machine and the configured
+limits, so they are always recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.verify.result import VerificationResult, VerificationStatus
+
+#: Statuses that are environment-independent facts about the proof problem.
+#: Shared with the run journal: neither layer may persist a timeout or a
+#: resource exhaustion, or a resumed/warm run would keep serving an outcome
+#: that a faster machine (or a raised limit) would not reproduce.
+CACHEABLE_STATUSES = (VerificationStatus.ROBUST, VerificationStatus.UNKNOWN)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS verdicts (
+    dataset_fp   TEXT    NOT NULL,
+    point_digest TEXT    NOT NULL,
+    family       TEXT    NOT NULL,
+    engine_key   TEXT    NOT NULL,
+    budget       INTEGER NOT NULL,
+    status       TEXT    NOT NULL,
+    payload      TEXT    NOT NULL,
+    created_at   REAL    NOT NULL,
+    PRIMARY KEY (dataset_fp, point_digest, family, engine_key, budget)
+);
+CREATE INDEX IF NOT EXISTS idx_verdicts_lookup
+    ON verdicts (dataset_fp, point_digest, family, engine_key, status, budget);
+"""
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """One answered lookup: the stored verdict plus how it was derived.
+
+    ``kind`` is ``"exact"`` for a same-budget row or ``"monotone"`` when the
+    verdict was derived from a different budget; ``stored_budget`` records
+    which budget actually produced the proof.
+    """
+
+    result: VerificationResult
+    kind: str
+    stored_budget: int
+
+    @property
+    def is_exact(self) -> bool:
+        return self.kind == "exact"
+
+
+class CertificationCache:
+    """On-disk verdict store shared by every run against a cache directory."""
+
+    DB_NAME = "certcache.sqlite"
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir).expanduser()
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.db_path = self.cache_dir / self.DB_NAME
+        self._connection: Optional[sqlite3.Connection] = None
+
+    # ------------------------------------------------------------ connection
+    @property
+    def _db(self) -> sqlite3.Connection:
+        if self._connection is None:
+            # WAL lets concurrent processes read while a batch writes, and
+            # the 30s busy timeout rides out another writer's commit window.
+            self._connection = sqlite3.connect(str(self.db_path), timeout=30.0)
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.executescript(_SCHEMA)
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __getstate__(self) -> dict:
+        # sqlite connections cannot cross process boundaries; reconnect lazily.
+        state = dict(self.__dict__)
+        state["_connection"] = None
+        return state
+
+    # ---------------------------------------------------------------- lookup
+    def lookup(
+        self,
+        dataset_fp: str,
+        point_digest: str,
+        family: str,
+        engine_key: str,
+        budget: int,
+        *,
+        monotone: bool = True,
+    ) -> Optional[CacheHit]:
+        """Answer one verdict query, or return ``None`` on a miss.
+
+        With ``monotone=True`` the lookup may derive the answer from a verdict
+        stored at a different budget (see the module docstring); the caller is
+        responsible for only enabling this for monotone model families.
+        """
+        base = (dataset_fp, point_digest, family, engine_key)
+        row = self._db.execute(
+            "SELECT payload, budget FROM verdicts WHERE dataset_fp=? AND "
+            "point_digest=? AND family=? AND engine_key=? AND budget=?",
+            base + (budget,),
+        ).fetchone()
+        if row is not None:
+            return CacheHit(
+                result=VerificationResult.from_dict(json.loads(row[0])),
+                kind="exact",
+                stored_budget=int(row[1]),
+            )
+        if not monotone:
+            return None
+        # Robust at a larger budget ⇒ robust here.
+        row = self._db.execute(
+            "SELECT payload, budget FROM verdicts WHERE dataset_fp=? AND "
+            "point_digest=? AND family=? AND engine_key=? AND status=? AND "
+            "budget>=? ORDER BY budget ASC LIMIT 1",
+            base + (VerificationStatus.ROBUST.value, budget),
+        ).fetchone()
+        if row is not None:
+            return CacheHit(
+                result=VerificationResult.from_dict(json.loads(row[0])),
+                kind="monotone",
+                stored_budget=int(row[1]),
+            )
+        # Unknown at a smaller budget ⇒ still unknown here.
+        row = self._db.execute(
+            "SELECT payload, budget FROM verdicts WHERE dataset_fp=? AND "
+            "point_digest=? AND family=? AND engine_key=? AND status=? AND "
+            "budget<=? ORDER BY budget DESC LIMIT 1",
+            base + (VerificationStatus.UNKNOWN.value, budget),
+        ).fetchone()
+        if row is not None:
+            return CacheHit(
+                result=VerificationResult.from_dict(json.loads(row[0])),
+                kind="monotone",
+                stored_budget=int(row[1]),
+            )
+        return None
+
+    # ----------------------------------------------------------------- store
+    def store(
+        self,
+        dataset_fp: str,
+        point_digest: str,
+        family: str,
+        engine_key: str,
+        budget: int,
+        result: VerificationResult,
+        *,
+        commit: bool = True,
+    ) -> bool:
+        """Persist one verdict; returns whether it was cacheable.
+
+        Batch writers pass ``commit=False`` and call :meth:`commit` in
+        chunks — a per-verdict fsync on the hot path is wasted work when the
+        run journal already provides crash-granularity recovery.  Chunked
+        (rather than end-of-batch) commits matter for concurrency: an open
+        write transaction blocks other writers of the same cache, so it must
+        never be held for a whole multi-minute batch.
+        """
+        if result.status not in CACHEABLE_STATUSES:
+            return False
+        self._db.execute(
+            "INSERT OR REPLACE INTO verdicts VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                dataset_fp,
+                point_digest,
+                family,
+                engine_key,
+                int(budget),
+                result.status.value,
+                json.dumps(result.to_dict()),
+                time.time(),
+            ),
+        )
+        if commit:
+            self._db.commit()
+        return True
+
+    def commit(self) -> None:
+        """Flush verdicts stored with ``commit=False``."""
+        if self._connection is not None:
+            self._connection.commit()
+
+    # ------------------------------------------------------------ management
+    def stats(self) -> dict:
+        """Aggregate cache statistics for the ``cache stats`` CLI command."""
+        total = self._db.execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
+        by_status = dict(
+            self._db.execute(
+                "SELECT status, COUNT(*) FROM verdicts GROUP BY status"
+            ).fetchall()
+        )
+        datasets = self._db.execute(
+            "SELECT COUNT(DISTINCT dataset_fp) FROM verdicts"
+        ).fetchone()[0]
+        return {
+            "path": str(self.db_path),
+            "verdicts": int(total),
+            "by_status": {key: int(value) for key, value in by_status.items()},
+            "datasets": int(datasets),
+            "size_bytes": self.db_path.stat().st_size if self.db_path.exists() else 0,
+        }
+
+    def clear(self) -> int:
+        """Delete every stored verdict and run journal; returns the verdict count.
+
+        Journals must go too: a ``--resume`` after a clear would otherwise
+        replay the supposedly-deleted verdicts, and the journal files are
+        where most of the reclaimed disk lives.
+        """
+        removed = self._db.execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
+        self._db.execute("DELETE FROM verdicts")
+        self._db.commit()
+        for journal in self.cache_dir.glob("journal-*.jsonl"):
+            try:
+                journal.unlink()
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
+        return int(removed)

@@ -1,0 +1,139 @@
+"""Content-addressed keys for the runtime layer.
+
+Every runtime feature — the shared-memory dataset plane, the persistent
+certification cache, and the resumable run journal — needs stable identities
+that survive process boundaries and interpreter restarts.  Python object
+identity (``id()``) provides neither, so this module derives keys from
+*content*:
+
+* :func:`fingerprint_dataset` — SHA-256 over the feature matrix, the labels,
+  the class count, and the feature kinds of a :class:`~repro.core.dataset.Dataset`.
+  Cosmetic metadata (``name``, ``feature_names``, ``class_names``) is
+  deliberately excluded: renaming a dataset must not invalidate its verdicts.
+* :func:`point_digest` — SHA-256 of one test point's ``float64`` bytes.
+* :func:`model_cache_key` — the ``(family, resolved budget)`` pair a
+  perturbation model denotes against a given training size.  Two models that
+  resolve to the same family and budget (e.g. ``RemovalPoisoningModel(1000)``
+  and ``FractionalRemovalModel(0.5)`` on a 100-row set with budget 100 ≡ 50…
+  when equal) share cached verdicts.
+* :func:`engine_cache_key` — the engine configuration facets that can change
+  a verdict (depth, domain, cprob method, disjunct budget, impurity,
+  predicate pool).  ``timeout_seconds`` is excluded on purpose: timeouts are
+  environment-dependent and are never cached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.poisoning.models import (
+    FractionalRemovalModel,
+    LabelFlipModel,
+    PerturbationModel,
+    RemovalPoisoningModel,
+)
+
+#: Attribute used to memoize the fingerprint on the (frozen) dataset instance.
+_FINGERPRINT_ATTR = "_content_fingerprint"
+
+#: Version tag mixed into every digest so future key-schema changes cannot
+#: collide with verdicts cached under the old schema.
+_SCHEMA = b"repro-runtime-v1"
+
+
+def _hash_array(hasher: "hashlib._Hash", array: np.ndarray) -> None:
+    hasher.update(str(array.dtype).encode())
+    hasher.update(str(array.shape).encode())
+    hasher.update(np.ascontiguousarray(array).tobytes())
+
+
+def fingerprint_dataset(dataset: Dataset) -> str:
+    """Return the content fingerprint of a dataset (hex SHA-256).
+
+    The fingerprint covers ``X``, ``y``, ``n_classes``, and the feature
+    kinds — everything that can influence a certification verdict — and
+    nothing cosmetic.  It is memoized on the instance, so repeated calls are
+    O(1) after the first.
+    """
+    cached = getattr(dataset, _FINGERPRINT_ATTR, None)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256(_SCHEMA)
+    _hash_array(hasher, dataset.X)
+    _hash_array(hasher, dataset.y)
+    hasher.update(str(dataset.n_classes).encode())
+    hasher.update("|".join(kind.value for kind in dataset.feature_kinds).encode())
+    fingerprint = hasher.hexdigest()
+    # Dataset is a frozen dataclass; memoize through object.__setattr__ (the
+    # same door its own __post_init__ uses).
+    object.__setattr__(dataset, _FINGERPRINT_ATTR, fingerprint)
+    return fingerprint
+
+
+def point_digest(x: Sequence[float]) -> str:
+    """Return the content digest of one test point (hex SHA-256)."""
+    row = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+    hasher = hashlib.sha256(_SCHEMA)
+    hasher.update(str(row.shape).encode())
+    hasher.update(row.tobytes())
+    return hasher.hexdigest()
+
+
+def model_cache_key(model: PerturbationModel, training_size: int) -> Tuple[str, int]:
+    """Return ``(family, resolved_budget)`` for a model against a training set.
+
+    The family string identifies the *semantics* of the perturbation space;
+    the resolved budget is the integer the monotonicity argument ranges over.
+    Removal-style models (``RemovalPoisoningModel``, ``FractionalRemovalModel``)
+    share the ``"removal"`` family because they denote the same ``Δn`` space
+    once the budget is resolved.
+    """
+    budget = model.resolve_budget(training_size)
+    if isinstance(model, (RemovalPoisoningModel, FractionalRemovalModel)):
+        return "removal", budget
+    if isinstance(model, LabelFlipModel):
+        return f"label-flip:k={model.n_classes}", budget
+    # Unknown families fall back to a describing key; monotonicity is not
+    # assumed for them (see monotone_in_budget).
+    return f"{type(model).__name__}:{model.describe()}", budget
+
+
+def monotone_in_budget(model: PerturbationModel) -> bool:
+    """Whether certification for this model family is monotone in the budget.
+
+    For removal and label-flip models the perturbation spaces are nested
+    (``Δn'(T) ⊆ Δn(T)`` for ``n' ≤ n``), so a point proven robust at budget
+    ``n`` is robust at every smaller budget, and a point *not* provable at
+    ``n`` stays unprovable at every larger budget.  Unknown model families
+    get no such assumption.
+    """
+    return isinstance(
+        model, (RemovalPoisoningModel, FractionalRemovalModel, LabelFlipModel)
+    )
+
+
+def engine_cache_key(engine) -> str:
+    """Return the verdict-relevant configuration key of a certification engine.
+
+    Includes every knob that can change a (non-timeout) verdict; excludes
+    ``timeout_seconds`` because timeout outcomes are never cached.
+    """
+    pool = getattr(engine, "predicate_pool", None)
+    if pool is None:
+        pool_key = "default"
+    else:
+        pool_key = hashlib.sha256(
+            "|".join(repr(p) for p in pool).encode()
+        ).hexdigest()[:16]
+    return (
+        f"depth={engine.max_depth}"
+        f"|domain={engine.domain}"
+        f"|cprob={engine.cprob_method}"
+        f"|disjuncts={engine.max_disjuncts}"
+        f"|impurity={engine.impurity}"
+        f"|pool={pool_key}"
+    )

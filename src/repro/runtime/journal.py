@@ -1,0 +1,99 @@
+"""Resumable run journals: crash-safe checkpoints for long batches.
+
+A killed 10,000-point ``certify_batch`` used to mean 10,000 points redone.
+The journal gives every batch a deterministic run id — derived from the
+dataset fingerprint, the ordered point digests, the model family/budget, and
+the engine key — and appends one JSON line per completed point to
+``journal-<run id>.jsonl`` under the cache directory.  Restarting the same
+batch with ``resume=True`` replays the completed verdicts and certifies only
+the remainder; the reassembled report is identical to an uninterrupted run.
+
+The format is append-only JSONL so that a crash mid-write costs at most the
+last (truncated) line, which :meth:`RunJournal.load` tolerates and drops.
+Journals only exist while their run is unfinished: once a batch completes,
+its verdicts all live in the verdict cache and the runtime discards the
+file, so the cache directory holds one journal per *in-flight* batch, not
+one per batch ever run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Sequence, Union
+
+from repro.verify.result import VerificationResult
+
+
+def run_id(
+    dataset_fp: str,
+    point_digests: Sequence[str],
+    family: str,
+    budget: int,
+    engine_key: str,
+) -> str:
+    """Deterministic identity of one batch run (16 hex chars).
+
+    Two invocations with the same dataset content, the same points in the
+    same order, the same threat model, and the same engine configuration get
+    the same id — and therefore share journal state.
+    """
+    hasher = hashlib.sha256(b"repro-run-v1")
+    hasher.update(dataset_fp.encode())
+    hasher.update(f"{family}|{budget}|{engine_key}|{len(point_digests)}".encode())
+    for digest in point_digests:
+        hasher.update(digest.encode())
+    return hasher.hexdigest()[:16]
+
+
+class RunJournal:
+    """Append-only progress log for one (resumable) batch run."""
+
+    def __init__(self, cache_dir: Union[str, Path], run: str) -> None:
+        self.run = run
+        self.path = Path(cache_dir) / f"journal-{run}.jsonl"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # ----------------------------------------------------------------- state
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> Dict[int, VerificationResult]:
+        """Return the completed ``index -> result`` entries of a prior run.
+
+        Truncated or malformed trailing lines (a crash mid-append) are
+        skipped; everything before them is recovered.
+        """
+        completed: Dict[int, VerificationResult] = {}
+        if not self.path.exists():
+            return completed
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    if "index" in entry:
+                        completed[int(entry["index"])] = VerificationResult.from_dict(
+                            entry["result"]
+                        )
+                except (ValueError, KeyError, TypeError):
+                    continue
+        return completed
+
+    def discard(self) -> None:
+        """Delete any prior progress (a fresh, non-resuming run)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # --------------------------------------------------------------- writing
+    def record(self, index: int, result: VerificationResult) -> None:
+        """Append one completed point (flushed immediately for crash safety)."""
+        line = json.dumps({"index": int(index), "result": result.to_dict()})
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()

@@ -1,0 +1,273 @@
+"""Zero-copy dataset sharing across worker processes.
+
+``certify_batch(n_jobs=N)`` used to pickle the full training set into every
+pool worker through the initializer arguments — O(dataset × workers) bytes
+copied, serialized, and deserialized before the first point is certified.
+This module publishes a :class:`~repro.core.dataset.Dataset`'s arrays once
+into POSIX shared memory (:mod:`multiprocessing.shared_memory`) and hands
+workers a tiny picklable :class:`SharedDatasetHandle` instead; each worker
+*attaches* to the same physical pages and reconstructs a Dataset whose
+``X``/``y`` are zero-copy views.
+
+Lifecycle rules:
+
+* the **publisher** (:class:`DatasetStore`) owns the segments: it keeps them
+  alive for the duration of the process and unlinks them at :meth:`close`
+  (registered with :mod:`atexit`);
+* **attachers** only close their mapping; they never unlink.  On Python
+  < 3.13 attaching also registers the segment with the resource tracker.
+  Whether that registration must be undone depends on how the attacher was
+  started: fork-started workers *share* the publisher's tracker process (the
+  duplicate registration is an idempotent no-op, and unregistering would
+  erase the publisher's own entry), while spawn-started workers run a
+  private tracker that would unlink the segment when the worker exits.
+  :func:`_attach_segment` detects which situation it is in and unregisters
+  only from private trackers — mirroring the upstream ``track=False`` fix of
+  Python 3.13 without its version requirement.
+
+Hosts without a usable shared-memory filesystem (some sandboxes mount no
+``/dev/shm``) make :meth:`DatasetStore.publish` return ``None``; callers fall
+back to the pickled-dataset path.
+"""
+
+from __future__ import annotations
+
+import atexit
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dataset import Dataset, FeatureKind
+from repro.runtime.fingerprint import fingerprint_dataset
+
+
+#: Whether this process runs a *private* resource tracker (decided once, at
+#: the first attach, before that attach can start one): ``None`` = undecided.
+_PRIVATE_TRACKER: Optional[bool] = None
+
+
+def _tracker_is_private() -> bool:
+    """Whether attach-time tracker registrations belong to this process alone.
+
+    A tracker pipe inherited from the parent (fork/forkserver) — or started
+    by this process's own ``create=True`` segments — must keep the
+    registration; a tracker this process is about to start just to record an
+    attach must not, or it will unlink the publisher's segment on exit.
+    """
+    global _PRIVATE_TRACKER
+    if _PRIVATE_TRACKER is None:
+        try:  # pragma: no cover - depends on interpreter internals
+            from multiprocessing import resource_tracker
+
+            _PRIVATE_TRACKER = resource_tracker._resource_tracker._fd is None
+        except Exception:
+            _PRIVATE_TRACKER = False
+    return _PRIVATE_TRACKER
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    private = _tracker_is_private()
+    shm = shared_memory.SharedMemory(name=name)
+    if private:
+        try:  # pragma: no cover - spawn-started workers only
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+    return shm
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Where and how to find one array inside a shared-memory segment."""
+
+    segment: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    def read(self, shm: shared_memory.SharedMemory) -> np.ndarray:
+        return np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=shm.buf)
+
+
+@dataclass(frozen=True)
+class SharedDatasetHandle:
+    """A picklable descriptor of a dataset published in shared memory.
+
+    The handle is what travels through the process-pool initializer instead
+    of the dataset itself: a few hundred bytes of names and shapes, however
+    large the training set is.
+    """
+
+    fingerprint: str
+    X_spec: SharedArraySpec
+    y_spec: SharedArraySpec
+    n_classes: int
+    feature_kinds: Tuple[str, ...]
+    feature_names: Tuple[str, ...]
+    class_names: Tuple[str, ...]
+    name: str
+
+    def attach(self) -> Dataset:
+        """Reconstruct the dataset as zero-copy views over the shared pages.
+
+        Attached segments are cached per process (keyed by fingerprint) so a
+        worker certifying many points maps the dataset exactly once.
+        """
+        cached = _ATTACHED_DATASETS.get(self.fingerprint)
+        if cached is not None:
+            return cached
+        x_shm = _attach_segment(self.X_spec.segment)
+        y_shm = _attach_segment(self.y_spec.segment)
+        # Keep the mappings referenced for the life of the process: the numpy
+        # views below borrow their buffers.
+        _ATTACHED_SEGMENTS[self.X_spec.segment] = x_shm
+        _ATTACHED_SEGMENTS[self.y_spec.segment] = y_shm
+        dataset = Dataset(
+            X=self.X_spec.read(x_shm),
+            y=self.y_spec.read(y_shm),
+            n_classes=self.n_classes,
+            feature_kinds=tuple(FeatureKind(kind) for kind in self.feature_kinds),
+            feature_names=self.feature_names,
+            class_names=self.class_names,
+            name=self.name,
+        )
+        # The views already carry the published content; stamp the known
+        # fingerprint so workers skip rehashing the whole matrix.
+        object.__setattr__(dataset, "_content_fingerprint", self.fingerprint)
+        _ATTACHED_DATASETS[self.fingerprint] = dataset
+        return dataset
+
+
+#: Per-process registries keeping attached segments (and the datasets built
+#: over them) alive; populated by SharedDatasetHandle.attach in pool workers.
+_ATTACHED_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+_ATTACHED_DATASETS: Dict[str, Dataset] = {}
+
+
+class DatasetStore:
+    """Publisher side of the shared-memory dataset plane.
+
+    One store per process is enough: segments are cached by content
+    fingerprint, so publishing the same dataset (or an equal copy of it)
+    twice reuses the existing pages.  The store holds at most
+    ``max_datasets`` published datasets — least-recently-used ones are
+    unlinked as new ones arrive, so a long-lived service cycling through
+    many datasets cannot fill the shared-memory filesystem.  (Unlinking is
+    safe for batches already running: attached mappings survive the unlink;
+    only a *new* attach of an evicted handle fails, and the engine then
+    falls back to the pickled dataset.)
+    """
+
+    def __init__(self, max_datasets: int = 8) -> None:
+        self.max_datasets = max_datasets
+        # fingerprint -> (handle, its segments); insertion order is LRU order.
+        self._published: Dict[
+            str, Tuple[SharedDatasetHandle, Tuple[shared_memory.SharedMemory, ...]]
+        ] = {}
+        atexit.register(self.close)
+
+    # ---------------------------------------------------------------- publish
+    def publish(self, dataset: Dataset) -> Optional[SharedDatasetHandle]:
+        """Publish a dataset's arrays; return its handle, or ``None``.
+
+        ``None`` signals that shared memory is unusable on this host right
+        now — the first attempt failed, and retrying after evicting every
+        held segment failed too.
+        """
+        fingerprint = fingerprint_dataset(dataset)
+        entry = self._published.get(fingerprint)
+        if entry is not None:
+            # Refresh LRU position.
+            self._published[fingerprint] = self._published.pop(fingerprint)
+            return entry[0]
+        while len(self._published) >= self.max_datasets:
+            self._evict_oldest()
+        try:
+            specs, segments = self._publish_arrays(dataset)
+        except OSError:
+            # Most likely the shared-memory filesystem is full; free our own
+            # stale segments and retry once before giving up on this batch.
+            while self._published:
+                self._evict_oldest()
+            try:
+                specs, segments = self._publish_arrays(dataset)
+            except OSError:
+                return None
+        handle = SharedDatasetHandle(
+            fingerprint=fingerprint,
+            X_spec=specs[0],
+            y_spec=specs[1],
+            n_classes=dataset.n_classes,
+            feature_kinds=tuple(kind.value for kind in dataset.feature_kinds),
+            feature_names=dataset.feature_names,
+            class_names=dataset.class_names,
+            name=dataset.name,
+        )
+        self._published[fingerprint] = (handle, segments)
+        return handle
+
+    def _publish_arrays(
+        self, dataset: Dataset
+    ) -> Tuple[Tuple[SharedArraySpec, ...], Tuple[shared_memory.SharedMemory, ...]]:
+        """Publish X and y; on any failure, unlink whatever was created."""
+        specs = []
+        segments = []
+        try:
+            for array in (dataset.X, dataset.y):
+                contiguous = np.ascontiguousarray(array)
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, contiguous.nbytes)
+                )
+                segments.append(shm)
+                view = np.ndarray(contiguous.shape, dtype=contiguous.dtype, buffer=shm.buf)
+                view[...] = contiguous
+                specs.append(
+                    SharedArraySpec(
+                        segment=shm.name,
+                        shape=tuple(contiguous.shape),
+                        dtype=str(contiguous.dtype),
+                    )
+                )
+        except OSError:
+            self._unlink_segments(segments)
+            raise
+        return tuple(specs), tuple(segments)
+
+    # ---------------------------------------------------------------- cleanup
+    @staticmethod
+    def _unlink_segments(segments) -> None:
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:  # pragma: no cover - already reclaimed by the OS
+                pass
+
+    def _evict_oldest(self) -> None:
+        fingerprint = next(iter(self._published))
+        _, segments = self._published.pop(fingerprint)
+        self._unlink_segments(segments)
+
+    @property
+    def published_count(self) -> int:
+        return len(self._published)
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent)."""
+        for _, segments in self._published.values():
+            self._unlink_segments(segments)
+        self._published.clear()
+
+
+_DEFAULT_STORE: Optional[DatasetStore] = None
+
+
+def default_store() -> DatasetStore:
+    """The process-wide dataset store (created lazily)."""
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        _DEFAULT_STORE = DatasetStore()
+    return _DEFAULT_STORE

@@ -7,6 +7,7 @@ bit; no module ever touches NumPy's global random state.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Union
 
 import numpy as np
@@ -29,9 +30,19 @@ def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
 
 
 def derive_seed(seed: Optional[int], *salts: object) -> int:
-    """Derive a stable child seed from a base seed and arbitrary hashable salts."""
+    """Derive a stable child seed from a base seed and arbitrary salts.
+
+    Salts are folded in through SHA-256 rather than ``hash()``: Python's
+    string hashing is randomized per process (``PYTHONHASHSEED``), which
+    would make "deterministic" datasets differ between processes — breaking
+    both reproducibility and any content-addressed caching of results
+    derived from them.
+    """
     base = 0 if seed is None else int(seed)
     digest = base & 0xFFFFFFFF
     for salt in salts:
-        digest = (digest * 1000003 + hash(str(salt))) & 0xFFFFFFFF
+        salted = int.from_bytes(
+            hashlib.sha256(str(salt).encode("utf-8")).digest()[:4], "little"
+        )
+        digest = (digest * 1000003 + salted) & 0xFFFFFFFF
     return digest

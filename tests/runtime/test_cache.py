@@ -1,0 +1,137 @@
+"""Tests for the persistent, monotonicity-aware verdict cache."""
+
+import pytest
+
+from repro.domains.interval import Interval
+from repro.runtime import CertificationCache
+from repro.verify.result import VerificationResult, VerificationStatus
+
+FP = "a" * 64
+POINT = "b" * 64
+ENGINE = "depth=1|domain=box"
+
+
+def _result(status, n=2):
+    return VerificationResult(
+        status=status,
+        poisoning_amount=n,
+        predicted_class=0,
+        certified_class=0 if status is VerificationStatus.ROBUST else None,
+        class_intervals=(Interval(0.6, 0.9), Interval(0.1, 0.4)),
+        domain="box",
+        elapsed_seconds=0.5,
+        peak_memory_bytes=1024,
+        exit_count=3,
+        max_disjuncts=1,
+        log10_num_datasets=4.2,
+        message="",
+    )
+
+
+@pytest.fixture
+def cache(tmp_path):
+    cache = CertificationCache(tmp_path)
+    yield cache
+    cache.close()
+
+
+class TestExactHits:
+    def test_round_trip(self, cache):
+        stored = _result(VerificationStatus.ROBUST)
+        assert cache.store(FP, POINT, "removal", ENGINE, 2, stored)
+        hit = cache.lookup(FP, POINT, "removal", ENGINE, 2)
+        assert hit is not None and hit.is_exact
+        assert hit.result == stored
+
+    def test_miss_on_empty(self, cache):
+        assert cache.lookup(FP, POINT, "removal", ENGINE, 2) is None
+
+    def test_persists_across_reopen(self, cache, tmp_path):
+        cache.store(FP, POINT, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST))
+        cache.close()
+        reopened = CertificationCache(tmp_path)
+        assert reopened.lookup(FP, POINT, "removal", ENGINE, 2) is not None
+        reopened.close()
+
+    def test_key_facets_isolate_entries(self, cache):
+        cache.store(FP, POINT, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST))
+        assert cache.lookup("c" * 64, POINT, "removal", ENGINE, 2) is None
+        assert cache.lookup(FP, "d" * 64, "removal", ENGINE, 2) is None
+        assert cache.lookup(FP, POINT, "label-flip:k=2", ENGINE, 2) is None
+        assert cache.lookup(FP, POINT, "removal", "depth=2|domain=box", 2) is None
+
+
+class TestMonotoneDerivation:
+    def test_robust_at_larger_budget_answers_smaller(self, cache):
+        cache.store(FP, POINT, "removal", ENGINE, 5, _result(VerificationStatus.ROBUST, 5))
+        hit = cache.lookup(FP, POINT, "removal", ENGINE, 3)
+        assert hit is not None and not hit.is_exact
+        assert hit.stored_budget == 5
+        assert hit.result.status is VerificationStatus.ROBUST
+
+    def test_unknown_at_smaller_budget_answers_larger(self, cache):
+        cache.store(FP, POINT, "removal", ENGINE, 2, _result(VerificationStatus.UNKNOWN, 2))
+        hit = cache.lookup(FP, POINT, "removal", ENGINE, 7)
+        assert hit is not None and not hit.is_exact
+        assert hit.result.status is VerificationStatus.UNKNOWN
+
+    def test_no_derivation_in_the_unsound_directions(self, cache):
+        # robust at 2 says nothing about 3; unknown at 5 says nothing about 4.
+        cache.store(FP, POINT, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST, 2))
+        cache.store(FP, POINT, "removal", ENGINE, 5, _result(VerificationStatus.UNKNOWN, 5))
+        assert cache.lookup(FP, POINT, "removal", ENGINE, 3) is None
+        assert cache.lookup(FP, POINT, "removal", ENGINE, 4) is None
+
+    def test_monotone_flag_disables_derivation(self, cache):
+        cache.store(FP, POINT, "weird", ENGINE, 5, _result(VerificationStatus.ROBUST, 5))
+        assert cache.lookup(FP, POINT, "weird", ENGINE, 3, monotone=False) is None
+
+
+class TestCachePolicy:
+    def test_environmental_outcomes_never_stored(self, cache):
+        assert not cache.store(
+            FP, POINT, "removal", ENGINE, 2, _result(VerificationStatus.TIMEOUT)
+        )
+        assert not cache.store(
+            FP, POINT, "removal", ENGINE, 2, _result(VerificationStatus.RESOURCE_EXHAUSTED)
+        )
+        assert cache.lookup(FP, POINT, "removal", ENGINE, 2) is None
+
+    def test_stats_and_clear(self, cache):
+        cache.store(FP, POINT, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST))
+        cache.store(FP, "f" * 64, "removal", ENGINE, 2, _result(VerificationStatus.UNKNOWN))
+        stats = cache.stats()
+        assert stats["verdicts"] == 2
+        assert stats["by_status"] == {"robust": 1, "unknown": 1}
+        assert stats["datasets"] == 1
+        assert cache.clear() == 2
+        assert cache.stats()["verdicts"] == 0
+
+    def test_clear_removes_run_journals(self, cache):
+        # A cleared cache must not keep serving verdicts through --resume.
+        journal = cache.cache_dir / "journal-deadbeef.jsonl"
+        journal.write_text('{"index": 0}\n', encoding="utf-8")
+        cache.clear()
+        assert not journal.exists()
+
+    def test_concurrent_handles_can_interleave_writes(self, tmp_path):
+        # Two processes sharing a cache dir must not deadlock each other:
+        # chunked commits + WAL keep write transactions short.
+        first = CertificationCache(tmp_path)
+        second = CertificationCache(tmp_path)
+        try:
+            first.store(FP, POINT, "removal", ENGINE, 1, _result(VerificationStatus.ROBUST, 1))
+            second.store(FP, POINT, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST, 2))
+            first.store(FP, POINT, "removal", ENGINE, 3, _result(VerificationStatus.ROBUST, 3))
+            assert second.stats()["verdicts"] == 3
+            assert first._db.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        finally:
+            first.close()
+            second.close()
+
+    def test_cache_dir_expands_user(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        cache = CertificationCache("~/certcache")
+        assert cache.cache_dir == tmp_path / "certcache"
+        assert cache.cache_dir.is_dir()
+        cache.close()

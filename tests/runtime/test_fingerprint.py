@@ -1,0 +1,125 @@
+"""Tests for the content-addressed keys of the runtime layer."""
+
+import numpy as np
+
+from repro.core.dataset import Dataset, FeatureKind
+from repro.poisoning.models import (
+    FractionalRemovalModel,
+    LabelFlipModel,
+    RemovalPoisoningModel,
+)
+from repro.api import CertificationEngine
+from repro.runtime import (
+    engine_cache_key,
+    fingerprint_dataset,
+    model_cache_key,
+    monotone_in_budget,
+    point_digest,
+)
+
+
+def _dataset(**changes):
+    fields = dict(
+        X=np.array([[0.0, 1.0], [1.0, 0.0], [2.0, 1.0], [3.0, 0.0]]),
+        y=np.array([0, 1, 0, 1]),
+        n_classes=2,
+        name="fp-test",
+    )
+    fields.update(changes)
+    return Dataset(**fields)
+
+
+class TestDatasetFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        assert fingerprint_dataset(_dataset()) == fingerprint_dataset(_dataset())
+
+    def test_cosmetic_metadata_excluded(self):
+        renamed = _dataset(
+            name="other-name",
+            feature_names=("alpha", "beta"),
+            class_names=("neg", "pos"),
+        )
+        assert fingerprint_dataset(renamed) == fingerprint_dataset(_dataset())
+
+    def test_content_changes_change_fingerprint(self):
+        base = fingerprint_dataset(_dataset())
+        shifted = _dataset(X=np.array([[0.0, 1.0], [1.0, 0.0], [2.0, 1.0], [3.0, 0.5]]))
+        relabelled = _dataset(y=np.array([1, 1, 0, 1]))
+        assert fingerprint_dataset(shifted) != base
+        assert fingerprint_dataset(relabelled) != base
+
+    def test_feature_kinds_included(self):
+        boolean_ish = _dataset(
+            X=np.array([[0.0, 1.0], [1.0, 0.0], [1.0, 1.0], [0.0, 0.0]])
+        )
+        as_real = Dataset(
+            X=boolean_ish.X,
+            y=boolean_ish.y,
+            n_classes=2,
+            feature_kinds=(FeatureKind.REAL, FeatureKind.REAL),
+        )
+        as_boolean = Dataset(
+            X=boolean_ish.X,
+            y=boolean_ish.y,
+            n_classes=2,
+            feature_kinds=(FeatureKind.BOOLEAN, FeatureKind.BOOLEAN),
+        )
+        assert fingerprint_dataset(as_real) != fingerprint_dataset(as_boolean)
+
+    def test_memoized_on_instance(self):
+        dataset = _dataset()
+        first = fingerprint_dataset(dataset)
+        assert getattr(dataset, "_content_fingerprint") == first
+        assert fingerprint_dataset(dataset) is first
+
+
+class TestPointDigest:
+    def test_equal_points_equal_digest(self):
+        assert point_digest([1.0, 2.0]) == point_digest(np.array([1.0, 2.0]))
+
+    def test_different_points_differ(self):
+        assert point_digest([1.0, 2.0]) != point_digest([2.0, 1.0])
+
+
+class TestModelKey:
+    def test_removal_and_fractional_share_family(self):
+        # On a 100-row set, 25% == 25 removals: same perturbation space.
+        family_a, budget_a = model_cache_key(RemovalPoisoningModel(25), 100)
+        family_b, budget_b = model_cache_key(FractionalRemovalModel(0.25), 100)
+        assert (family_a, budget_a) == (family_b, budget_b) == ("removal", 25)
+
+    def test_removal_budget_resolves_against_size(self):
+        family, budget = model_cache_key(RemovalPoisoningModel(1000), 100)
+        assert (family, budget) == ("removal", 100)
+
+    def test_label_flip_family_includes_classes(self):
+        family_two, _ = model_cache_key(LabelFlipModel(2, n_classes=2), 100)
+        family_three, _ = model_cache_key(LabelFlipModel(2, n_classes=3), 100)
+        assert family_two != family_three
+
+    def test_monotone_families(self):
+        assert monotone_in_budget(RemovalPoisoningModel(2))
+        assert monotone_in_budget(FractionalRemovalModel(0.1))
+        assert monotone_in_budget(LabelFlipModel(1))
+
+
+class TestEngineKey:
+    def test_same_configuration_same_key(self):
+        assert engine_cache_key(CertificationEngine(max_depth=2)) == engine_cache_key(
+            CertificationEngine(max_depth=2)
+        )
+
+    def test_verdict_relevant_knobs_change_key(self):
+        base = engine_cache_key(CertificationEngine(max_depth=2, domain="either"))
+        assert engine_cache_key(CertificationEngine(max_depth=3)) != base
+        assert engine_cache_key(CertificationEngine(max_depth=2, domain="box")) != base
+        assert (
+            engine_cache_key(CertificationEngine(max_depth=2, max_disjuncts=16)) != base
+        )
+
+    def test_timeout_excluded_from_key(self):
+        # Timeout verdicts are never cached, so the budget is not part of the
+        # cache identity: warm caches survive a timeout change.
+        with_timeout = CertificationEngine(max_depth=2, timeout_seconds=5.0)
+        without = CertificationEngine(max_depth=2, timeout_seconds=None)
+        assert engine_cache_key(with_timeout) == engine_cache_key(without)

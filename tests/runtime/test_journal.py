@@ -1,0 +1,76 @@
+"""Tests for the resumable run journal."""
+
+from repro.domains.interval import Interval
+from repro.runtime import RunJournal, run_id
+from repro.verify.result import VerificationResult, VerificationStatus
+
+
+def _result(index):
+    return VerificationResult(
+        status=VerificationStatus.ROBUST,
+        poisoning_amount=2,
+        predicted_class=index % 2,
+        certified_class=index % 2,
+        class_intervals=(Interval(0.0, 1.0),),
+        domain="box",
+        elapsed_seconds=0.1,
+        peak_memory_bytes=0,
+        exit_count=1,
+        max_disjuncts=1,
+        log10_num_datasets=3.0,
+    )
+
+
+class TestRunId:
+    def test_deterministic(self):
+        args = ("f" * 64, ["a" * 64, "b" * 64], "removal", 2, "depth=1")
+        assert run_id(*args) == run_id(*args)
+
+    def test_sensitive_to_every_facet(self):
+        base = run_id("f" * 64, ["a" * 64], "removal", 2, "depth=1")
+        assert run_id("e" * 64, ["a" * 64], "removal", 2, "depth=1") != base
+        assert run_id("f" * 64, ["b" * 64], "removal", 2, "depth=1") != base
+        assert run_id("f" * 64, ["a" * 64], "label-flip:k=2", 2, "depth=1") != base
+        assert run_id("f" * 64, ["a" * 64], "removal", 3, "depth=1") != base
+        assert run_id("f" * 64, ["a" * 64], "removal", 2, "depth=2") != base
+
+    def test_sensitive_to_point_order(self):
+        digests = ["a" * 64, "b" * 64]
+        assert run_id("f" * 64, digests, "removal", 2, "d") != run_id(
+            "f" * 64, list(reversed(digests)), "removal", 2, "d"
+        )
+
+
+class TestJournal:
+    def test_record_and_load(self, tmp_path):
+        journal = RunJournal(tmp_path, "abc123")
+        journal.record(0, _result(0))
+        journal.record(3, _result(3))
+        loaded = RunJournal(tmp_path, "abc123").load()
+        assert sorted(loaded) == [0, 3]
+        assert loaded[3].predicted_class == 1
+
+    def test_missing_journal_loads_empty(self, tmp_path):
+        assert RunJournal(tmp_path, "nothere").load() == {}
+
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        journal = RunJournal(tmp_path, "trunc")
+        journal.record(0, _result(0))
+        journal.record(1, _result(1))
+        text = journal.path.read_text(encoding="utf-8")
+        # Simulate a crash mid-append: cut the last line in half.
+        journal.path.write_text(text[: len(text) - 40], encoding="utf-8")
+        loaded = journal.load()
+        assert sorted(loaded) == [0]
+
+    def test_runs_are_isolated(self, tmp_path):
+        RunJournal(tmp_path, "one").record(0, _result(0))
+        assert RunJournal(tmp_path, "two").load() == {}
+
+    def test_discard(self, tmp_path):
+        journal = RunJournal(tmp_path, "gone")
+        journal.record(0, _result(0))
+        journal.discard()
+        assert not journal.exists()
+        assert journal.load() == {}
+        journal.discard()  # idempotent

@@ -67,3 +67,62 @@ class TestCommands:
     def test_figure_command_quick(self, capsys):
         assert main(["figure", "iris", "--quick"]) == 0
         assert "Figure 8" in capsys.readouterr().out
+
+
+class TestCertifyCache:
+    CERTIFY = [
+        "certify", "iris", "--model", "removal", "--n", "2", "--points", "4",
+        "--depth", "1", "--scale", "0.3", "--quiet",
+    ]
+
+    def test_warm_cache_rerun_reports_zero_invocations(self, capsys, tmp_path):
+        cache_args = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(self.CERTIFY + cache_args) == 0
+        capsys.readouterr()
+        assert main(self.CERTIFY + cache_args) == 0
+        output = capsys.readouterr().out
+        assert "learner invocations        | 0" in output
+        assert "100.0% served" in output
+
+    def test_interrupt_and_resume_round_trip(self, capsys, tmp_path):
+        cache_args = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(self.CERTIFY + cache_args + ["--max-new-points", "1"]) == 3
+        err = capsys.readouterr().err
+        assert "rerun with --resume" in err
+        assert main(self.CERTIFY + cache_args + ["--resume"]) == 0
+        assert "journal-restored" in capsys.readouterr().out
+
+    @staticmethod
+    def _metric(output, name):
+        for line in output.splitlines():
+            cells = [cell.strip() for cell in line.split("|")]
+            if cells[0] == name:
+                return cells[1]
+        raise AssertionError(f"metric {name!r} not found in:\n{output}")
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.CERTIFY + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert self._metric(capsys.readouterr().out, "verdicts") == "4"
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared 4 cached verdict(s)" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert self._metric(capsys.readouterr().out, "verdicts") == "0"
+
+    def test_cache_subcommand_requires_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "stats"])
+
+    def test_cache_stats_rejects_missing_directory(self, capsys, tmp_path):
+        code = main(["cache", "stats", "--cache-dir", str(tmp_path / "typo")])
+        assert code == 2
+        assert "no certification cache" in capsys.readouterr().err
+        assert not (tmp_path / "typo").exists()
+
+    def test_resume_flags_require_cache_dir(self, capsys):
+        assert main(self.CERTIFY + ["--resume"]) == 2
+        assert "require --cache-dir" in capsys.readouterr().err
+        assert main(self.CERTIFY + ["--max-new-points", "1"]) == 2
+        assert "require --cache-dir" in capsys.readouterr().err
