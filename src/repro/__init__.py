@@ -37,7 +37,8 @@ Quickstart
 True
 
 One engine certifies every threat model through the same entry point
-(``RemovalPoisoningModel``, ``FractionalRemovalModel``, ``LabelFlipModel``),
+(``RemovalPoisoningModel``, ``FractionalRemovalModel``, ``LabelFlipModel``,
+``CompositePoisoningModel``),
 batches in parallel with ``engine.verify(request, n_jobs=4)``, and streams
 per-point results with ``engine.certify_stream(request)``.  The legacy
 ``PoisoningVerifier`` API still works but is deprecated.
@@ -65,6 +66,7 @@ from repro.domains.interval import Interval
 from repro.domains.trainingset import AbstractTrainingSet
 from repro.poisoning.attacks import AttackResult, greedy_removal_attack, random_removal_attack
 from repro.poisoning.models import (
+    CompositePoisoningModel,
     FractionalRemovalModel,
     LabelFlipModel,
     PerturbationModel,
@@ -117,6 +119,7 @@ __all__ = [
     "AttackResult",
     "greedy_removal_attack",
     "random_removal_attack",
+    "CompositePoisoningModel",
     "FractionalRemovalModel",
     "LabelFlipModel",
     "PerturbationModel",

@@ -17,7 +17,11 @@ this API; the legacy :class:`repro.verify.robustness.PoisoningVerifier` is a
 deprecated shim delegating here.
 """
 
-from repro.api.engine import FLIP_DOMAIN, CertificationEngine
+from repro.api.engine import (
+    FLIP_DISJUNCTS_DOMAIN,
+    FLIP_DOMAIN,
+    CertificationEngine,
+)
 from repro.api.report import CertificationReport
 from repro.api.request import CertificationRequest, ModelLike, as_perturbation_model
 
@@ -25,6 +29,7 @@ __all__ = [
     "CertificationEngine",
     "CertificationReport",
     "CertificationRequest",
+    "FLIP_DISJUNCTS_DOMAIN",
     "FLIP_DOMAIN",
     "ModelLike",
     "as_perturbation_model",

@@ -8,13 +8,18 @@ number of :class:`~repro.api.request.CertificationRequest` objects:
   and the concrete trace learner are constructed **once** per engine and
   reused across every certified point — the legacy ``PoisoningVerifier``
   rebuilt both on every ``verify()`` call;
-* the initial abstraction (``⟨T, n⟩`` for removal models, ``⟨T, 0, f⟩`` for
-  label flips) and ``log10 |Δ(T)|`` are computed once per (dataset, model)
-  pair and shared by every point of a batch;
+* the initial abstraction (``⟨T, n⟩`` for removal models, ``⟨T, r, f⟩`` for
+  the label-flip and composite removal+flip models) and ``log10 |Δ(T)|`` are
+  computed once per (dataset, model) pair and shared by every point of a
+  batch;
 * removal-family models (:class:`RemovalPoisoningModel`,
-  :class:`FractionalRemovalModel`) and :class:`LabelFlipModel` dispatch
-  through the same ``verify(request)`` call into the appropriate
-  abstract-training-set initializer — the generic ``Δ(T)`` of the paper;
+  :class:`FractionalRemovalModel`), :class:`LabelFlipModel`, and
+  :class:`CompositePoisoningModel` dispatch through the same
+  ``verify(request)`` call into the appropriate abstract-training-set
+  initializer — the generic ``Δ(T)`` of the paper — and the flip-family
+  models run the same Box/disjunctive domain ladder as removal
+  (``domain="either"`` falls back to ``flip-disjuncts`` when ``flip-box``
+  is inconclusive);
 * ``verify(request, n_jobs=N)`` certifies batches on a process pool, and
   :meth:`certify_stream` yields per-point results incrementally in input
   order for streaming consumers (CLI progress, dashboards);
@@ -30,9 +35,10 @@ number of :class:`~repro.api.request.CertificationRequest` objects:
 from __future__ import annotations
 
 import warnings
+from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,19 +46,19 @@ from repro.api.report import CertificationReport
 from repro.api.request import CertificationRequest, ModelLike, as_perturbation_model
 from repro.core.dataset import Dataset
 from repro.core.trace_learner import TraceLearner
-from repro.domains.interval import Interval, dominating_component
 from repro.domains.trainingset import AbstractTrainingSet
-from repro.poisoning.label_flip import FlipAbstractTrainingSet, LabelFlipVerifier
+from repro.poisoning.label_flip import FlipAbstractTrainingSet
 from repro.poisoning.models import (
-    FractionalRemovalModel,
+    CompositePoisoningModel,
     LabelFlipModel,
     PerturbationModel,
-    RemovalPoisoningModel,
+    resolve_model_classes,
 )
 from repro.runtime.fingerprint import fingerprint_dataset
 from repro.runtime.shm import SharedDatasetHandle
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch, TimeBudget, TimeoutExceeded
+from repro.utils.validation import ValidationError
 from repro.verify.abstract_learner import AbstractRunResult, BoxAbstractLearner
 from repro.verify.disjunctive_learner import (
     DisjunctBudgetExceeded,
@@ -63,9 +69,30 @@ from repro.verify.result import DOMAINS, VerificationResult, VerificationStatus
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.runtime import CertificationRuntime
 
-#: Domain label reported for label-flip certificates (the flip extension only
-#: provides the Box-style learner).
+#: Domain label reported for flip-family certificates proven on the Box-style
+#: abstraction of ``⟨T, r, f⟩``.
 FLIP_DOMAIN = "flip-box"
+
+#: Domain label reported for flip-family certificates proven on the
+#: disjunctive domain (one disjunct per surviving control-flow path, exactly
+#: as for removal).
+FLIP_DISJUNCTS_DOMAIN = "flip-disjuncts"
+
+#: The domain ladder attempted per engine ``domain`` setting, for each model
+#: family.  ``"either"`` tries Box first and escalates to the disjunctive
+#: domain only when Box is inconclusive — for flips exactly as for removal.
+_DOMAIN_LADDERS = {
+    "removal": {
+        "box": ("box",),
+        "disjuncts": ("disjuncts",),
+        "either": ("box", "disjuncts"),
+    },
+    "flip": {
+        "box": (FLIP_DOMAIN,),
+        "disjuncts": (FLIP_DISJUNCTS_DOMAIN,),
+        "either": (FLIP_DOMAIN, FLIP_DISJUNCTS_DOMAIN),
+    },
+}
 
 
 @dataclass(frozen=True)
@@ -96,8 +123,9 @@ class CertificationEngine:
         paper's evaluation).
     domain:
         ``"box"``, ``"disjuncts"``, or ``"either"`` (try Box first, fall back
-        to the more precise but more expensive disjunctive domain).  Ignored
-        for :class:`LabelFlipModel`, which only has a Box-style learner.
+        to the more precise but more expensive disjunctive domain).  Applies
+        to every model family; flip-family results report the domain that
+        proved them as ``"flip-box"`` / ``"flip-disjuncts"``.
     cprob_method:
         ``"optimal"`` (default, footnote 6) or ``"box"``.
     timeout_seconds:
@@ -106,7 +134,8 @@ class CertificationEngine:
         Resource limit of the disjunctive learner.
     predicate_pool:
         Optional fixed predicate set Φ shared by the concrete and abstract
-        learners.
+        learners.  Not supported for the label-flip/composite families (the
+        flip ``bestSplit#`` derives candidates from the data).
     runtime:
         Optional :class:`~repro.runtime.CertificationRuntime` providing the
         shared-memory dataset plane, the persistent verdict cache, and
@@ -125,9 +154,8 @@ class CertificationEngine:
     _trace_learner: TraceLearner = field(init=False, repr=False)
     _box_learner: BoxAbstractLearner = field(init=False, repr=False)
     _disjunctive_learner: DisjunctiveAbstractLearner = field(init=False, repr=False)
-    _flip_learner: LabelFlipVerifier = field(init=False, repr=False)
-    _plan_cache: Dict[Tuple[str, PerturbationModel], _RequestPlan] = field(
-        init=False, repr=False, default_factory=dict
+    _plan_cache: "OrderedDict[Tuple[str, PerturbationModel], _RequestPlan]" = field(
+        init=False, repr=False, default_factory=OrderedDict
     )
 
     def __post_init__(self) -> None:
@@ -149,7 +177,6 @@ class CertificationEngine:
             predicate_pool=self.predicate_pool,
             max_disjuncts=self.max_disjuncts,
         )
-        self._flip_learner = LabelFlipVerifier(max_depth=self.max_depth)
 
     def __getstate__(self) -> dict:
         # Cached plans hold full abstract training sets — shipping them to
@@ -212,7 +239,10 @@ class CertificationEngine:
         learners; without one, parallel batches still get the process-wide
         shared-memory dataset plane.
         """
-        dataset, model = request.dataset, request.model
+        dataset = request.dataset
+        # Requests resolve n_classes at construction; re-resolving here keeps
+        # hand-built requests (or shims bypassing __post_init__) honest.
+        model = resolve_model_classes(request.model, dataset.n_classes)
         rows = [np.asarray(row, dtype=float) for row in request.points]
         workers = min(int(n_jobs), len(rows))
         runtime = self.runtime
@@ -285,7 +315,7 @@ class CertificationEngine:
         self, dataset: Dataset, x: Sequence[float], model: ModelLike
     ) -> VerificationResult:
         """Certify a single test point (convenience wrapper over :meth:`verify`)."""
-        model = as_perturbation_model(model)
+        model = resolve_model_classes(as_perturbation_model(model), dataset.n_classes)
         if self.runtime is not None:
             return self.runtime.certify_point(self, dataset, x, model)
         return self._certify_one(
@@ -299,31 +329,41 @@ class CertificationEngine:
         Keyed by the dataset's content fingerprint: object ids can be
         recycled after a dataset is garbage-collected (serving a stale plan),
         and content keys additionally let equal copies of a dataset — e.g.
-        one rebuilt from shared memory — share a plan.
+        one rebuilt from shared memory — share a plan.  The cache is a true
+        LRU: hits refresh recency, so a hot (dataset, model) plan survives
+        interleaved traffic over more than eight pairs.
         """
         key = (fingerprint_dataset(dataset), model)
         plan = self._plan_cache.get(key)
-        if plan is None:
-            budget = model.resolve_budget(len(dataset))
-            amount = model.nominal_amount(len(dataset))
-            log10_datasets = model.log10_num_neighbors(len(dataset))
-            if isinstance(model, LabelFlipModel):
-                plan = _RequestPlan(
-                    amount=amount,
-                    budget=budget,
-                    log10_datasets=log10_datasets,
-                    flip_trainset=FlipAbstractTrainingSet.full(dataset, 0, budget),
+        if plan is not None:
+            self._plan_cache.move_to_end(key)
+            return plan
+        budget = model.resolve_budget(len(dataset))
+        amount = model.nominal_amount(len(dataset))
+        log10_datasets = model.log10_num_neighbors(len(dataset))
+        if isinstance(model, (LabelFlipModel, CompositePoisoningModel)):
+            if self.predicate_pool is not None:
+                raise ValidationError(
+                    "predicate pools are not supported for the label-flip/"
+                    "composite threat models"
                 )
-            else:
-                plan = _RequestPlan(
-                    amount=amount,
-                    budget=budget,
-                    log10_datasets=log10_datasets,
-                    removal_trainset=AbstractTrainingSet.full(dataset, budget),
-                )
-            if len(self._plan_cache) >= 8:
-                self._plan_cache.pop(next(iter(self._plan_cache)))
-            self._plan_cache[key] = plan
+            removals, flips = model.resolve_budgets(len(dataset))
+            plan = _RequestPlan(
+                amount=amount,
+                budget=budget,
+                log10_datasets=log10_datasets,
+                flip_trainset=FlipAbstractTrainingSet.full(dataset, removals, flips),
+            )
+        else:
+            plan = _RequestPlan(
+                amount=amount,
+                budget=budget,
+                log10_datasets=log10_datasets,
+                removal_trainset=AbstractTrainingSet.full(dataset, budget),
+            )
+        if len(self._plan_cache) >= 8:
+            self._plan_cache.popitem(last=False)
+        self._plan_cache[key] = plan
         return plan
 
     def _certify_one(
@@ -333,16 +373,23 @@ class CertificationEngine:
         model: PerturbationModel,
         plan: _RequestPlan,
     ) -> VerificationResult:
-        if plan.flip_trainset is not None:
-            return self._certify_flip(dataset, x, plan)
-        return self._certify_removal(dataset, x, plan)
+        """Certify one point: walk the domain ladder of the plan's family.
 
-    def _certify_removal(
-        self, dataset: Dataset, x: np.ndarray, plan: _RequestPlan
-    ) -> VerificationResult:
-        assert plan.removal_trainset is not None
-        predicted = self._trace_learner.predict(dataset, x)
-        domains = ["box", "disjuncts"] if self.domain == "either" else [self.domain]
+        Every family flows through the same loop and the same
+        :meth:`_build_result`, so result rows are shape-identical across
+        removal, label-flip, and composite certificates (including the
+        TIMEOUT / RESOURCE_EXHAUSTED counters).
+        """
+        if plan.flip_trainset is not None:
+            trainset: Union[AbstractTrainingSet, FlipAbstractTrainingSet] = (
+                plan.flip_trainset
+            )
+            domains = _DOMAIN_LADDERS["flip"][self.domain]
+        else:
+            assert plan.removal_trainset is not None
+            trainset = plan.removal_trainset
+            domains = _DOMAIN_LADDERS["removal"][self.domain]
+        predicted = int(self._trace_learner.predict(dataset, x))
         watch = Stopwatch().start()
         budget = (
             TimeBudget(self.timeout_seconds)
@@ -352,7 +399,7 @@ class CertificationEngine:
         last_result: Optional[VerificationResult] = None
         with MemoryTracker() as memory:
             for domain in domains:
-                outcome = self._run_domain(domain, plan.removal_trainset, x, budget)
+                outcome = self._run_domain(domain, trainset, x, budget)
                 result = self._build_result(
                     outcome,
                     domain=domain,
@@ -370,67 +417,20 @@ class CertificationEngine:
             peak_memory_bytes=memory.peak_bytes,
         )
 
-    def _certify_flip(
-        self, dataset: Dataset, x: np.ndarray, plan: _RequestPlan
-    ) -> VerificationResult:
-        assert plan.flip_trainset is not None
-        predicted = self._trace_learner.predict(dataset, x)
-        watch = Stopwatch().start()
-        budget = (
-            TimeBudget(self.timeout_seconds)
-            if self.timeout_seconds
-            else TimeBudget.unlimited()
-        )
-        with MemoryTracker() as memory:
-            try:
-                intervals, iterations = self._flip_learner.run(
-                    plan.flip_trainset, x, time_budget=budget
-                )
-            except TimeoutExceeded as error:
-                return VerificationResult(
-                    status=VerificationStatus.TIMEOUT,
-                    poisoning_amount=plan.amount,
-                    predicted_class=int(predicted),
-                    certified_class=None,
-                    class_intervals=(),
-                    domain=FLIP_DOMAIN,
-                    elapsed_seconds=watch.elapsed(),
-                    peak_memory_bytes=memory.peak_bytes,
-                    exit_count=0,
-                    max_disjuncts=0,
-                    log10_num_datasets=plan.log10_datasets,
-                    message=str(error),
-                )
-        certified = dominating_component(intervals)
-        status = (
-            VerificationStatus.ROBUST
-            if certified is not None
-            else VerificationStatus.UNKNOWN
-        )
-        return VerificationResult(
-            status=status,
-            poisoning_amount=plan.amount,
-            predicted_class=int(predicted),
-            certified_class=certified,
-            class_intervals=intervals,
-            domain=FLIP_DOMAIN,
-            elapsed_seconds=watch.elapsed(),
-            peak_memory_bytes=memory.peak_bytes,
-            exit_count=iterations,
-            max_disjuncts=1,
-            log10_num_datasets=plan.log10_datasets,
-            message="" if status.is_certified else "no dominating class interval",
-        )
-
     # ---------------------------------------------------------------- helpers
     def _run_domain(
         self,
         domain: str,
-        trainset: AbstractTrainingSet,
+        trainset: Union[AbstractTrainingSet, "FlipAbstractTrainingSet"],
         x: Sequence[float],
         budget: TimeBudget,
     ) -> "_DomainOutcome":
-        learner = self._box_learner if domain == "box" else self._disjunctive_learner
+        """Run one rung of the domain ladder; same learners for every family."""
+        learner = (
+            self._disjunctive_learner
+            if domain in ("disjuncts", FLIP_DISJUNCTS_DOMAIN)
+            else self._box_learner
+        )
         try:
             run = learner.run(trainset, x, time_budget=budget)
         except TimeoutExceeded as error:

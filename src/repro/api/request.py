@@ -17,7 +17,11 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.core.dataset import Dataset
-from repro.poisoning.models import PerturbationModel, RemovalPoisoningModel
+from repro.poisoning.models import (
+    PerturbationModel,
+    RemovalPoisoningModel,
+    resolve_model_classes,
+)
 from repro.utils.validation import ValidationError
 
 #: Anything accepted where a threat model is expected: a model instance, or a
@@ -56,8 +60,11 @@ class CertificationRequest:
         accepted and normalized to a one-row matrix.
     model:
         The perturbation family ``Δ(T)`` to certify against
-        (:class:`RemovalPoisoningModel`, :class:`FractionalRemovalModel`, or
-        :class:`LabelFlipModel`).
+        (:class:`RemovalPoisoningModel`, :class:`FractionalRemovalModel`,
+        :class:`LabelFlipModel`, or :class:`CompositePoisoningModel`).
+        Class-count-dependent models (label flips, composite) are resolved
+        against ``dataset.n_classes`` here; a model declaring a contradictory
+        ``n_classes`` is rejected at construction.
     """
 
     dataset: Dataset
@@ -79,7 +86,13 @@ class CertificationRequest:
             )
         points.setflags(write=False)
         object.__setattr__(self, "points", points)
-        object.__setattr__(self, "model", as_perturbation_model(self.model))
+        object.__setattr__(
+            self,
+            "model",
+            resolve_model_classes(
+                as_perturbation_model(self.model), self.dataset.n_classes
+            ),
+        )
 
     @classmethod
     def single(

@@ -7,7 +7,8 @@ The CLI exposes the main workflows without writing any Python:
   test point against ``Δn`` poisoning;
 * ``repro-antidote certify <dataset> --model removal --n 4 --points 16
   --n-jobs 4`` — batch-certify test points against a chosen threat model
-  (removal, fractional removal, or label flips) on the unified
+  (removal, fractional removal, label flips, or the composite removal+flip
+  model via ``--model composite --n-remove R --n-flip F``) on the unified
   :class:`repro.api.CertificationEngine`, streaming per-point verdicts and
   printing an aggregate report (optionally exported as JSON/CSV); with
   ``--cache-dir`` the run goes through the persistent certification cache
@@ -49,6 +50,7 @@ from repro.experiments.perf_figures import (
 from repro.experiments.reporting import save_artifact
 from repro.experiments.table1 import compute_table1, render_table1
 from repro.poisoning.models import (
+    CompositePoisoningModel,
     FractionalRemovalModel,
     LabelFlipModel,
     PerturbationModel,
@@ -85,14 +87,19 @@ def build_parser() -> argparse.ArgumentParser:
     certify.add_argument("dataset", choices=list_datasets())
     certify.add_argument(
         "--model",
-        choices=("removal", "fraction", "label-flip"),
+        choices=("removal", "fraction", "label-flip", "composite"),
         default="removal",
-        help="threat model: element removal (Δn), fractional removal, or label flips",
+        help="threat model: element removal (Δn), fractional removal, label "
+        "flips, or combined removal+flip (Δ_{r,f})",
     )
     certify.add_argument("--n", type=int, default=1,
                          help="budget for the removal / label-flip models")
     certify.add_argument("--fraction", type=float, default=0.01,
                          help="budget for the fractional-removal model")
+    certify.add_argument("--n-remove", type=int, default=1, metavar="R",
+                         help="removal budget of the composite model")
+    certify.add_argument("--n-flip", type=int, default=1, metavar="F",
+                         help="label-flip budget of the composite model")
     certify.add_argument("--points", type=int, default=8,
                          help="number of test points to certify (from index 0)")
     certify.add_argument("--depth", type=int, default=2, help="decision-tree depth")
@@ -212,11 +219,16 @@ def _command_verify(args: argparse.Namespace) -> int:
 
 
 def _threat_model(args: argparse.Namespace, n_classes: int) -> PerturbationModel:
+    # Flip-family models leave n_classes unset: the engine resolves it from
+    # the dataset at request time (and would reject a mismatch).
+    del n_classes
     if args.model == "removal":
         return RemovalPoisoningModel(args.n)
     if args.model == "fraction":
         return FractionalRemovalModel(args.fraction)
-    return LabelFlipModel(args.n, n_classes=n_classes)
+    if args.model == "composite":
+        return CompositePoisoningModel(args.n_remove, args.n_flip)
+    return LabelFlipModel(args.n)
 
 
 def _command_certify(args: argparse.Namespace) -> int:

@@ -16,13 +16,16 @@ from repro.poisoning.label_flip import (
     FlipAbstractTrainingSet,
     FlipVerificationResult,
     LabelFlipVerifier,
+    verify_composite_by_enumeration,
     verify_flips_by_enumeration,
 )
 from repro.poisoning.models import (
+    CompositePoisoningModel,
     FractionalRemovalModel,
     LabelFlipModel,
     PerturbationModel,
     RemovalPoisoningModel,
+    resolve_model_classes,
 )
 
 __all__ = [
@@ -32,9 +35,12 @@ __all__ = [
     "FlipAbstractTrainingSet",
     "FlipVerificationResult",
     "LabelFlipVerifier",
+    "verify_composite_by_enumeration",
     "verify_flips_by_enumeration",
+    "CompositePoisoningModel",
     "FractionalRemovalModel",
     "LabelFlipModel",
     "PerturbationModel",
     "RemovalPoisoningModel",
+    "resolve_model_classes",
 ]

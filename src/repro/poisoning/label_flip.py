@@ -15,8 +15,14 @@ pure label-flip model; ``f = 0`` recovers the paper's ``Δn``.
 The abstraction mirrors §4 of the paper: an element ``⟨T, r, f⟩`` tracks the
 surviving rows plus the two budgets, class-count intervals absorb both
 budgets, and the trace-based abstract learner joins the class-probability
-intervals of every exit state.  Only the Box-style (non-disjunctive) learner
-is provided for this extension.
+intervals of every exit state.  :class:`FlipAbstractTrainingSet` implements
+the transformer protocol the generic learners dispatch on
+(``class_probability_intervals`` / ``pure_exit_intervals`` /
+``abstract_best_split`` / ``split_down`` / ``join``), so both the Box-style
+:class:`~repro.verify.abstract_learner.BoxAbstractLearner` and the
+disjunctive :class:`~repro.verify.disjunctive_learner.DisjunctiveAbstractLearner`
+run directly on flip/composite abstractions; :class:`LabelFlipVerifier` is
+the thin Box-only convenience wrapper kept for the original extension API.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from repro.core.predicates import (
 from repro.core.splitter import feature_split_table
 from repro.core.trace_learner import TraceLearner
 from repro.domains.interval import Interval, dominating_component, join_interval_vectors, mul_bounds
+from repro.domains.predicate_set import AbstractPredicateSet
 from repro.utils.timing import TimeBudget
 from repro.utils.validation import ValidationError, check_index_array, check_positive_int
 
@@ -127,12 +134,15 @@ class FlipAbstractTrainingSet:
         kept = self.indices[mask]
         return FlipAbstractTrainingSet(self.dataset, kept, self.removals, self.flips)
 
-    def class_probability_intervals(self) -> Tuple[Interval, ...]:
-        """``cprob#`` for the combined model (optimal per component).
+    def class_probability_intervals(self, method: str = "optimal") -> Tuple[Interval, ...]:
+        """``cprob#`` for the combined model.
 
-        For class ``i`` with count ``c_i``: the worst case removes ``r``
-        class-``i`` elements and flips ``f`` more away; the best case removes
-        ``r`` elements of other classes and flips ``f`` others towards ``i``.
+        ``"optimal"`` is tight per component: for class ``i`` with count
+        ``c_i``, the worst case removes ``r`` class-``i`` elements and flips
+        ``f`` more away; the best case removes ``r`` elements of other classes
+        and flips ``f`` others towards ``i``.  ``"box"`` is the naïve
+        interval-numerator / interval-denominator lifting of §4.4, provided so
+        the cprob ablation covers the flip families too.
         """
         k = self.dataset.n_classes
         size = self.size
@@ -140,6 +150,17 @@ class FlipAbstractTrainingSet:
         if remaining <= 0:
             return tuple(Interval.unit() for _ in range(k))
         counts = self.class_counts()
+        if method == "box":
+            denominator = Interval(float(remaining), float(size))
+            return tuple(
+                Interval(
+                    float(max(0, int(count) - self.removals - self.flips)),
+                    float(min(int(count) + self.flips, size)),
+                ).divide(denominator)
+                for count in counts
+            )
+        if method != "optimal":
+            raise ValueError(f"unknown cprob method {method!r}")
         intervals = []
         for count in counts:
             count = int(count)
@@ -188,6 +209,30 @@ class FlipAbstractTrainingSet:
         for vector in vectors[1:]:
             joined = join_interval_vectors(joined, vector)
         return joined
+
+    def abstract_best_split(
+        self,
+        *,
+        method: str = "optimal",
+        predicate_pool: Optional[Sequence[Predicate]] = None,
+    ) -> AbstractPredicateSet:
+        """``bestSplit#`` as the generic learners consume it.
+
+        This is the dispatch target of
+        :func:`repro.verify.transformers.best_split_abstract`, letting the Box
+        and disjunctive learners interpret flip/composite abstractions with no
+        flip-specific code.  The candidate score bounds of
+        :func:`flip_best_split_abstract` are sound for either ``cprob``
+        method, so ``method`` only affects exit-interval tightness elsewhere.
+        """
+        del method
+        if predicate_pool is not None:
+            raise ValidationError(
+                "predicate pools are not supported for the label-flip/composite "
+                "threat models"
+            )
+        predicates, includes_null = flip_best_split_abstract(self)
+        return AbstractPredicateSet.of(predicates, includes_null=includes_null)
 
 
 # ---------------------------------------------------------------------------
@@ -332,9 +377,30 @@ class LabelFlipVerifier:
     ``verify(dataset, x, flips, removals=0)`` proves that the classification
     of ``x`` is unchanged for every dataset obtained by removing up to
     ``removals`` elements and flipping up to ``flips`` labels of ``dataset``.
+
+    Since :class:`FlipAbstractTrainingSet` became a first-class citizen of the
+    transformer protocol, this class is a thin wrapper over the generic
+    :class:`~repro.verify.abstract_learner.BoxAbstractLearner` (the engine
+    additionally runs the disjunctive learner on the same abstractions for
+    ``domain="disjuncts"/"either"``).
     """
 
     max_depth: int = 2
+
+    def run_abstract(
+        self,
+        trainset: FlipAbstractTrainingSet,
+        x: Sequence[float],
+        *,
+        time_budget: Optional[TimeBudget] = None,
+    ):
+        """Run the generic Box learner on a flip abstraction."""
+        # Deferred import: repro.verify's package init pulls in the legacy
+        # verifier shim, which imports back into repro.poisoning.
+        from repro.verify.abstract_learner import BoxAbstractLearner
+
+        learner = BoxAbstractLearner(max_depth=self.max_depth)
+        return learner.run(trainset, x, time_budget=time_budget)
 
     def run(
         self,
@@ -343,37 +409,8 @@ class LabelFlipVerifier:
         *,
         time_budget: Optional[TimeBudget] = None,
     ) -> Tuple[Tuple[Interval, ...], int]:
-        budget = time_budget or TimeBudget.unlimited()
-        exits: List[Tuple[Interval, ...]] = []
-        state: Optional[FlipAbstractTrainingSet] = trainset
-        iterations = 0
-        for _ in range(self.max_depth):
-            if state is None:
-                break
-            budget.check()
-            iterations += 1
-            pure_exit = state.pure_exit_intervals()
-            if pure_exit is not None:
-                exits.append(pure_exit)
-            if state.entropy_definitely_zero():
-                state = None
-                break
-            predicates, includes_null = flip_best_split_abstract(state)
-            if includes_null:
-                exits.append(state.class_probability_intervals())
-            if not predicates:
-                state = None
-                break
-            state = flip_filter_abstract(state, predicates, x)
-        if state is not None:
-            exits.append(state.class_probability_intervals())
-        if not exits:
-            joined = tuple(Interval.unit() for _ in range(trainset.dataset.n_classes))
-        else:
-            joined = exits[0]
-            for vector in exits[1:]:
-                joined = join_interval_vectors(joined, vector)
-        return joined, iterations
+        result = self.run_abstract(trainset, x, time_budget=time_budget)
+        return result.class_intervals, result.iterations
 
     def verify(
         self, dataset: Dataset, x: Sequence[float], flips: int, removals: int = 0
@@ -423,6 +460,35 @@ def verify_flips_by_enumeration(
     learner = TraceLearner(max_depth=max_depth)
     baseline = learner.predict(dataset, x)
     for poisoned in enumerate_label_flips(dataset, flips):
+        if learner.predict(poisoned, x) != baseline:
+            return False
+    return True
+
+
+def enumerate_composite_poisonings(
+    dataset: Dataset, removals: int, flips: int
+) -> Iterator[Dataset]:
+    """Yield every element of ``Δ_{r,f}(T)``: remove ≤ r rows, then flip ≤ f labels."""
+    size = len(dataset)
+    base = np.arange(size, dtype=np.int64)
+    for removed in range(0, min(removals, size) + 1):
+        for drop in itertools.combinations(range(size), removed):
+            survivors = dataset.subset(np.delete(base, list(drop)))
+            yield from enumerate_label_flips(survivors, flips)
+
+
+def verify_composite_by_enumeration(
+    dataset: Dataset,
+    x: Sequence[float],
+    removals: int,
+    flips: int,
+    *,
+    max_depth: int = 2,
+) -> bool:
+    """Exactly decide combined removal+flip robustness by exhaustive retraining."""
+    learner = TraceLearner(max_depth=max_depth)
+    baseline = learner.predict(dataset, x)
+    for poisoned in enumerate_composite_poisonings(dataset, removals, flips):
         if learner.predict(poisoned, x) != baseline:
             return False
     return True

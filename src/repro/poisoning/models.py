@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import abc
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
-from repro.utils.validation import check_fraction, check_positive_int
+from repro.utils.validation import ValidationError, check_fraction, check_positive_int
 
 
 def _log10_of_big_int(value: int) -> float:
@@ -110,31 +111,154 @@ class LabelFlipModel(PerturbationModel):
     """Up to ``n`` training labels flipped to arbitrary other classes.
 
     This is the alternative poisoning model of the related-work discussion
-    (label contamination); the extension verifier in
-    :mod:`repro.poisoning.label_flip` certifies against it.
+    (label contamination); the engine certifies against it through the flip
+    abstract domain of :mod:`repro.poisoning.label_flip`.
+
+    ``n_classes`` defaults to ``None`` ("resolve from the dataset"): the
+    engine fills it in at plan time via :func:`resolve_model_classes`, so a
+    default-constructed model on a 3-class dataset counts 2 label
+    alternatives per flip, not the former hard-wired 1.  An explicitly
+    declared ``n_classes`` that contradicts the dataset is rejected instead
+    of silently fragmenting cache keys.
     """
 
     n: int
-    n_classes: int = 2
+    n_classes: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "n", check_positive_int(self.n, "n", allow_zero=True))
-        object.__setattr__(
-            self, "n_classes", check_positive_int(self.n_classes, "n_classes")
-        )
+        if self.n_classes is not None:
+            object.__setattr__(
+                self, "n_classes", check_positive_int(self.n_classes, "n_classes")
+            )
+
+    @property
+    def resolved_classes(self) -> int:
+        """``n_classes`` once resolved; raises while still unresolved."""
+        if self.n_classes is None:
+            raise ValidationError(
+                "LabelFlipModel.n_classes is unresolved; certify through "
+                "CertificationRequest/CertificationEngine (which resolve it from "
+                "the dataset) or construct the model with n_classes=..."
+            )
+        return self.n_classes
 
     def resolve_budget(self, training_size: int) -> int:
         return min(self.n, training_size)
+
+    def resolve_budgets(self, training_size: int) -> Tuple[int, int]:
+        """The ``(removals, flips)`` pair seeding the flip abstraction."""
+        return 0, self.resolve_budget(training_size)
 
     def nominal_amount(self, training_size: int) -> int:
         return self.n
 
     def num_neighbors(self, training_size: int) -> int:
         budget = self.resolve_budget(training_size)
-        alternatives = max(1, self.n_classes - 1)
+        alternatives = max(1, self.resolved_classes - 1)
         return sum(
             math.comb(training_size, i) * alternatives**i for i in range(0, budget + 1)
         )
 
     def describe(self) -> str:
         return f"flipping of up to {self.n} training labels"
+
+
+@dataclass(frozen=True)
+class CompositePoisoningModel(PerturbationModel):
+    """The combined threat model ``Δ_{r,f}``: removals *then* label flips.
+
+    ``Δ_{r,f}(T) = { flip_{≤f}(T') : T' ⊆ T, |T \\ T'| ≤ r }`` — the attacker
+    may have contributed up to ``n_remove`` whole elements *and* corrupted up
+    to ``n_flip`` labels of genuine elements.  ``n_remove = 0`` degenerates to
+    :class:`LabelFlipModel`; ``n_flip = 0`` recovers the paper's ``Δn``.
+
+    Like :class:`LabelFlipModel`, ``n_classes`` is resolved from the dataset
+    at plan time when left as ``None``.
+    """
+
+    n_remove: int
+    n_flip: int
+    n_classes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "n_remove", check_positive_int(self.n_remove, "n_remove", allow_zero=True)
+        )
+        object.__setattr__(
+            self, "n_flip", check_positive_int(self.n_flip, "n_flip", allow_zero=True)
+        )
+        if self.n_classes is not None:
+            object.__setattr__(
+                self, "n_classes", check_positive_int(self.n_classes, "n_classes")
+            )
+
+    @property
+    def resolved_classes(self) -> int:
+        """``n_classes`` once resolved; raises while still unresolved."""
+        if self.n_classes is None:
+            raise ValidationError(
+                "CompositePoisoningModel.n_classes is unresolved; certify through "
+                "CertificationRequest/CertificationEngine (which resolve it from "
+                "the dataset) or construct the model with n_classes=..."
+            )
+        return self.n_classes
+
+    def resolve_budgets(self, training_size: int) -> Tuple[int, int]:
+        """The ``(removals, flips)`` pair seeding the flip abstraction."""
+        return min(self.n_remove, training_size), min(self.n_flip, training_size)
+
+    def resolve_budget(self, training_size: int) -> int:
+        """Total contamination budget (elements removed plus labels flipped)."""
+        removals, flips = self.resolve_budgets(training_size)
+        return removals + flips
+
+    def nominal_amount(self, training_size: int) -> int:
+        return self.n_remove + self.n_flip
+
+    def num_neighbors(self, training_size: int) -> int:
+        """Exact ``|Δ_{r,f}(T)|``: choose removals, then flips of survivors."""
+        removals, flips = self.resolve_budgets(training_size)
+        alternatives = max(1, self.resolved_classes - 1)
+        total = 0
+        for removed in range(0, removals + 1):
+            survivors = training_size - removed
+            flip_variants = sum(
+                math.comb(survivors, j) * alternatives**j
+                for j in range(0, min(flips, survivors) + 1)
+            )
+            total += math.comb(training_size, removed) * flip_variants
+        return total
+
+    def describe(self) -> str:
+        return (
+            f"removal of up to {self.n_remove} training elements and "
+            f"flipping of up to {self.n_flip} labels"
+        )
+
+
+def resolve_model_classes(
+    model: PerturbationModel, n_classes: int
+) -> PerturbationModel:
+    """Resolve a class-count-dependent model against the dataset it certifies.
+
+    Label-flip and composite models need the dataset's class count to size
+    their perturbation space (``|Δ(T)|`` scales with the number of label
+    alternatives) and their cache family key.  A model constructed with
+    ``n_classes=None`` is completed from the dataset here; a model that
+    *declares* a class count contradicting the dataset is rejected — silently
+    trusting either side would report a wrong ``log10 |Δ(T)|`` and fragment
+    cache keys for identical verdicts.  Models without a class-count knob
+    pass through unchanged.
+    """
+    if not isinstance(model, (LabelFlipModel, CompositePoisoningModel)):
+        return model
+    if model.n_classes is None:
+        return replace(model, n_classes=int(n_classes))
+    if model.n_classes != n_classes:
+        raise ValidationError(
+            f"{type(model).__name__} declares n_classes={model.n_classes} but the "
+            f"dataset has {n_classes} classes; drop the explicit n_classes to "
+            "resolve it from the dataset"
+        )
+    return model

@@ -14,6 +14,14 @@ budget):
 * a point proven ``robust`` at budget ``n`` answers every query at ``n' ≤ n``;
 * a point left ``unknown`` at budget ``n`` answers every query at ``n' ≥ n``.
 
+Budgets are stored as a pair ``(budget, budget_f)`` so the composite
+removal+flip family — whose perturbation spaces are nested in the
+*componentwise* order on ``(n_remove, n_flip)`` — derives along pair
+dominance and never across non-nested pairs: ``robust`` at ``(r, f)``
+answers ``(r' ≤ r, f' ≤ f)``; ``unknown`` at ``(r, f)`` answers
+``(r' ≥ r, f' ≥ f)``.  One-dimensional families store ``budget_f = 0``,
+which makes their pair queries degenerate to exactly the scalar rules above.
+
 Only decisive verdicts (``robust`` / ``unknown``) are stored.  ``timeout``
 and ``resource_exhausted`` outcomes depend on the machine and the configured
 limits, so they are always recomputed.
@@ -28,6 +36,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
+from repro.runtime.fingerprint import BudgetKey
 from repro.verify.result import VerificationResult, VerificationStatus
 
 #: Statuses that are environment-independent facts about the proof problem.
@@ -43,14 +52,60 @@ CREATE TABLE IF NOT EXISTS verdicts (
     family       TEXT    NOT NULL,
     engine_key   TEXT    NOT NULL,
     budget       INTEGER NOT NULL,
+    budget_f     INTEGER NOT NULL DEFAULT 0,
     status       TEXT    NOT NULL,
     payload      TEXT    NOT NULL,
     created_at   REAL    NOT NULL,
-    PRIMARY KEY (dataset_fp, point_digest, family, engine_key, budget)
+    PRIMARY KEY (dataset_fp, point_digest, family, engine_key, budget, budget_f)
 );
 CREATE INDEX IF NOT EXISTS idx_verdicts_lookup
-    ON verdicts (dataset_fp, point_digest, family, engine_key, status, budget);
+    ON verdicts (dataset_fp, point_digest, family, engine_key, status, budget, budget_f);
 """
+
+#: Rebuild of a pre-composite (single-budget-column) database.  The old rows
+#: migrate with ``budget_f = 0`` and keep answering exactly the queries they
+#: answered before — except flip-family verdicts, which are dropped: they
+#: were computed by the old Box-only flip path under the same
+#: ``(family, engine_key)`` a ladder engine now resolves to, so keeping
+#: their UNKNOWNs would permanently mask the flip-disjuncts precision on
+#: warm caches.
+_MIGRATE_V1 = """
+DROP INDEX IF EXISTS idx_verdicts_lookup;
+ALTER TABLE verdicts RENAME TO verdicts_v1;
+CREATE TABLE verdicts (
+    dataset_fp   TEXT    NOT NULL,
+    point_digest TEXT    NOT NULL,
+    family       TEXT    NOT NULL,
+    engine_key   TEXT    NOT NULL,
+    budget       INTEGER NOT NULL,
+    budget_f     INTEGER NOT NULL DEFAULT 0,
+    status       TEXT    NOT NULL,
+    payload      TEXT    NOT NULL,
+    created_at   REAL    NOT NULL,
+    PRIMARY KEY (dataset_fp, point_digest, family, engine_key, budget, budget_f)
+);
+INSERT INTO verdicts
+    SELECT dataset_fp, point_digest, family, engine_key, budget, 0,
+           status, payload, created_at
+    FROM verdicts_v1
+    WHERE family NOT LIKE 'label-flip:%';
+DROP TABLE verdicts_v1;
+CREATE INDEX idx_verdicts_lookup
+    ON verdicts (dataset_fp, point_digest, family, engine_key, status, budget, budget_f);
+"""
+
+
+def _budget_pair(budget: BudgetKey) -> Tuple[int, int]:
+    """Normalize a budget key to the stored ``(budget, budget_f)`` pair."""
+    if isinstance(budget, tuple):
+        removals, flips = budget
+        return int(removals), int(flips)
+    return int(budget), 0
+
+
+def _stored_budget(budget: int, budget_f: int) -> BudgetKey:
+    """Present a stored pair the way the family keyed it (int for 1-D rows)."""
+    return (int(budget), int(budget_f)) if budget_f else int(budget)
 
 
 @dataclass(frozen=True)
@@ -59,12 +114,13 @@ class CacheHit:
 
     ``kind`` is ``"exact"`` for a same-budget row or ``"monotone"`` when the
     verdict was derived from a different budget; ``stored_budget`` records
-    which budget actually produced the proof.
+    which budget actually produced the proof (a ``(n_remove, n_flip)`` pair
+    for composite-family rows).
     """
 
     result: VerificationResult
     kind: str
-    stored_budget: int
+    stored_budget: BudgetKey
 
     @property
     def is_exact(self) -> bool:
@@ -91,6 +147,14 @@ class CertificationCache:
             self._connection = sqlite3.connect(str(self.db_path), timeout=30.0)
             self._connection.execute("PRAGMA journal_mode=WAL")
             self._connection.executescript(_SCHEMA)
+            columns = {
+                row[1]
+                for row in self._connection.execute("PRAGMA table_info(verdicts)")
+            }
+            if "budget_f" not in columns:
+                # A database created before the composite family: rebuild it
+                # with the pair-budget primary key, preserving every verdict.
+                self._connection.executescript(_MIGRATE_V1)
         return self._connection
 
     def close(self) -> None:
@@ -111,7 +175,7 @@ class CertificationCache:
         point_digest: str,
         family: str,
         engine_key: str,
-        budget: int,
+        budget: BudgetKey,
         *,
         monotone: bool = True,
     ) -> Optional[CacheHit]:
@@ -119,47 +183,51 @@ class CertificationCache:
 
         With ``monotone=True`` the lookup may derive the answer from a verdict
         stored at a different budget (see the module docstring); the caller is
-        responsible for only enabling this for monotone model families.
+        responsible for only enabling this for monotone model families.  For
+        pair budgets the derivation ranges over componentwise dominance, so a
+        verdict is never derived across non-nested ``(n_remove, n_flip)``
+        pairs — both components must point the same (sound) way.
         """
         base = (dataset_fp, point_digest, family, engine_key)
+        removals, flips = _budget_pair(budget)
         row = self._db.execute(
-            "SELECT payload, budget FROM verdicts WHERE dataset_fp=? AND "
-            "point_digest=? AND family=? AND engine_key=? AND budget=?",
-            base + (budget,),
+            "SELECT payload, budget, budget_f FROM verdicts WHERE dataset_fp=? AND "
+            "point_digest=? AND family=? AND engine_key=? AND budget=? AND budget_f=?",
+            base + (removals, flips),
         ).fetchone()
         if row is not None:
             return CacheHit(
                 result=VerificationResult.from_dict(json.loads(row[0])),
                 kind="exact",
-                stored_budget=int(row[1]),
+                stored_budget=_stored_budget(row[1], row[2]),
             )
         if not monotone:
             return None
-        # Robust at a larger budget ⇒ robust here.
+        # Robust at a dominating budget (both components ≥) ⇒ robust here.
         row = self._db.execute(
-            "SELECT payload, budget FROM verdicts WHERE dataset_fp=? AND "
+            "SELECT payload, budget, budget_f FROM verdicts WHERE dataset_fp=? AND "
             "point_digest=? AND family=? AND engine_key=? AND status=? AND "
-            "budget>=? ORDER BY budget ASC LIMIT 1",
-            base + (VerificationStatus.ROBUST.value, budget),
+            "budget>=? AND budget_f>=? ORDER BY budget ASC, budget_f ASC LIMIT 1",
+            base + (VerificationStatus.ROBUST.value, removals, flips),
         ).fetchone()
         if row is not None:
             return CacheHit(
                 result=VerificationResult.from_dict(json.loads(row[0])),
                 kind="monotone",
-                stored_budget=int(row[1]),
+                stored_budget=_stored_budget(row[1], row[2]),
             )
-        # Unknown at a smaller budget ⇒ still unknown here.
+        # Unknown at a dominated budget (both components ≤) ⇒ still unknown here.
         row = self._db.execute(
-            "SELECT payload, budget FROM verdicts WHERE dataset_fp=? AND "
+            "SELECT payload, budget, budget_f FROM verdicts WHERE dataset_fp=? AND "
             "point_digest=? AND family=? AND engine_key=? AND status=? AND "
-            "budget<=? ORDER BY budget DESC LIMIT 1",
-            base + (VerificationStatus.UNKNOWN.value, budget),
+            "budget<=? AND budget_f<=? ORDER BY budget DESC, budget_f DESC LIMIT 1",
+            base + (VerificationStatus.UNKNOWN.value, removals, flips),
         ).fetchone()
         if row is not None:
             return CacheHit(
                 result=VerificationResult.from_dict(json.loads(row[0])),
                 kind="monotone",
-                stored_budget=int(row[1]),
+                stored_budget=_stored_budget(row[1], row[2]),
             )
         return None
 
@@ -170,7 +238,7 @@ class CertificationCache:
         point_digest: str,
         family: str,
         engine_key: str,
-        budget: int,
+        budget: BudgetKey,
         result: VerificationResult,
         *,
         commit: bool = True,
@@ -186,14 +254,16 @@ class CertificationCache:
         """
         if result.status not in CACHEABLE_STATUSES:
             return False
+        removals, flips = _budget_pair(budget)
         self._db.execute(
-            "INSERT OR REPLACE INTO verdicts VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            "INSERT OR REPLACE INTO verdicts VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 dataset_fp,
                 point_digest,
                 family,
                 engine_key,
-                int(budget),
+                removals,
+                flips,
                 result.status.value,
                 json.dumps(result.to_dict()),
                 time.time(),

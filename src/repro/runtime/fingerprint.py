@@ -15,7 +15,10 @@ identity (``id()``) provides neither, so this module derives keys from
   perturbation model denotes against a given training size.  Two models that
   resolve to the same family and budget (e.g. ``RemovalPoisoningModel(1000)``
   and ``FractionalRemovalModel(0.5)`` on a 100-row set with budget 100 ≡ 50…
-  when equal) share cached verdicts.
+  when equal) share cached verdicts.  The composite removal+flip family keys
+  on the resolved *pair* ``(n_remove, n_flip)``; monotone derivation then
+  ranges over pair dominance (robust at ``(r, f)`` answers every
+  ``(r' ≤ r, f' ≤ f)``), never across non-nested pairs.
 * :func:`engine_cache_key` — the engine configuration facets that can change
   a verdict (depth, domain, cprob method, disjunct budget, impurity,
   predicate pool).  ``timeout_seconds`` is excluded on purpose: timeouts are
@@ -25,17 +28,22 @@ identity (``id()``) provides neither, so this module derives keys from
 from __future__ import annotations
 
 import hashlib
-from typing import Sequence, Tuple
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.dataset import Dataset
 from repro.poisoning.models import (
+    CompositePoisoningModel,
     FractionalRemovalModel,
     LabelFlipModel,
     PerturbationModel,
     RemovalPoisoningModel,
 )
+
+#: A resolved cache budget: a single integer for the one-dimensional model
+#: families, a ``(n_remove, n_flip)`` pair for the composite family.
+BudgetKey = Union[int, Tuple[int, int]]
 
 #: Attribute used to memoize the fingerprint on the (frozen) dataset instance.
 _FINGERPRINT_ATTR = "_content_fingerprint"
@@ -83,20 +91,31 @@ def point_digest(x: Sequence[float]) -> str:
     return hasher.hexdigest()
 
 
-def model_cache_key(model: PerturbationModel, training_size: int) -> Tuple[str, int]:
+def model_cache_key(
+    model: PerturbationModel, training_size: int
+) -> Tuple[str, BudgetKey]:
     """Return ``(family, resolved_budget)`` for a model against a training set.
 
     The family string identifies the *semantics* of the perturbation space;
-    the resolved budget is the integer the monotonicity argument ranges over.
-    Removal-style models (``RemovalPoisoningModel``, ``FractionalRemovalModel``)
-    share the ``"removal"`` family because they denote the same ``Δn`` space
-    once the budget is resolved.
+    the resolved budget is what the monotonicity argument ranges over — an
+    integer for the one-dimensional families, the resolved
+    ``(n_remove, n_flip)`` pair for the composite family.  Removal-style
+    models (``RemovalPoisoningModel``, ``FractionalRemovalModel``) share the
+    ``"removal"`` family because they denote the same ``Δn`` space once the
+    budget is resolved.  Flip-family keys include the resolved class count —
+    the number of label alternatives changes ``Δ(T)`` itself — and raise
+    while it is still unresolved rather than fragmenting the keyspace.
     """
     budget = model.resolve_budget(training_size)
     if isinstance(model, (RemovalPoisoningModel, FractionalRemovalModel)):
         return "removal", budget
     if isinstance(model, LabelFlipModel):
-        return f"label-flip:k={model.n_classes}", budget
+        return f"label-flip:k={model.resolved_classes}", budget
+    if isinstance(model, CompositePoisoningModel):
+        return (
+            f"composite:k={model.resolved_classes}",
+            model.resolve_budgets(training_size),
+        )
     # Unknown families fall back to a describing key; monotonicity is not
     # assumed for them (see monotone_in_budget).
     return f"{type(model).__name__}:{model.describe()}", budget
@@ -108,11 +127,20 @@ def monotone_in_budget(model: PerturbationModel) -> bool:
     For removal and label-flip models the perturbation spaces are nested
     (``Δn'(T) ⊆ Δn(T)`` for ``n' ≤ n``), so a point proven robust at budget
     ``n`` is robust at every smaller budget, and a point *not* provable at
-    ``n`` stays unprovable at every larger budget.  Unknown model families
-    get no such assumption.
+    ``n`` stays unprovable at every larger budget.  The composite family is
+    nested in the componentwise order on ``(n_remove, n_flip)`` pairs —
+    ``Δ_{r',f'}(T) ⊆ Δ_{r,f}(T)`` iff ``r' ≤ r`` and ``f' ≤ f`` — which is
+    exactly the dominance the cache's pair lookup implements.  Unknown model
+    families get no such assumption.
     """
     return isinstance(
-        model, (RemovalPoisoningModel, FractionalRemovalModel, LabelFlipModel)
+        model,
+        (
+            RemovalPoisoningModel,
+            FractionalRemovalModel,
+            LabelFlipModel,
+            CompositePoisoningModel,
+        ),
     )
 
 

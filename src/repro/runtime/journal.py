@@ -23,6 +23,7 @@ import json
 from pathlib import Path
 from typing import Dict, Sequence, Union
 
+from repro.runtime.fingerprint import BudgetKey
 from repro.verify.result import VerificationResult
 
 
@@ -30,10 +31,14 @@ def run_id(
     dataset_fp: str,
     point_digests: Sequence[str],
     family: str,
-    budget: int,
+    budget: BudgetKey,
     engine_key: str,
 ) -> str:
     """Deterministic identity of one batch run (16 hex chars).
+
+    ``budget`` is the resolved budget key of the threat model — an integer
+    for the one-dimensional families, the ``(n_remove, n_flip)`` pair for
+    the composite family.
 
     Two invocations with the same dataset content, the same points in the
     same order, the same threat model, and the same engine configuration get

@@ -10,7 +10,8 @@ certification traffic:
 * it answers repeat queries from the **persistent cache**
   (:mod:`repro.runtime.cache`), including budget-monotone derivations
   (robust at ``n`` ⇒ robust at ``n' ≤ n``; unknown at ``n`` ⇒ unknown at
-  ``n' ≥ n``);
+  ``n' ≥ n``; for the composite removal+flip family the same rules over
+  componentwise ``(n_remove, n_flip)`` dominance);
 * it checkpoints batch progress in a **run journal**
   (:mod:`repro.runtime.journal`) so a killed batch resumes where it left
   off; and

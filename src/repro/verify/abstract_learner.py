@@ -32,7 +32,7 @@ from repro.verify.transformers import (
     cprob_intervals,
     entropy_is_definitely_zero,
     filter_abstract,
-    pure_restriction,
+    pure_exit_vector,
 )
 
 
@@ -100,10 +100,16 @@ class BoxAbstractLearner:
         *,
         time_budget: Optional[TimeBudget] = None,
     ) -> AbstractRunResult:
-        """Abstractly interpret ``DTrace(T', x)`` for every ``T' ∈ γ(⟨T, n⟩)``."""
+        """Abstractly interpret ``DTrace(T', x)`` for every ``T' ∈ γ(⟨T, n⟩)``.
+
+        Exits are collected as their ``cprob#`` vectors rather than as states:
+        the classification of an exit is all the learner needs, and the flip
+        domain's pure exits only exist as interval vectors (see
+        :func:`~repro.verify.transformers.pure_exit_vector`).
+        """
         budget = time_budget or TimeBudget.unlimited()
-        exits: List[AbstractTrainingSet] = []
-        state: Optional[AbstractTrainingSet] = trainset
+        exits: List[Tuple[Interval, ...]] = []
+        state = trainset
         iterations = 0
 
         for _ in range(self.max_depth):
@@ -113,7 +119,7 @@ class BoxAbstractLearner:
             iterations += 1
 
             # --- conditional: ent(T) = 0 -------------------------------------
-            pure = pure_restriction(state)
+            pure = pure_exit_vector(state, self.cprob_method)
             if pure is not None:
                 exits.append(pure)
             if entropy_is_definitely_zero(state, self.cprob_method):
@@ -128,7 +134,7 @@ class BoxAbstractLearner:
 
             # --- conditional: φ = ⋄ --------------------------------------------
             if predicates.includes_null:
-                exits.append(state)
+                exits.append(cprob_intervals(state, self.cprob_method))
             predicates = predicates.without_null()
             if not predicates.has_concrete_choices:
                 state = None
@@ -138,7 +144,7 @@ class BoxAbstractLearner:
             state = filter_abstract(state, predicates, x)
 
         if state is not None:
-            exits.append(state)
+            exits.append(cprob_intervals(state, self.cprob_method))
 
         intervals = self._join_exit_intervals(exits, trainset.dataset.n_classes)
         return AbstractRunResult(
@@ -149,15 +155,13 @@ class BoxAbstractLearner:
         )
 
     def _join_exit_intervals(
-        self, exits: List[AbstractTrainingSet], n_classes: int
+        self, exits: List[Tuple[Interval, ...]], n_classes: int
     ) -> Tuple[Interval, ...]:
         if not exits:
             # No feasible exit: should be unreachable, but returning the full
             # [0, 1] vector keeps the result sound.
             return tuple(Interval.unit() for _ in range(n_classes))
-        joined: Optional[Tuple[Interval, ...]] = None
-        for exit_state in exits:
-            vector = cprob_intervals(exit_state, self.cprob_method)
-            joined = vector if joined is None else join_interval_vectors(joined, vector)
-        assert joined is not None
+        joined = exits[0]
+        for vector in exits[1:]:
+            joined = join_interval_vectors(joined, vector)
         return joined

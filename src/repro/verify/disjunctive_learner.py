@@ -12,6 +12,12 @@ Precision is higher than the Box domain by construction, but the number of
 disjuncts can grow exponentially with the tree depth, so the learner enforces
 a configurable disjunct budget and a cooperative time budget, mirroring the
 timeouts and out-of-memory failures reported in the paper's evaluation.
+
+The learner is domain-generic: through the dispatching transformers of
+:mod:`repro.verify.transformers` it interprets removal elements ``⟨T, n⟩``
+and flip/composite elements ``⟨T, r, f⟩`` alike, so label-flip and combined
+removal+flip certificates get the same disjunctive precision boost
+(``domain="disjuncts"/"either"`` on the engine).
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from repro.verify.transformers import (
     best_split_abstract,
     cprob_intervals,
     entropy_is_definitely_zero,
-    pure_restriction,
+    pure_exit_vector,
 )
 
 
@@ -80,7 +86,10 @@ class DisjunctiveAbstractLearner:
     ) -> DisjunctiveRunResult:
         budget = time_budget or TimeBudget.unlimited()
         live: List[AbstractTrainingSet] = [trainset]
-        exits: List[AbstractTrainingSet] = []
+        # Exits are kept as classification vectors, not states: that is all
+        # the join needs, and the flip domain's pure exits have no state form
+        # (see transformers.pure_exit_vector).
+        exit_vectors: List[Tuple[Interval, ...]] = []
         iterations = 0
         peak_disjuncts = 1
 
@@ -92,9 +101,9 @@ class DisjunctiveAbstractLearner:
             for state in live:
                 budget.check()
 
-                pure = pure_restriction(state)
+                pure = pure_exit_vector(state, self.cprob_method)
                 if pure is not None:
-                    exits.append(pure)
+                    exit_vectors.append(pure)
                 if entropy_is_definitely_zero(state, self.cprob_method):
                     continue
 
@@ -102,7 +111,7 @@ class DisjunctiveAbstractLearner:
                     state, method=self.cprob_method, predicate_pool=self.predicate_pool
                 )
                 if predicates.includes_null:
-                    exits.append(state)
+                    exit_vectors.append(cprob_intervals(state, self.cprob_method))
                 for predicate in predicates.without_null():
                     verdict = point_satisfies(predicate, x)
                     branches = []
@@ -118,15 +127,16 @@ class DisjunctiveAbstractLearner:
                             # symbolic predicate); drop it.
                             continue
                         next_live.append(child)
-                self._check_budget(len(next_live) + len(exits))
+                self._check_budget(len(next_live) + len(exit_vectors))
             live = next_live
-            peak_disjuncts = max(peak_disjuncts, len(live) + len(exits))
+            peak_disjuncts = max(peak_disjuncts, len(live) + len(exit_vectors))
 
-        exits.extend(live)
-        self._check_budget(len(exits))
+        exit_vectors.extend(
+            cprob_intervals(state, self.cprob_method) for state in live
+        )
+        self._check_budget(len(exit_vectors))
 
         n_classes = trainset.dataset.n_classes
-        exit_vectors = [cprob_intervals(state, self.cprob_method) for state in exits]
         if not exit_vectors:
             joined: Tuple[Interval, ...] = tuple(
                 Interval.unit() for _ in range(n_classes)
@@ -140,7 +150,7 @@ class DisjunctiveAbstractLearner:
 
         return DisjunctiveRunResult(
             class_intervals=joined,
-            exit_count=len(exits),
+            exit_count=len(exit_vectors),
             iterations=iterations,
             max_disjuncts=peak_disjuncts,
             exit_robust_classes=per_exit,

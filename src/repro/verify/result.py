@@ -57,8 +57,10 @@ class VerificationResult:
     class_intervals:
         The abstract class-probability intervals of the (joined) exit states.
     domain:
-        Which abstract domain produced the reported result (``"box"``,
-        ``"disjuncts"``, or ``"flip-box"`` for the label-flip model).
+        Which abstract domain produced the reported result: ``"box"`` /
+        ``"disjuncts"`` for removal-family models, ``"flip-box"`` /
+        ``"flip-disjuncts"`` for the label-flip and composite removal+flip
+        models.
     elapsed_seconds / peak_memory_bytes:
         Wall-clock time and peak Python-heap allocation of the attempt.
     log10_num_datasets:

@@ -16,6 +16,17 @@ Two variants of ``cprob#`` are provided:
 ``bestSplit#`` has a vectorized fast path that scores every candidate
 threshold of a feature at once using the same per-feature split tables as the
 concrete learner, plus a generic slow path over an explicit predicate pool.
+
+The entry points the abstract learners call (``cprob_intervals``,
+``pure_exit_vector``, ``best_split_abstract``, ``filter_abstract``) dispatch
+structurally on the abstract element: an element exposing the flip protocol
+(``class_probability_intervals`` / ``pure_exit_intervals`` /
+``abstract_best_split`` — i.e.
+:class:`repro.poisoning.label_flip.FlipAbstractTrainingSet` for the
+label-flip and composite removal+flip threat models) is routed to its own
+transformers, so the same Box and disjunctive learners soundly interpret
+``⟨T, n⟩`` and ``⟨T, r, f⟩`` alike.  The dispatch is duck-typed on purpose:
+importing the flip domain here would cycle through ``repro.poisoning``.
 """
 
 from __future__ import annotations
@@ -97,7 +108,10 @@ def cprob_optimal(trainset: AbstractTrainingSet) -> Tuple[Interval, ...]:
 def cprob_intervals(
     trainset: AbstractTrainingSet, method: str = "optimal"
 ) -> Tuple[Interval, ...]:
-    """Dispatch between the two ``cprob#`` transformers."""
+    """Dispatch between the two ``cprob#`` transformers (and the flip domain)."""
+    flip_cprob = getattr(trainset, "class_probability_intervals", None)
+    if flip_cprob is not None:
+        return flip_cprob(method)
     if method == "optimal":
         return cprob_optimal(trainset)
     if method == "box":
@@ -130,6 +144,26 @@ def score_interval(
 def pure_restriction(trainset: AbstractTrainingSet) -> Optional[AbstractTrainingSet]:
     """The restriction used by the ``ent(T) = 0`` branch (§4.7), or ``None``."""
     return trainset.restrict_pure_any()
+
+
+def pure_exit_vector(
+    trainset: AbstractTrainingSet, method: str = "optimal"
+) -> Optional[Tuple[Interval, ...]]:
+    """Class-probability intervals of the ``ent(T) = 0`` exit, or ``None``.
+
+    For removal elements this is ``cprob#`` of :func:`pure_restriction`.  Flip
+    elements have no state-shaped pure restriction (a pure concretization may
+    have *flipped* rows into the majority class), so they contribute the
+    joined point vectors of every feasible pure class directly — which is
+    exactly the classification of those exits.
+    """
+    pure_exits = getattr(trainset, "pure_exit_intervals", None)
+    if pure_exits is not None:
+        return pure_exits()
+    restricted = trainset.restrict_pure_any()
+    if restricted is None:
+        return None
+    return cprob_intervals(restricted, method)
 
 
 def entropy_is_definitely_zero(
@@ -332,6 +366,9 @@ def best_split_abstract(
     interval overlaps the minimal achievable score, plus ``⋄`` when some
     concretization might admit no non-trivial split at all.
     """
+    flip_split = getattr(trainset, "abstract_best_split", None)
+    if flip_split is not None:
+        return flip_split(method=method, predicate_pool=predicate_pool)
     if trainset.size == 0:
         return AbstractPredicateSet.of((), includes_null=True)
 

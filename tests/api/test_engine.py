@@ -4,14 +4,22 @@ import numpy as np
 import pytest
 
 from repro.api import CertificationEngine, CertificationRequest, as_perturbation_model
+from repro.datasets.synthetic import make_gaussian_classes
 from repro.datasets.toy import figure2_dataset
 from repro.poisoning.models import (
+    CompositePoisoningModel,
     FractionalRemovalModel,
     LabelFlipModel,
     RemovalPoisoningModel,
 )
 from repro.verify.result import VerificationResult, VerificationStatus
 from tests.conftest import well_separated_dataset
+
+
+def three_class_dataset():
+    """A well-separated 3-class dataset (2-D gaussian blobs)."""
+    centers = np.array([[0.0, 0.0], [8.0, 0.0], [4.0, 8.0]])
+    return make_gaussian_classes(90, centers, 0.5, rng=0)
 
 
 class TestConfiguration:
@@ -100,7 +108,7 @@ class TestThreatModelDispatch:
         assert fractional.class_intervals == explicit.class_intervals
 
     def test_label_flip_model(self):
-        engine = CertificationEngine(max_depth=1)
+        engine = CertificationEngine(max_depth=1, domain="box")
         report = engine.verify(
             CertificationRequest(well_separated_dataset(), [[0.5]], LabelFlipModel(2))
         )
@@ -109,11 +117,25 @@ class TestThreatModelDispatch:
         assert result.status in (VerificationStatus.ROBUST, VerificationStatus.UNKNOWN)
         assert result.poisoning_amount == 2
 
+    def test_label_flip_either_walks_the_domain_ladder(self):
+        """domain="either" escalates flips to the disjunctive domain too."""
+        engine = CertificationEngine(max_depth=1, domain="either")
+        result = engine.certify_point(well_separated_dataset(), [0.5], LabelFlipModel(2))
+        assert result.domain in ("flip-box", "flip-disjuncts")
+        if result.domain == "flip-disjuncts":
+            # The ladder only reaches the second rung when Box was
+            # inconclusive, so a disjunctive domain label on a certified
+            # result is itself evidence of the precision gap.
+            box_only = CertificationEngine(max_depth=1, domain="box").certify_point(
+                well_separated_dataset(), [0.5], LabelFlipModel(2)
+            )
+            assert not box_only.is_certified
+
     def test_label_flip_matches_extension_verifier(self):
         from repro.poisoning.label_flip import LabelFlipVerifier
 
         dataset = well_separated_dataset()
-        engine = CertificationEngine(max_depth=2)
+        engine = CertificationEngine(max_depth=2, domain="box")
         unified = engine.certify_point(dataset, [0.5], LabelFlipModel(3))
         extension = LabelFlipVerifier(max_depth=2).verify(dataset, [0.5], flips=3)
         assert unified.is_certified == extension.robust
@@ -135,6 +157,146 @@ class TestThreatModelDispatch:
         )
         assert by_int.status == by_model.status
         assert by_int.class_intervals == by_model.class_intervals
+
+
+class TestCompositeDispatch:
+    """The combined removal+flip model through the single verify() entry point."""
+
+    def test_composite_end_to_end_on_three_classes(self):
+        dataset = three_class_dataset()
+        points = np.array([[0.1, 0.1], [8.1, 0.1], [4.1, 8.1]])
+        engine = CertificationEngine(max_depth=2, domain="either")
+        report = engine.verify(
+            CertificationRequest(dataset, points, CompositePoisoningModel(0, 1))
+        )
+        assert report.total == 3
+        assert report.certified_count >= 1
+        for result in report.results:
+            assert result.domain in ("flip-box", "flip-disjuncts")
+            assert result.poisoning_amount == 1
+            assert len(result.class_intervals) == 3
+
+    def test_composite_disjuncts_strictly_beat_box(self):
+        """The acceptance bar: flip certification gains from the disjunctive domain."""
+        dataset = three_class_dataset()
+        points = np.array([[0.1, 0.1], [8.1, 0.1], [4.1, 8.1]])
+        model = CompositePoisoningModel(1, 1)
+        box = CertificationEngine(max_depth=2, domain="box").verify(
+            CertificationRequest(dataset, points, model)
+        )
+        ladder = CertificationEngine(max_depth=2, domain="either").verify(
+            CertificationRequest(dataset, points, model)
+        )
+        assert ladder.certified_count > box.certified_count
+
+    def test_composite_amount_is_total_contamination(self):
+        engine = CertificationEngine(max_depth=1, domain="box")
+        result = engine.certify_point(
+            well_separated_dataset(), [0.5], CompositePoisoningModel(2, 1)
+        )
+        assert result.poisoning_amount == 3
+
+    def test_composite_zero_flip_matches_removal_semantics(self):
+        """Δ_{r,0} = Δr: the flip path must not certify more than removal."""
+        dataset = well_separated_dataset()
+        engine = CertificationEngine(max_depth=1, domain="either")
+        for budget in (1, 3):
+            removal = engine.certify_point(dataset, [0.5], RemovalPoisoningModel(budget))
+            composite = engine.certify_point(
+                dataset, [0.5], CompositePoisoningModel(budget, 0)
+            )
+            assert removal.is_certified == composite.is_certified
+
+    def test_predicate_pool_rejected_for_flip_families(self):
+        from repro.core.predicates import ThresholdPredicate
+
+        engine = CertificationEngine(
+            max_depth=1, predicate_pool=[ThresholdPredicate(0, 5.0)]
+        )
+        with pytest.raises(ValueError, match="predicate pools"):
+            engine.certify_point(
+                well_separated_dataset(), [0.5], CompositePoisoningModel(1, 1)
+            )
+
+
+class TestClassCountResolution:
+    """Satellite bugfix: n_classes comes from the dataset, not a silent default."""
+
+    def test_default_flip_model_counts_dataset_alternatives(self):
+        dataset = three_class_dataset()
+        engine = CertificationEngine(max_depth=1, domain="box")
+        result = engine.certify_point(dataset, [0.1, 0.1], LabelFlipModel(2))
+        explicit = LabelFlipModel(2, n_classes=3)
+        assert result.log10_num_datasets == pytest.approx(
+            explicit.log10_num_neighbors(len(dataset))
+        )
+        # The former behavior (hard-wired k=2) undercounted the space.
+        binary = LabelFlipModel(2, n_classes=2)
+        assert result.log10_num_datasets > binary.log10_num_neighbors(len(dataset))
+
+    def test_request_rejects_contradicting_declaration(self):
+        dataset = three_class_dataset()
+        with pytest.raises(ValueError, match="n_classes"):
+            CertificationRequest(dataset, [[0.1, 0.1]], LabelFlipModel(1, n_classes=2))
+        with pytest.raises(ValueError, match="n_classes"):
+            CertificationRequest(
+                dataset, [[0.1, 0.1]], CompositePoisoningModel(1, 1, n_classes=2)
+            )
+
+    def test_matching_declaration_accepted(self):
+        dataset = three_class_dataset()
+        request = CertificationRequest(
+            dataset, [[0.1, 0.1]], LabelFlipModel(1, n_classes=3)
+        )
+        assert request.model.n_classes == 3
+
+
+class TestFlipResultShape:
+    """Satellite bugfix: flip rows are shape-identical to removal rows."""
+
+    def test_flip_timeout_matches_removal_timeout_shape(self):
+        engine = CertificationEngine(max_depth=2, domain="box", timeout_seconds=1e-9)
+        flip = engine.certify_point(well_separated_dataset(), [0.5], LabelFlipModel(2))
+        removal = engine.certify_point(
+            well_separated_dataset(), [0.5], RemovalPoisoningModel(2)
+        )
+        assert flip.status is VerificationStatus.TIMEOUT
+        assert removal.status is VerificationStatus.TIMEOUT
+        assert (flip.exit_count, flip.max_disjuncts) == (
+            removal.exit_count,
+            removal.max_disjuncts,
+        ) == (0, 0)
+        assert flip.class_intervals == ()
+
+    def test_successful_flip_reports_real_exit_counters(self):
+        engine = CertificationEngine(max_depth=1, domain="box")
+        result = engine.certify_point(
+            well_separated_dataset(), [0.5], LabelFlipModel(1)
+        )
+        assert result.exit_count >= 1
+        assert result.max_disjuncts >= 1
+
+
+class TestPlanCacheLRU:
+    """Satellite bugfix: the plan cache is LRU, not FIFO."""
+
+    def test_hot_plan_survives_interleaved_traffic(self):
+        dataset = well_separated_dataset()
+        engine = CertificationEngine(max_depth=1, domain="box")
+        hot_model = RemovalPoisoningModel(1)
+        hot_plan = engine._plan_for(dataset, hot_model)
+        # Fill the cache to one below capacity with other models...
+        for n in range(2, 9):
+            engine._plan_for(dataset, RemovalPoisoningModel(n))
+        assert len(engine._plan_cache) == 8
+        # ...touch the hot plan (a hit must refresh recency)...
+        assert engine._plan_for(dataset, hot_model) is hot_plan
+        # ...and overflow: the evictee must be the stalest entry (n=2), not
+        # the hot one the old FIFO would have dropped.
+        engine._plan_for(dataset, RemovalPoisoningModel(9))
+        assert engine._plan_for(dataset, hot_model) is hot_plan
+        cached_models = {model for _, model in engine._plan_cache}
+        assert RemovalPoisoningModel(2) not in cached_models
 
 
 class TestParityWithLegacyVerifier:

@@ -6,14 +6,18 @@ import pytest
 from repro.core.dataset import Dataset
 from repro.core.predicates import ThresholdPredicate
 from repro.datasets.toy import figure2_dataset, tiny_boolean_dataset
+from repro.domains.interval import dominating_component
 from repro.poisoning.label_flip import (
     FlipAbstractTrainingSet,
     LabelFlipVerifier,
+    enumerate_composite_poisonings,
     enumerate_label_flips,
     flip_best_split_abstract,
     flip_filter_abstract,
+    verify_composite_by_enumeration,
     verify_flips_by_enumeration,
 )
+from repro.verify.disjunctive_learner import DisjunctiveAbstractLearner
 from tests.conftest import random_small_dataset, random_test_point, well_separated_dataset
 
 
@@ -140,6 +144,114 @@ class TestLabelFlipVerifier:
         result = verifier.verify(dataset, x, flips=flips)
         if result.robust:
             assert verify_flips_by_enumeration(dataset, x, flips, max_depth=depth)
+
+
+class TestFlipProtocolMethods:
+    """The methods the generic learners dispatch on (transformer protocol)."""
+
+    def test_abstract_best_split_wraps_predicate_set(self):
+        from repro.domains.predicate_set import AbstractPredicateSet
+
+        trainset = FlipAbstractTrainingSet.full(figure2_dataset(), 0, 0)
+        predicates = trainset.abstract_best_split()
+        assert isinstance(predicates, AbstractPredicateSet)
+        raw, includes_null = flip_best_split_abstract(trainset)
+        assert list(predicates) == raw
+        assert predicates.includes_null == includes_null
+
+    def test_abstract_best_split_rejects_predicate_pools(self):
+        trainset = FlipAbstractTrainingSet.full(figure2_dataset(), 0, 1)
+        with pytest.raises(ValueError, match="predicate pools"):
+            trainset.abstract_best_split(predicate_pool=[ThresholdPredicate(0, 1.0)])
+
+    def test_box_cprob_contains_optimal(self):
+        trainset = FlipAbstractTrainingSet.full(figure2_dataset(), 1, 2)
+        optimal = trainset.class_probability_intervals("optimal")
+        box = trainset.class_probability_intervals("box")
+        for tight, loose in zip(optimal, box):
+            assert loose.lo <= tight.lo + 1e-9
+            assert loose.hi >= tight.hi - 1e-9
+
+    def test_box_cprob_sound_against_enumeration(self):
+        rng = np.random.default_rng(1)
+        dataset = random_small_dataset(rng, n_samples=6)
+        trainset = FlipAbstractTrainingSet.full(dataset, 1, 1)
+        intervals = trainset.class_probability_intervals("box")
+        for poisoned in enumerate_composite_poisonings(dataset, 1, 1):
+            if len(poisoned) == 0:
+                continue
+            for interval, probability in zip(intervals, poisoned.class_probabilities()):
+                assert interval.lo - 1e-9 <= probability <= interval.hi + 1e-9
+
+    def test_unknown_cprob_method_rejected(self):
+        trainset = FlipAbstractTrainingSet.full(figure2_dataset(), 0, 1)
+        with pytest.raises(ValueError, match="cprob"):
+            trainset.class_probability_intervals("magic")
+
+
+class TestDisjunctiveFlipSoundness:
+    """The disjunctive learner on ⟨T, r, f⟩ must stay sound w.r.t. enumeration."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_flip_certificates_hold_under_enumeration(self, seed):
+        rng = np.random.default_rng(seed)
+        dataset = random_small_dataset(rng, n_samples=int(rng.integers(6, 9)))
+        x = random_test_point(rng, dataset)
+        flips = int(rng.integers(1, 3))
+        depth = int(rng.integers(1, 3))
+        learner = DisjunctiveAbstractLearner(max_depth=depth, max_disjuncts=100_000)
+        run = learner.run(FlipAbstractTrainingSet.full(dataset, 0, flips), x)
+        if run.robust_class is not None:
+            assert verify_flips_by_enumeration(dataset, x, flips, max_depth=depth)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_composite_certificates_hold_under_enumeration(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        dataset = random_small_dataset(rng, n_samples=int(rng.integers(5, 8)))
+        x = random_test_point(rng, dataset)
+        depth = int(rng.integers(1, 3))
+        learner = DisjunctiveAbstractLearner(max_depth=depth, max_disjuncts=100_000)
+        run = learner.run(FlipAbstractTrainingSet.full(dataset, 1, 1), x)
+        if run.robust_class is not None:
+            assert verify_composite_by_enumeration(dataset, x, 1, 1, max_depth=depth)
+
+    def test_disjuncts_no_less_precise_than_box_on_flips(self):
+        """The motivating precision gap: Box joins, disjuncts don't."""
+        dataset = well_separated_dataset()
+        verifier = LabelFlipVerifier(max_depth=1)
+        box = verifier.run_abstract(FlipAbstractTrainingSet.full(dataset, 0, 2), [0.5])
+        disjunctive = DisjunctiveAbstractLearner(max_depth=1).run(
+            FlipAbstractTrainingSet.full(dataset, 0, 2), [0.5]
+        )
+        assert dominating_component(box.class_intervals) is None
+        assert disjunctive.robust_class == 0
+        # The disjunctive certificate is genuine, not an artifact: two flips
+        # really cannot move this point (margin is 20+ elements wide).
+        assert verify_flips_by_enumeration(dataset, [0.5], 2, max_depth=1)
+
+
+class TestCompositeEnumeration:
+    def test_counts_match_model_formula(self):
+        from repro.poisoning.models import CompositePoisoningModel
+
+        dataset = Dataset(
+            X=np.zeros((3, 1)), y=np.array([0, 1, 2]), n_classes=3
+        )
+        enumerated = sum(1 for _ in enumerate_composite_poisonings(dataset, 1, 1))
+        model = CompositePoisoningModel(1, 1, n_classes=3)
+        assert enumerated == model.num_neighbors(3)
+
+    def test_degenerate_budgets_recover_the_pure_oracles(self):
+        dataset = tiny_boolean_dataset()
+        flips_only = [d.y.tolist() for d in enumerate_composite_poisonings(dataset, 0, 1)]
+        plain = [d.y.tolist() for d in enumerate_label_flips(dataset, 1)]
+        assert flips_only == plain
+
+    def test_oracle_detects_composite_fragility(self):
+        # One removal plus one flip is strictly stronger than either alone.
+        dataset = figure2_dataset()
+        assert verify_composite_by_enumeration(dataset, [18.0], 0, 0, max_depth=1)
+        assert not verify_composite_by_enumeration(dataset, [5.0], 2, 2, max_depth=1)
 
 
 class TestFlipEnumeration:

@@ -5,9 +5,11 @@ import math
 import pytest
 
 from repro.poisoning.models import (
+    CompositePoisoningModel,
     FractionalRemovalModel,
     LabelFlipModel,
     RemovalPoisoningModel,
+    resolve_model_classes,
 )
 
 
@@ -78,3 +80,82 @@ class TestLabelFlipModel:
 
     def test_describe(self):
         assert "flip" in LabelFlipModel(3).describe()
+
+    def test_unresolved_classes_refuse_to_count(self):
+        """A default-constructed model must not silently assume binary labels."""
+        with pytest.raises(ValueError, match="n_classes"):
+            LabelFlipModel(2).num_neighbors(5)
+        with pytest.raises(ValueError, match="n_classes"):
+            LabelFlipModel(2).resolved_classes
+
+
+class TestCompositePoisoningModel:
+    def test_pure_removal_degenerates_to_removal_counts(self):
+        composite = CompositePoisoningModel(2, 0, n_classes=3)
+        assert composite.num_neighbors(6) == RemovalPoisoningModel(2).num_neighbors(6)
+
+    def test_pure_flip_degenerates_to_flip_counts(self):
+        composite = CompositePoisoningModel(0, 2, n_classes=3)
+        assert composite.num_neighbors(6) == LabelFlipModel(
+            2, n_classes=3
+        ).num_neighbors(6)
+
+    def test_mixed_counts_match_enumeration(self):
+        import numpy as np
+
+        from repro.core.dataset import Dataset
+        from repro.poisoning.label_flip import enumerate_composite_poisonings
+
+        dataset = Dataset(
+            X=np.arange(4, dtype=float).reshape(-1, 1),
+            y=np.array([0, 1, 2, 0]),
+            n_classes=3,
+        )
+        model = CompositePoisoningModel(1, 1, n_classes=3)
+        enumerated = sum(1 for _ in enumerate_composite_poisonings(dataset, 1, 1))
+        assert model.num_neighbors(len(dataset)) == enumerated
+
+    def test_budgets_resolve_against_training_size(self):
+        model = CompositePoisoningModel(10, 7, n_classes=2)
+        assert model.resolve_budgets(4) == (4, 4)
+        assert model.nominal_amount(4) == 17
+
+    def test_nominal_amount_is_total_contamination(self):
+        assert CompositePoisoningModel(2, 3).nominal_amount(100) == 5
+
+    def test_describe_mentions_both_budgets(self):
+        description = CompositePoisoningModel(2, 3).describe()
+        assert "2" in description and "3" in description
+        assert "remov" in description and "flip" in description
+
+    def test_rejects_negative_budgets(self):
+        with pytest.raises(Exception):
+            CompositePoisoningModel(-1, 0)
+        with pytest.raises(Exception):
+            CompositePoisoningModel(0, -1)
+
+    def test_unresolved_classes_refuse_to_count(self):
+        with pytest.raises(ValueError, match="n_classes"):
+            CompositePoisoningModel(1, 1).num_neighbors(5)
+
+
+class TestModelClassResolution:
+    def test_fills_unset_classes_from_dataset(self):
+        resolved = resolve_model_classes(LabelFlipModel(2), 3)
+        assert resolved.n_classes == 3
+        resolved = resolve_model_classes(CompositePoisoningModel(1, 1), 4)
+        assert resolved.n_classes == 4
+
+    def test_matching_declaration_passes_through(self):
+        model = LabelFlipModel(2, n_classes=3)
+        assert resolve_model_classes(model, 3) is model
+
+    def test_contradicting_declaration_rejected(self):
+        with pytest.raises(ValueError, match="n_classes=2 .* 3 classes"):
+            resolve_model_classes(LabelFlipModel(2, n_classes=2), 3)
+        with pytest.raises(ValueError, match="n_classes=4 .* 2 classes"):
+            resolve_model_classes(CompositePoisoningModel(1, 1, n_classes=4), 2)
+
+    def test_class_free_models_untouched(self):
+        model = RemovalPoisoningModel(5)
+        assert resolve_model_classes(model, 7) is model

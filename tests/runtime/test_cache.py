@@ -87,6 +87,117 @@ class TestMonotoneDerivation:
         assert cache.lookup(FP, POINT, "weird", ENGINE, 3, monotone=False) is None
 
 
+COMPOSITE = "composite:k=3"
+
+
+class TestPairBudgetDerivation:
+    """Composite verdicts derive along (r, f) dominance, never across it."""
+
+    def test_exact_pair_round_trip(self, cache):
+        stored = _result(VerificationStatus.ROBUST)
+        assert cache.store(FP, POINT, COMPOSITE, ENGINE, (2, 1), stored)
+        hit = cache.lookup(FP, POINT, COMPOSITE, ENGINE, (2, 1))
+        assert hit is not None and hit.is_exact
+        assert hit.stored_budget == (2, 1)
+        # The pair key is two-dimensional: (1, 2) is a different cell.
+        assert cache.lookup(FP, POINT, COMPOSITE, ENGINE, (1, 2), monotone=False) is None
+
+    def test_robust_pair_answers_dominated_pairs(self, cache):
+        cache.store(FP, POINT, COMPOSITE, ENGINE, (2, 2), _result(VerificationStatus.ROBUST))
+        for dominated in ((1, 2), (2, 1), (0, 0), (1, 1)):
+            hit = cache.lookup(FP, POINT, COMPOSITE, ENGINE, dominated)
+            assert hit is not None and not hit.is_exact, dominated
+            assert hit.stored_budget == (2, 2)
+            assert hit.result.status is VerificationStatus.ROBUST
+
+    def test_unknown_pair_answers_dominating_pairs(self, cache):
+        cache.store(FP, POINT, COMPOSITE, ENGINE, (1, 1), _result(VerificationStatus.UNKNOWN))
+        for dominating in ((2, 1), (1, 2), (3, 3)):
+            hit = cache.lookup(FP, POINT, COMPOSITE, ENGINE, dominating)
+            assert hit is not None and not hit.is_exact, dominating
+            assert hit.result.status is VerificationStatus.UNKNOWN
+
+    def test_never_derived_across_non_nested_pairs(self, cache):
+        # (3, 1) and (1, 3) are incomparable: neither perturbation space
+        # contains the other, so neither verdict may answer the other.
+        cache.store(FP, POINT, COMPOSITE, ENGINE, (3, 1), _result(VerificationStatus.ROBUST))
+        cache.store(FP, "e" * 64, COMPOSITE, ENGINE, (1, 3), _result(VerificationStatus.UNKNOWN))
+        assert cache.lookup(FP, POINT, COMPOSITE, ENGINE, (1, 3)) is None
+        assert cache.lookup(FP, "e" * 64, COMPOSITE, ENGINE, (3, 1)) is None
+
+    def test_partial_dominance_is_not_dominance(self, cache):
+        # Robust at (2, 1): one component larger, one smaller than (1, 2).
+        cache.store(FP, POINT, COMPOSITE, ENGINE, (2, 1), _result(VerificationStatus.ROBUST))
+        assert cache.lookup(FP, POINT, COMPOSITE, ENGINE, (1, 2)) is None
+        # Unknown at (1, 2) says nothing about (2, 1) either.
+        other = "f" * 64
+        cache.store(FP, other, COMPOSITE, ENGINE, (1, 2), _result(VerificationStatus.UNKNOWN))
+        assert cache.lookup(FP, other, COMPOSITE, ENGINE, (2, 1)) is None
+
+    def test_scalar_families_unaffected_by_pair_storage(self, cache):
+        # A 1-D budget stores as (n, 0); the scalar monotone rules still hold.
+        cache.store(FP, POINT, "removal", ENGINE, 5, _result(VerificationStatus.ROBUST, 5))
+        hit = cache.lookup(FP, POINT, "removal", ENGINE, 3)
+        assert hit is not None and hit.stored_budget == 5
+
+
+class TestSchemaMigration:
+    def test_pre_composite_database_is_rebuilt_with_verdicts_intact(self, tmp_path):
+        import json as json_module
+        import sqlite3
+
+        # Build a v1 database exactly as PR 2 created it.
+        db_path = tmp_path / CertificationCache.DB_NAME
+        connection = sqlite3.connect(str(db_path))
+        connection.executescript(
+            """
+            CREATE TABLE verdicts (
+                dataset_fp   TEXT    NOT NULL,
+                point_digest TEXT    NOT NULL,
+                family       TEXT    NOT NULL,
+                engine_key   TEXT    NOT NULL,
+                budget       INTEGER NOT NULL,
+                status       TEXT    NOT NULL,
+                payload      TEXT    NOT NULL,
+                created_at   REAL    NOT NULL,
+                PRIMARY KEY (dataset_fp, point_digest, family, engine_key, budget)
+            );
+            CREATE INDEX idx_verdicts_lookup
+                ON verdicts (dataset_fp, point_digest, family, engine_key, status, budget);
+            """
+        )
+        old = _result(VerificationStatus.ROBUST, 4)
+        connection.execute(
+            "INSERT INTO verdicts VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (FP, POINT, "removal", ENGINE, 4, "robust", json_module.dumps(old.to_dict()), 0.0),
+        )
+        stale_flip = _result(VerificationStatus.UNKNOWN, 2)
+        connection.execute(
+            "INSERT INTO verdicts VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (FP, POINT, "label-flip:k=2", ENGINE, 2, "unknown",
+             json_module.dumps(stale_flip.to_dict()), 0.0),
+        )
+        connection.commit()
+        connection.close()
+
+        cache = CertificationCache(tmp_path)
+        try:
+            # The migrated removal row answers exact and monotone queries...
+            assert cache.lookup(FP, POINT, "removal", ENGINE, 4).is_exact
+            assert cache.lookup(FP, POINT, "removal", ENGINE, 2) is not None
+            # ...but the pre-ladder flip verdict is dropped: it was a Box-only
+            # UNKNOWN under the same key a ladder engine now resolves to, and
+            # keeping it would mask the flip-disjuncts precision forever.
+            assert cache.lookup(FP, POINT, "label-flip:k=2", ENGINE, 2) is None
+            # The rebuilt table accepts pair budgets at full precision.
+            cache.store(FP, POINT, COMPOSITE, ENGINE, (2, 1), _result(VerificationStatus.ROBUST))
+            cache.store(FP, POINT, COMPOSITE, ENGINE, (2, 3), _result(VerificationStatus.ROBUST))
+            assert cache.stats()["verdicts"] == 3
+            assert cache.lookup(FP, POINT, COMPOSITE, ENGINE, (2, 2)).stored_budget == (2, 3)
+        finally:
+            cache.close()
+
+
 class TestCachePolicy:
     def test_environmental_outcomes_never_stored(self, cache):
         assert not cache.store(

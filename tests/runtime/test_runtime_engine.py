@@ -5,7 +5,11 @@ import pytest
 
 import repro.api.engine as engine_module
 from repro.api import CertificationEngine, CertificationRequest
-from repro.poisoning.models import LabelFlipModel, RemovalPoisoningModel
+from repro.poisoning.models import (
+    CompositePoisoningModel,
+    LabelFlipModel,
+    RemovalPoisoningModel,
+)
 from repro.runtime import CertificationRuntime
 from repro.verify.search import max_certified_poisoning
 from tests.conftest import well_separated_dataset
@@ -127,6 +131,44 @@ class TestMonotoneReuse:
             CertificationRequest(dataset, POINTS[:2], LabelFlipModel(1))
         )
         assert derived.runtime_stats["cache_monotone_hits"] == 2
+
+    def test_composite_pairs_derive_along_dominance(self, tmp_path, monkeypatch):
+        dataset = well_separated_dataset(40)
+        engine = CertificationEngine(
+            max_depth=1,
+            domain="either",
+            runtime=CertificationRuntime(tmp_path / "cache"),
+        )
+        proved = engine.verify(
+            CertificationRequest(dataset, POINTS[:2], CompositePoisoningModel(1, 1))
+        )
+        assert all(r.is_certified for r in proved.results)
+        _forbid_compute(monkeypatch)
+        # Both dominated pairs resolve from the (1, 1) proof without learners.
+        for pair in ((0, 1), (1, 0)):
+            derived = engine.verify(
+                CertificationRequest(dataset, POINTS[:2], CompositePoisoningModel(*pair))
+            )
+            assert derived.runtime_stats["learner_invocations"] == 0, pair
+            assert derived.runtime_stats["cache_monotone_hits"] == 2, pair
+            assert all(r.is_certified for r in derived.results)
+
+    def test_composite_non_nested_pair_misses_the_cache(self, tmp_path):
+        dataset = well_separated_dataset(40)
+        engine = CertificationEngine(
+            max_depth=1,
+            domain="either",
+            runtime=CertificationRuntime(tmp_path / "cache"),
+        )
+        engine.verify(
+            CertificationRequest(dataset, POINTS[:2], CompositePoisoningModel(2, 1))
+        )
+        # (1, 2) is incomparable with (2, 1): the robust proof must not leak.
+        sideways = engine.verify(
+            CertificationRequest(dataset, POINTS[:2], CompositePoisoningModel(1, 2))
+        )
+        assert sideways.runtime_stats["cache_monotone_hits"] == 0
+        assert sideways.runtime_stats["learner_invocations"] == 2
 
     def test_nominal_amount_rewritten_on_shared_resolved_budget(self, tmp_path):
         # n=1000 and n=2000 both resolve to |T| removals: one proof, two

@@ -22,6 +22,14 @@ class TestParser:
         assert args.n == 3
         assert args.domain == "box"
 
+    def test_parses_composite_options(self):
+        args = build_parser().parse_args(
+            ["certify", "iris", "--model", "composite", "--n-remove", "2", "--n-flip", "3"]
+        )
+        assert args.model == "composite"
+        assert args.n_remove == 2
+        assert args.n_flip == 3
+
 
 class TestCommands:
     def test_datasets_command(self, capsys):
@@ -67,6 +75,27 @@ class TestCommands:
     def test_figure_command_quick(self, capsys):
         assert main(["figure", "iris", "--quick"]) == 0
         assert "Figure 8" in capsys.readouterr().out
+
+
+class TestCertifyComposite:
+    def test_composite_model_certifies_through_cli(self, capsys, tmp_path):
+        code = main(
+            [
+                "certify", "iris", "--model", "composite",
+                "--n-remove", "1", "--n-flip", "1",
+                "--points", "2", "--depth", "1", "--scale", "0.3",
+                "--json", str(tmp_path / "composite.json"),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "removal of up to 1 training elements and flipping of up to 1" in output
+        import json
+
+        payload = json.loads((tmp_path / "composite.json").read_text())
+        assert payload["total"] == 2
+        assert all(r["domain"].startswith("flip-") for r in payload["results"])
+        assert all(r["poisoning_amount"] == 2 for r in payload["results"])
 
 
 class TestCertifyCache:
