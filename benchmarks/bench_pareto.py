@@ -1,0 +1,164 @@
+"""Benchmark for the composite ``(r, f)`` Pareto-frontier sweep.
+
+The frontier sweep is the two-dimensional generalization of the paper's §6.1
+budget search: per test point, the set of *maximal* certified
+``(n_remove, n_flip)`` pairs under componentwise dominance, found by
+staircase descent.  This benchmark runs the sweep on full-scale iris (the
+3-class paper benchmark) at depth 1 through a persistent-cache runtime, then
+reruns it against the warm cache.
+
+Recorded in ``results/BENCH_pareto.json``: per-point frontiers, probe counts,
+and the headline perf numbers — frontier points per second cold versus warm,
+and the learner invocations of each pass.
+
+Acceptance bars encoded below:
+
+* the staircase frontiers match brute-force grid certification exactly
+  (identical maximal-pair sets on the capped grid);
+* the warm-cache rerun performs strictly fewer learner invocations than the
+  cold run (it must answer every probe from the cache: zero).
+"""
+
+import itertools
+import json
+import time
+
+from repro.api import CertificationEngine
+from repro.experiments.reporting import results_directory, save_artifact
+from repro.experiments.runner import load_experiment_split, select_test_points
+from repro.poisoning.models import CompositePoisoningModel
+from repro.runtime import CertificationRuntime
+from repro.utils.tables import TextTable
+
+from conftest import bench_config
+
+
+def _brute_force_frontier(engine, dataset, x, max_remove, max_flip):
+    """Maximal certified pairs by certifying every grid cell (the oracle)."""
+    certified = {
+        (r, f): engine.certify_point(
+            dataset, x, CompositePoisoningModel(r, f)
+        ).is_certified
+        for r, f in itertools.product(range(max_remove + 1), range(max_flip + 1))
+    }
+    region = {pair for pair, robust in certified.items() if robust}
+    return tuple(
+        sorted(
+            pair
+            for pair in region
+            if not any(
+                other != pair and other[0] >= pair[0] and other[1] >= pair[1]
+                for other in region
+            )
+        )
+    )
+
+
+def bench_pareto_iris(benchmark, tmp_path):
+    config = bench_config(
+        n_test_points=4,
+        dataset_scales={"iris": 1.0},
+        timeout_seconds=30.0,
+        frontier_budgets=(3, 2),
+    )
+    max_remove, max_flip = config.frontier_budgets
+    split = load_experiment_split("iris", config)
+    test_points = select_test_points(split, config, "iris")
+
+    runtime = CertificationRuntime(tmp_path / "cache")
+    engine = CertificationEngine(
+        max_depth=1,
+        domain="either",
+        timeout_seconds=config.timeout_seconds,
+        max_disjuncts=100_000,
+        runtime=runtime,
+    )
+
+    def run_sweep():
+        return runtime.pareto_sweep(
+            engine,
+            split.train,
+            test_points,
+            max_remove=max_remove,
+            max_flip=max_flip,
+        )
+
+    cold_start = time.perf_counter()
+    cold = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    cold_seconds = time.perf_counter() - cold_start
+
+    warm_start = time.perf_counter()
+    warm = run_sweep()
+    warm_seconds = time.perf_counter() - warm_start
+
+    cold_invocations = sum(outcome.learner_invocations for outcome in cold)
+    warm_invocations = sum(outcome.learner_invocations for outcome in warm)
+    cold_pps = len(test_points) / cold_seconds if cold_seconds else float("inf")
+    warm_pps = len(test_points) / warm_seconds if warm_seconds else float("inf")
+
+    # The staircase must reproduce brute-force grid certification exactly.
+    oracle_engine = CertificationEngine(
+        max_depth=1,
+        domain="either",
+        timeout_seconds=config.timeout_seconds,
+        max_disjuncts=100_000,
+    )
+    for row, outcome in zip(test_points, cold):
+        oracle = _brute_force_frontier(
+            oracle_engine, split.train, row, max_remove, max_flip
+        )
+        assert tuple(sorted(outcome.frontier)) == oracle, (outcome.frontier, oracle)
+
+    table = TextTable(["point", "frontier (r, f)", "probes", "cold learner runs"])
+    per_point = []
+    for index, outcome in enumerate(cold):
+        pairs = ", ".join(f"({r}, {f})" for r, f in outcome.frontier)
+        table.add_row(
+            [index, pairs or "uncertified", outcome.probes, outcome.learner_invocations]
+        )
+        per_point.append(
+            {
+                "frontier": [[r, f] for r, f in outcome.frontier],
+                "probes": outcome.probes,
+                "cold_learner_invocations": outcome.learner_invocations,
+            }
+        )
+    save_artifact(
+        "pareto_frontier",
+        f"Composite (r, f) Pareto frontiers (iris, |T|={len(split.train)}, "
+        f"{len(test_points)} test points, depth 1, grid [0, {max_remove}] × "
+        f"[0, {max_flip}])\n" + table.render()
+        + f"\ncold sweep: {cold_seconds:.2f}s ({cold_pps:.2f} points/s), "
+        f"warm cached sweep: {warm_seconds:.2f}s ({warm_pps:.2f} points/s)",
+    )
+    (results_directory() / "BENCH_pareto.json").write_text(
+        json.dumps(
+            {
+                "dataset": "iris",
+                "train_size": len(split.train),
+                "test_points": len(test_points),
+                "depth": 1,
+                "max_remove": max_remove,
+                "max_flip": max_flip,
+                "frontiers": per_point,
+                "cold_seconds": cold_seconds,
+                "warm_seconds": warm_seconds,
+                "cold_points_per_second": cold_pps,
+                "warm_points_per_second": warm_pps,
+                "cold_learner_invocations": cold_invocations,
+                "warm_learner_invocations": warm_invocations,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    # Warm rerun: identical frontiers, strictly fewer learner invocations
+    # (every probe must resolve from the cache).
+    assert [outcome.frontier for outcome in warm] == [
+        outcome.frontier for outcome in cold
+    ]
+    assert cold_invocations > 0
+    assert warm_invocations < cold_invocations
+    assert warm_invocations == 0

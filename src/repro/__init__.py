@@ -87,7 +87,14 @@ from repro.verify.robustness import (
     VerificationResult,
     VerificationStatus,
 )
-from repro.verify.search import max_certified_poisoning, robustness_sweep
+from repro.verify.search import (
+    ParetoFrontierResult,
+    PoisoningSearchResult,
+    max_certified_poisoning,
+    pareto_frontier,
+    pareto_sweep,
+    robustness_sweep,
+)
 
 __version__ = "0.1.0"
 
@@ -131,7 +138,11 @@ __all__ = [
     "PoisoningVerifier",
     "VerificationResult",
     "VerificationStatus",
+    "ParetoFrontierResult",
+    "PoisoningSearchResult",
     "max_certified_poisoning",
+    "pareto_frontier",
+    "pareto_sweep",
     "robustness_sweep",
     "CertificationCache",
     "CertificationRuntime",

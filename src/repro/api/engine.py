@@ -108,6 +108,7 @@ class _RequestPlan:
     amount: int
     budget: int
     log10_datasets: float
+    flips: int = 0
     removal_trainset: Optional[AbstractTrainingSet] = None
     flip_trainset: Optional[FlipAbstractTrainingSet] = None
 
@@ -322,6 +323,79 @@ class CertificationEngine:
             dataset, np.asarray(x, dtype=float), model, self._plan_for(dataset, model)
         )
 
+    def max_certified(
+        self,
+        dataset: Dataset,
+        x: Sequence[float],
+        *,
+        model: Optional[PerturbationModel] = None,
+        start: int = 1,
+        max_budget: Optional[int] = None,
+    ):
+        """Largest budget in ``[1, max_budget]`` the point is certified for.
+
+        Runs the §6.1 doubling/binary search of
+        :func:`repro.verify.search.max_certified_poisoning` against this
+        engine for any scalar-budget family (``model`` is the family template
+        rebound per probe via ``with_budget``; ``None`` means the paper's
+        ``Δn``).  Probes flow through :meth:`certify_point`, so an attached
+        runtime answers them from the persistent cache with monotone
+        derivation.
+        """
+        # Deferred: repro.verify.search imports the deprecated verifier shim.
+        from repro.verify.search import max_certified_poisoning
+
+        return max_certified_poisoning(
+            self, dataset, x, start=start, max_n=max_budget, model=model
+        )
+
+    def pareto_frontier(
+        self,
+        dataset: Dataset,
+        x: Sequence[float],
+        *,
+        max_remove: Optional[int] = None,
+        max_flip: Optional[int] = None,
+        model: Optional[PerturbationModel] = None,
+    ):
+        """Maximal certified ``(n_remove, n_flip)`` pairs of one test point.
+
+        The two-dimensional counterpart of :meth:`max_certified` for the
+        composite removal+flip family: delegates to
+        :func:`repro.verify.search.pareto_frontier` (staircase descent over
+        the pair lattice), with probes answered through :meth:`certify_point`
+        — and therefore through an attached runtime's componentwise
+        pair-dominance cache derivation.
+        """
+        from repro.verify.search import pareto_frontier
+
+        return pareto_frontier(
+            self, dataset, x, max_remove=max_remove, max_flip=max_flip, model=model
+        )
+
+    def pareto_sweep(
+        self,
+        dataset: Dataset,
+        points: np.ndarray,
+        *,
+        max_remove: Optional[int] = None,
+        max_flip: Optional[int] = None,
+        model: Optional[PerturbationModel] = None,
+        n_jobs: int = 1,
+    ):
+        """Per-point Pareto frontiers for a batch of test points."""
+        from repro.verify.search import pareto_sweep
+
+        return pareto_sweep(
+            self,
+            dataset,
+            points,
+            max_remove=max_remove,
+            max_flip=max_flip,
+            model=model,
+            n_jobs=n_jobs,
+        )
+
     # ------------------------------------------------------------- dispatch
     def _plan_for(self, dataset: Dataset, model: PerturbationModel) -> _RequestPlan:
         """The shared initial abstraction for one (dataset, model) pair.
@@ -352,6 +426,7 @@ class CertificationEngine:
                 amount=amount,
                 budget=budget,
                 log10_datasets=log10_datasets,
+                flips=model.nominal_flip_amount(len(dataset)),
                 flip_trainset=FlipAbstractTrainingSet.full(dataset, removals, flips),
             )
         else:
@@ -404,6 +479,7 @@ class CertificationEngine:
                     outcome,
                     domain=domain,
                     n=plan.amount,
+                    flips=plan.flips,
                     predicted=predicted,
                     log10_datasets=plan.log10_datasets,
                 )
@@ -449,6 +525,7 @@ class CertificationEngine:
         *,
         domain: str,
         n: int,
+        flips: int,
         predicted: int,
         log10_datasets: float,
     ) -> VerificationResult:
@@ -457,6 +534,7 @@ class CertificationEngine:
             return VerificationResult(
                 status=outcome.failure,
                 poisoning_amount=n,
+                poisoning_flips=flips,
                 predicted_class=predicted,
                 certified_class=None,
                 class_intervals=(),
@@ -476,6 +554,7 @@ class CertificationEngine:
         return VerificationResult(
             status=status,
             poisoning_amount=n,
+            poisoning_flips=flips,
             predicted_class=predicted,
             certified_class=robust_class,
             class_intervals=run.class_intervals,

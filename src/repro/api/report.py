@@ -21,10 +21,14 @@ from repro.utils.tables import TextTable
 from repro.verify.result import VerificationResult, VerificationStatus
 
 #: Column order of :meth:`CertificationReport.to_csv` (one row per result).
+#: ``poisoning_flips`` carries the flip component of the budget, so composite
+#: ``Δ_{r,f}`` rows export the full pair (``n_remove`` is ``poisoning_amount -
+#: poisoning_flips``) instead of silently dropping the flip budget.
 CSV_FIELDS = (
     "index",
     "status",
     "poisoning_amount",
+    "poisoning_flips",
     "predicted_class",
     "certified_class",
     "domain",
@@ -71,6 +75,13 @@ class CertificationReport:
         that served the batch (cache hits/misses, monotone derivations,
         journal restores, learner invocations, shared-memory use); ``None``
         when no runtime was involved.
+    frontiers:
+        Optional per-point Pareto-frontier rows produced by a composite
+        ``(r, f)`` sweep: one dict per point (in request order) with the
+        point's maximal certified ``(n_remove, n_flip)`` pairs under
+        componentwise dominance (see
+        :class:`repro.verify.search.ParetoFrontierResult.to_dict`); ``None``
+        for plain certification batches.
     """
 
     results: List[VerificationResult] = field(default_factory=list)
@@ -78,6 +89,7 @@ class CertificationReport:
     dataset_name: str = ""
     total_seconds: float = 0.0
     runtime_stats: Optional[Dict] = None
+    frontiers: Optional[List[Dict]] = None
 
     # -------------------------------------------------------------- counting
     def __len__(self) -> int:
@@ -158,18 +170,22 @@ class CertificationReport:
         }
         if self.runtime_stats is not None:
             payload["runtime_stats"] = dict(self.runtime_stats)
+        if self.frontiers is not None:
+            payload["frontiers"] = [dict(entry) for entry in self.frontiers]
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "CertificationReport":
         """Reconstruct a report from :meth:`to_dict` output (JSON round-trip)."""
         runtime_stats = payload.get("runtime_stats")
+        frontiers = payload.get("frontiers")
         return cls(
             results=[VerificationResult.from_dict(entry) for entry in payload["results"]],
             model_description=str(payload.get("model_description", "")),
             dataset_name=str(payload.get("dataset_name", "")),
             total_seconds=float(payload.get("total_seconds", 0.0)),
             runtime_stats=None if runtime_stats is None else dict(runtime_stats),
+            frontiers=None if frontiers is None else [dict(entry) for entry in frontiers],
         )
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
@@ -189,6 +205,32 @@ class CertificationReport:
             row["index"] = index
             row["class_intervals"] = json.dumps(row["class_intervals"])
             writer.writerow(row)
+        return buffer.getvalue()
+
+    def frontier_csv(self) -> str:
+        """One CSV row per maximal certified ``(n_remove, n_flip)`` pair.
+
+        Only meaningful for reports produced by a composite Pareto sweep
+        (``frontiers`` is set); a point whose frontier is empty — not even
+        ``(0, 0)`` was certified — contributes a single row with blank budget
+        columns so the export still covers every requested point.
+        """
+        if self.frontiers is None:
+            raise ValueError(
+                "this report has no Pareto frontiers; frontier_csv() only "
+                "applies to composite (r, f) sweep reports"
+            )
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["index", "n_remove", "n_flip", "probes"])
+        for index, entry in enumerate(self.frontiers):
+            pairs = entry.get("frontier", [])
+            probes = entry.get("probes", "")
+            if not pairs:
+                writer.writerow([index, "", "", probes])
+                continue
+            for n_remove, n_flip in pairs:
+                writer.writerow([index, n_remove, n_flip, probes])
         return buffer.getvalue()
 
     # --------------------------------------------------------------- display

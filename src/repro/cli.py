@@ -13,6 +13,13 @@ The CLI exposes the main workflows without writing any Python:
   printing an aggregate report (optionally exported as JSON/CSV); with
   ``--cache-dir`` the run goes through the persistent certification cache
   and a resumable journal (``--resume`` continues an interrupted batch);
+* ``repro-antidote sweep <dataset> --model removal --max-n 64`` — the §6.1
+  certified-budget search (doubling + binary search) per test point, for any
+  scalar-budget threat model; with ``--model composite --frontier
+  --max-remove R --max-flip F`` it computes the per-point **Pareto frontier**
+  of maximal certified ``(n_remove, n_flip)`` pairs instead (staircase
+  descent over the pair lattice, probes answered through the cache's pair
+  dominance when ``--cache-dir`` is given);
 * ``repro-antidote cache stats|clear --cache-dir DIR`` — inspect or empty a
   certification cache;
 * ``repro-antidote table1`` — regenerate Table 1;
@@ -29,6 +36,7 @@ with ``--save NAME``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -127,6 +135,50 @@ def build_parser() -> argparse.ArgumentParser:
     certify.add_argument("--no-shared-memory", action="store_true",
                          help="disable the shared-memory dataset plane for "
                          "pool workers (pickle the dataset instead)")
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="search the largest certified budget per point (§6.1), or the "
+        "composite (r, f) Pareto frontier",
+    )
+    sweep.add_argument("dataset", choices=list_datasets())
+    sweep.add_argument(
+        "--model",
+        choices=("removal", "fraction", "label-flip", "composite"),
+        default="removal",
+        help="threat-model family to sweep; composite requires --frontier",
+    )
+    sweep.add_argument("--start", type=int, default=1,
+                       help="first budget probed by the doubling phase")
+    sweep.add_argument("--max-n", type=int, default=None, metavar="N",
+                       help="cap of the scalar budget search (default: |T|)")
+    sweep.add_argument("--frontier", action="store_true",
+                       help="compute the set of maximal certified "
+                       "(n_remove, n_flip) pairs per point (composite model only)")
+    sweep.add_argument("--max-remove", type=int, default=None, metavar="R",
+                       help="removal-budget cap of the frontier grid (default: |T|)")
+    sweep.add_argument("--max-flip", type=int, default=None, metavar="F",
+                       help="flip-budget cap of the frontier grid (default: |T|)")
+    sweep.add_argument("--points", type=int, default=8,
+                       help="number of test points to sweep (from index 0)")
+    sweep.add_argument("--depth", type=int, default=2, help="decision-tree depth")
+    sweep.add_argument("--domain", choices=("box", "disjuncts", "either"), default="either")
+    sweep.add_argument("--n-jobs", type=int, default=1,
+                       help="worker processes for cache-less frontier sweeps "
+                       "(adaptive scalar searches and cached sweeps run serially)")
+    sweep.add_argument("--scale", type=float, default=None,
+                       help="dataset scale (1.0 = paper size)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--timeout", type=float, default=60.0)
+    sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent certification cache the probes flow "
+                       "through (repeat sweeps derive from prior verdicts)")
+    sweep.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the sweep outcome as JSON")
+    sweep.add_argument("--csv", default=None, metavar="PATH",
+                       help="also write the per-point outcome rows as CSV")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress the per-point lines")
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clear a persistent certification cache"
@@ -300,6 +352,229 @@ def _command_certify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_template(args: argparse.Namespace) -> Optional[PerturbationModel]:
+    """The family template a ``sweep`` run rebinds budgets on.
+
+    ``None`` selects the paper's ``Δn`` (the default of the search layer);
+    fractional removal denotes the same family once resolved, so it sweeps
+    over explicit element counts too.
+    """
+    if args.model == "label-flip":
+        return LabelFlipModel(0)
+    if args.model == "composite":
+        return CompositePoisoningModel(0, 0)
+    return None
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    if args.frontier and args.model != "composite":
+        print(
+            "error: --frontier sweeps the (n_remove, n_flip) pair lattice and "
+            "requires --model composite",
+            file=sys.stderr,
+        )
+        return 2
+    if args.model == "composite" and not args.frontier:
+        print(
+            "error: the composite model has no scalar budget to search; "
+            "pass --frontier for the (n_remove, n_flip) Pareto frontier",
+            file=sys.stderr,
+        )
+        return 2
+    split = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    count = max(0, min(args.points, len(split.test)))
+    points = split.test.X[:count]
+    template = _sweep_template(args)
+    runtime = None
+    if args.cache_dir is not None:
+        runtime = CertificationRuntime(args.cache_dir)
+    engine = CertificationEngine(
+        max_depth=args.depth,
+        domain=args.domain,
+        timeout_seconds=args.timeout,
+        runtime=runtime,
+    )
+    print(split.describe())
+
+    watch = Stopwatch().start()
+    if args.frontier:
+        exit_code = _run_frontier_sweep(
+            args, split, points, template, engine, runtime, watch
+        )
+    else:
+        exit_code = _run_scalar_sweep(
+            args, split, points, template, engine, runtime, watch
+        )
+    return exit_code
+
+
+def _run_scalar_sweep(args, split, points, template, engine, runtime, watch) -> int:
+    """The §6.1 protocol per point: doubling + binary search over one budget."""
+    family = (
+        "removal" if args.model in ("removal", "fraction") else args.model
+    )
+    print(
+        f"searching the largest certified {family} budget for {len(points)} "
+        f"point(s) of {split.train.name!r} (|T|={len(split.train)}, "
+        f"max budget {args.max_n if args.max_n is not None else len(split.train)})"
+    )
+    if args.n_jobs > 1:
+        print(
+            "note: the scalar budget search probes adaptively and runs "
+            "serially; --n-jobs ignored",
+            file=sys.stderr,
+        )
+    outcomes = []
+    for index, x in enumerate(points):
+        if runtime is not None:
+            outcome = runtime.max_certified(
+                engine, split.train, x,
+                start=args.start, max_budget=args.max_n, model=template,
+            )
+            row = {
+                "index": index,
+                "max_certified_n": outcome.max_certified_n,
+                "attempts": outcome.attempts,
+                "learner_invocations": outcome.learner_invocations,
+            }
+        else:
+            search = engine.max_certified(
+                split.train, x, model=template, start=args.start, max_budget=args.max_n
+            )
+            row = {
+                "index": index,
+                "max_certified_n": search.max_certified_n,
+                "attempts": len(search.attempts),
+                "learner_invocations": None,
+            }
+        outcomes.append(row)
+        if not args.quiet:
+            print(
+                f"  point {index:3d}: max certified budget "
+                f"{row['max_certified_n']} ({row['attempts']} probe(s))"
+            )
+    total_seconds = watch.elapsed()
+
+    certified = [row for row in outcomes if row["max_certified_n"] > 0]
+    table = TextTable(["metric", "value"])
+    table.add_row(["dataset", split.train.name])
+    table.add_row(["family", family])
+    table.add_row(["points", len(outcomes)])
+    table.add_row(["ever certified", len(certified)])
+    if outcomes:
+        budgets = [row["max_certified_n"] for row in outcomes]
+        table.add_row(["mean max budget", f"{sum(budgets) / len(budgets):.2f}"])
+        table.add_row(["largest max budget", max(budgets)])
+    table.add_row(["total probes", sum(row["attempts"] for row in outcomes)])
+    stats = runtime.stats.snapshot() if runtime is not None else None
+    if stats is not None:
+        table.add_row(["learner invocations", stats["learner_invocations"]])
+    table.add_row(["wall-clock (s)", f"{total_seconds:.3f}"])
+    print()
+    print(table.render())
+
+    if args.json:
+        payload = {
+            "dataset_name": split.train.name,
+            "family": family,
+            "start": args.start,
+            "max_budget": args.max_n,
+            "outcomes": outcomes,
+            "total_seconds": total_seconds,
+        }
+        if stats is not None:
+            payload["runtime_stats"] = stats
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2), encoding="utf-8"
+        )
+        print(f"[sweep JSON written to {args.json}]", file=sys.stderr)
+    if args.csv:
+        lines = ["index,max_certified_n,attempts"]
+        lines += [
+            f"{row['index']},{row['max_certified_n']},{row['attempts']}"
+            for row in outcomes
+        ]
+        Path(args.csv).write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(f"[per-point CSV written to {args.csv}]", file=sys.stderr)
+    return 0
+
+
+def _run_frontier_sweep(args, split, points, template, engine, runtime, watch) -> int:
+    """Composite (r, f) Pareto frontiers per point (staircase descent)."""
+    size = len(split.train)
+    max_remove = size if args.max_remove is None else min(args.max_remove, size)
+    max_flip = size if args.max_flip is None else min(args.max_flip, size)
+    description = (
+        f"composite (r, f) Pareto frontier over "
+        f"[0, {max_remove}] × [0, {max_flip}]"
+    )
+    print(
+        f"computing {description} for {len(points)} point(s) of "
+        f"{split.train.name!r} (|T|={size})"
+    )
+    if runtime is not None:
+        if args.n_jobs > 1:
+            print(
+                "note: cached frontier sweeps run serially so every probe "
+                "shares the verdict cache; --n-jobs ignored",
+                file=sys.stderr,
+            )
+        outcomes = runtime.pareto_sweep(
+            engine, split.train, points,
+            max_remove=max_remove, max_flip=max_flip, model=template,
+        )
+        frontiers = [outcome.to_dict() for outcome in outcomes]
+    else:
+        results = engine.pareto_sweep(
+            split.train, points,
+            max_remove=max_remove, max_flip=max_flip, model=template,
+            n_jobs=args.n_jobs,
+        )
+        frontiers = [result.to_dict() for result in results]
+    total_seconds = watch.elapsed()
+
+    if not args.quiet:
+        for index, entry in enumerate(frontiers):
+            pairs = ", ".join(f"({r}, {f})" for r, f in entry["frontier"])
+            print(
+                f"  point {index:3d}: frontier [{pairs or 'uncertified'}] "
+                f"({entry['probes']} probe(s))"
+            )
+
+    stats = runtime.stats.snapshot() if runtime is not None else None
+    report = CertificationReport(
+        results=[],
+        model_description=description,
+        dataset_name=split.train.name,
+        total_seconds=total_seconds,
+        runtime_stats=stats,
+        frontiers=frontiers,
+    )
+    certified = sum(1 for entry in frontiers if entry["frontier"])
+    table = TextTable(["metric", "value"])
+    table.add_row(["dataset", split.train.name])
+    table.add_row(["frontier grid", f"[0, {max_remove}] × [0, {max_flip}]"])
+    table.add_row(["points", len(frontiers)])
+    table.add_row(["ever certified", certified])
+    table.add_row(
+        ["total frontier pairs", sum(len(entry["frontier"]) for entry in frontiers)]
+    )
+    table.add_row(["total probes", sum(entry["probes"] for entry in frontiers)])
+    if stats is not None:
+        table.add_row(["learner invocations", stats["learner_invocations"]])
+    table.add_row(["wall-clock (s)", f"{total_seconds:.3f}"])
+    print()
+    print(table.render())
+
+    if args.json:
+        Path(args.json).write_text(report.to_json(indent=2), encoding="utf-8")
+        print(f"[frontier JSON written to {args.json}]", file=sys.stderr)
+    if args.csv:
+        Path(args.csv).write_text(report.frontier_csv(), encoding="utf-8")
+        print(f"[frontier CSV written to {args.csv}]", file=sys.stderr)
+    return 0
+
+
 def _command_cache(args: argparse.Namespace) -> int:
     cache_dir = Path(args.cache_dir).expanduser()
     if not (cache_dir / CertificationCache.DB_NAME).is_file():
@@ -358,6 +633,7 @@ _COMMANDS = {
     "datasets": _command_datasets,
     "verify": _command_verify,
     "certify": _command_certify,
+    "sweep": _command_sweep,
     "cache": _command_cache,
     "table1": _command_table1,
     "figure6": _command_figure6,

@@ -61,6 +61,10 @@ class ExperimentConfig:
     composite_budgets:
         Grid of ``(n_remove, n_flip)`` pairs evaluated by the composite
         removal+flip benchmark.
+    frontier_budgets:
+        ``(max_remove, max_flip)`` caps of the composite Pareto-frontier
+        sweep (the staircase searches the grid
+        ``[0, max_remove] × [0, max_flip]`` per point).
     dataset_scales:
         Per-dataset generation scale overrides (``None`` entries fall back to
         the registry defaults; the value 1.0 is paper size).
@@ -90,6 +94,7 @@ class ExperimentConfig:
         default_factory=lambda: dict(DEFAULT_POISONING_AMOUNTS)
     )
     composite_budgets: Tuple[Tuple[int, int], ...] = DEFAULT_COMPOSITE_BUDGETS
+    frontier_budgets: Tuple[int, int] = (2, 2)
     dataset_scales: Mapping[str, Optional[float]] = field(default_factory=dict)
     timeout_seconds: Optional[float] = 30.0
     max_disjuncts: int = 4096

@@ -3,7 +3,12 @@
 Figure 6 of the paper plots, for every dataset and tree depth, the fraction of
 test points Antidote certifies as a function of the poisoning amount ``n``
 (log-scaled x axis), counting a point as verified when *either* the Box or the
-disjunctive domain succeeds.  This module recomputes those series.
+disjunctive domain succeeds.  This module is a thin client of the generic
+budget-sweep machinery (:func:`repro.verify.search.robustness_sweep`): it
+only chooses the grid, the engines, and the rendering — passing a ``model``
+template regenerates the same figure for any scalar-budget threat family
+(e.g. :class:`~repro.poisoning.models.LabelFlipModel`), not just the paper's
+``Δn``.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from repro.experiments.runner import (
     make_engine,
     select_test_points,
 )
+from repro.poisoning.models import PerturbationModel
 from repro.utils.tables import TextTable
 from repro.verify.search import robustness_sweep
 
@@ -40,8 +46,15 @@ class Figure6Series:
 def compute_figure6(
     config: Optional[ExperimentConfig] = None,
     datasets: Optional[Sequence[str]] = None,
+    *,
+    model: Optional[PerturbationModel] = None,
 ) -> List[Figure6Series]:
-    """Recompute the Figure 6 series for the requested datasets."""
+    """Recompute the Figure 6 series for the requested datasets.
+
+    ``model`` is the scalar-budget family template swept per level (``None``
+    means the paper's ``Δn`` removal model); the budgets of
+    ``config.poisoning_amounts`` are rebound on it via ``with_budget``.
+    """
     config = config or ExperimentConfig()
     from repro.datasets.registry import list_datasets
 
@@ -59,6 +72,7 @@ def compute_figure6(
                 amounts,
                 incremental=True,
                 n_jobs=config.n_jobs,
+                model=model,
             )
             fractions = {record.poisoning_amount: record.fraction_certified for record in records}
             # Levels skipped by the incremental protocol (because no point was

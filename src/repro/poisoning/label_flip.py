@@ -243,7 +243,12 @@ class FlipAbstractTrainingSet:
 def _flip_side_score_bounds(
     sizes: np.ndarray, class_counts: np.ndarray, removals: int, flips: int
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Vectorized bounds of ``|side| * gini(side)`` under the combined model."""
+    """Vectorized bounds of ``|side| * gini(side)`` under the combined model.
+
+    This is the per-side primitive: ``flips`` here is the flip budget granted
+    to *this* side alone.  :func:`_flip_split_score_bounds` combines the two
+    sides over all ways of allocating the shared flip budget between them.
+    """
     sizes = sizes.astype(np.float64)
     counts = class_counts.astype(np.float64)
     side_removals = np.minimum(float(removals), sizes)
@@ -265,6 +270,48 @@ def _flip_side_score_bounds(
     gini_lower = term_lower.sum(axis=1)
     gini_upper = term_upper.sum(axis=1)
     return mul_bounds(remaining, sizes, gini_lower, gini_upper)
+
+
+def _flip_split_score_bounds(
+    left_sizes: np.ndarray,
+    left_class_counts: np.ndarray,
+    right_sizes: np.ndarray,
+    right_class_counts: np.ndarray,
+    removals: int,
+    flips: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Bounds of ``score(left) + score(right)`` with the flip budget shared.
+
+    A single flipped label lives on exactly one side of a split, so a sound
+    *and tight* bound ranges over the allocations ``f_l + f_r ≤ f`` rather
+    than granting the full flip budget to both sides at once (which
+    double-counts every flip and was the pre-fix behavior).  The per-side
+    bounds of :func:`_flip_side_score_bounds` widen monotonically in the flip
+    budget, so the extremes over ``f_l + f_r ≤ f`` are attained on the
+    boundary ``f_l + f_r = f``: enumerate its ``f + 1`` allocations and take
+    the componentwise envelope.  The removal budget is *not* allocated — each
+    side keeps the full ``r`` — because removal already over-approximates
+    per-side independently in the removal-only transformer, and the
+    double-counting this PR fixes is specifically the flip one.
+    """
+    score_lower: Optional[np.ndarray] = None
+    score_upper: Optional[np.ndarray] = None
+    for left_flips in range(flips + 1):
+        left_lower, left_upper = _flip_side_score_bounds(
+            left_sizes, left_class_counts, removals, left_flips
+        )
+        right_lower, right_upper = _flip_side_score_bounds(
+            right_sizes, right_class_counts, removals, flips - left_flips
+        )
+        allocation_lower = left_lower + right_lower
+        allocation_upper = left_upper + right_upper
+        if score_lower is None:
+            score_lower, score_upper = allocation_lower, allocation_upper
+        else:
+            score_lower = np.minimum(score_lower, allocation_lower)
+            score_upper = np.maximum(score_upper, allocation_upper)
+    assert score_lower is not None and score_upper is not None
+    return score_lower, score_upper
 
 
 def flip_best_split_abstract(
@@ -293,14 +340,14 @@ def flip_best_split_abstract(
         table = feature_split_table(X, y, feature, trainset.dataset.n_classes)
         if table.n_candidates == 0:
             continue
-        left_lower, left_upper = _flip_side_score_bounds(
-            table.left_sizes, table.left_class_counts, removals, flips
+        score_lower, score_upper = _flip_split_score_bounds(
+            table.left_sizes,
+            table.left_class_counts,
+            table.right_sizes,
+            table.right_class_counts,
+            removals,
+            flips,
         )
-        right_lower, right_upper = _flip_side_score_bounds(
-            table.right_sizes, table.right_class_counts, removals, flips
-        )
-        score_lower = left_lower + right_lower
-        score_upper = left_upper + right_upper
         universal = (table.left_sizes > removals) & (table.right_sizes > removals)
         for position in range(table.n_candidates):
             if kind is FeatureKind.REAL:

@@ -56,9 +56,51 @@ class PerturbationModel(abc.ABC):
         """
         return self.resolve_budget(training_size)
 
+    def nominal_flip_amount(self, training_size: int) -> int:
+        """The label-flip component of the budget as results report it.
+
+        Zero for the pure-removal families; flip-family models override this
+        so exported results carry the full ``(amount, flips)`` pair instead of
+        silently dropping the flip budget.
+        """
+        del training_size
+        return 0
+
     def log10_num_neighbors(self, training_size: int) -> float:
         """``log10 |Δ(T)|``; the scale a naïve enumeration would face."""
         return _log10_of_big_int(self.num_neighbors(training_size))
+
+    # ------------------------------------------------------- budget rebinding
+    def with_budget(self, n: int) -> "PerturbationModel":
+        """A model of the same family with its scalar budget replaced by ``n``.
+
+        This is the protocol the §6.1 search machinery
+        (:func:`repro.verify.search.max_certified_poisoning` /
+        :func:`~repro.verify.search.robustness_sweep`) sweeps a family with:
+        the template model fixes everything *except* the budget, and the
+        search rebinds the budget per probe.  One-dimensional families
+        override this; families without a scalar budget (the composite
+        removal+flip pair) raise and are swept with :meth:`with_budgets`
+        through :func:`repro.verify.search.pareto_frontier` instead.
+        """
+        raise ValidationError(
+            f"{type(self).__name__} has no scalar budget to search over; "
+            "use with_budgets(n_remove, n_flip) / pareto_frontier for "
+            "two-dimensional families"
+        )
+
+    def with_budgets(self, n_remove: int, n_flip: int) -> "PerturbationModel":
+        """A model of the same family with its ``(r, f)`` budget pair replaced.
+
+        Only meaningful for families parameterized by a removal *and* a flip
+        budget (:class:`CompositePoisoningModel`); the Pareto-frontier search
+        probes the pair lattice through this hook.
+        """
+        raise ValidationError(
+            f"{type(self).__name__} is not parameterized by an "
+            "(n_remove, n_flip) budget pair; use with_budget(n) for "
+            "one-dimensional families"
+        )
 
 
 @dataclass(frozen=True)
@@ -79,6 +121,9 @@ class RemovalPoisoningModel(PerturbationModel):
     def num_neighbors(self, training_size: int) -> int:
         budget = self.resolve_budget(training_size)
         return sum(math.comb(training_size, i) for i in range(0, budget + 1))
+
+    def with_budget(self, n: int) -> "RemovalPoisoningModel":
+        return RemovalPoisoningModel(n)
 
     def describe(self) -> str:
         return f"removal of up to {self.n} training elements"
@@ -101,6 +146,12 @@ class FractionalRemovalModel(PerturbationModel):
     def num_neighbors(self, training_size: int) -> int:
         budget = self.resolve_budget(training_size)
         return RemovalPoisoningModel(budget).num_neighbors(training_size)
+
+    def with_budget(self, n: int) -> RemovalPoisoningModel:
+        # A fractional model denotes the same ``Δn`` space as the removal
+        # model once resolved (they share the cache family), so the scalar
+        # search sweeps it over explicit element counts.
+        return RemovalPoisoningModel(n)
 
     def describe(self) -> str:
         return f"removal of up to {self.fraction:.2%} of the training elements"
@@ -153,12 +204,21 @@ class LabelFlipModel(PerturbationModel):
     def nominal_amount(self, training_size: int) -> int:
         return self.n
 
+    def nominal_flip_amount(self, training_size: int) -> int:
+        del training_size
+        return self.n
+
     def num_neighbors(self, training_size: int) -> int:
         budget = self.resolve_budget(training_size)
         alternatives = max(1, self.resolved_classes - 1)
         return sum(
             math.comb(training_size, i) * alternatives**i for i in range(0, budget + 1)
         )
+
+    def with_budget(self, n: int) -> "LabelFlipModel":
+        # ``replace`` keeps an explicitly declared (or already resolved)
+        # n_classes, so every probe of a sweep shares the cache family key.
+        return replace(self, n=n)
 
     def describe(self) -> str:
         return f"flipping of up to {self.n} training labels"
@@ -215,6 +275,15 @@ class CompositePoisoningModel(PerturbationModel):
 
     def nominal_amount(self, training_size: int) -> int:
         return self.n_remove + self.n_flip
+
+    def nominal_flip_amount(self, training_size: int) -> int:
+        del training_size
+        return self.n_flip
+
+    def with_budgets(self, n_remove: int, n_flip: int) -> "CompositePoisoningModel":
+        # ``replace`` keeps an explicitly declared (or already resolved)
+        # n_classes, so every probe of a frontier shares the cache family key.
+        return replace(self, n_remove=n_remove, n_flip=n_flip)
 
     def num_neighbors(self, training_size: int) -> int:
         """Exact ``|Δ_{r,f}(T)|``: choose removals, then flips of survivors."""

@@ -30,6 +30,7 @@ from repro.runtime.runtime import (
     BatchStats,
     BudgetSweepOutcome,
     CertificationRuntime,
+    ParetoOutcome,
     default_runtime,
 )
 from repro.runtime.shm import DatasetStore, SharedDatasetHandle, default_store
@@ -41,6 +42,7 @@ __all__ = [
     "CertificationCache",
     "CertificationRuntime",
     "DatasetStore",
+    "ParetoOutcome",
     "RunJournal",
     "SharedDatasetHandle",
     "default_runtime",

@@ -32,7 +32,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.dataset import Dataset
-from repro.poisoning.models import PerturbationModel
+from repro.poisoning.models import PerturbationModel, resolve_model_classes
 from repro.runtime.cache import CACHEABLE_STATUSES, CacheHit, CertificationCache
 from repro.runtime.fingerprint import (
     engine_cache_key,
@@ -116,6 +116,37 @@ class BudgetSweepOutcome:
     @property
     def ever_certified(self) -> bool:
         return self.max_certified_n > 0
+
+
+@dataclass(frozen=True)
+class ParetoOutcome:
+    """Per-point outcome of :meth:`CertificationRuntime.pareto_frontier`.
+
+    ``frontier`` is the staircase of maximal certified ``(n_remove, n_flip)``
+    pairs; ``attempted_pairs`` counts every pair the search decided, of which
+    ``probes`` reached the verifier (the rest were derived from local pair
+    dominance) and only ``learner_invocations`` actually ran the abstract
+    learner (the rest were answered by the cache, exactly or by pair
+    dominance).
+    """
+
+    frontier: tuple
+    probes: int
+    attempted_pairs: int
+    learner_invocations: int
+
+    def to_dict(self) -> dict:
+        """JSON rows shape-compatible with ``ParetoFrontierResult.to_dict``."""
+        return {
+            "frontier": [[r, f] for r, f in self.frontier],
+            "probes": self.probes,
+            "attempted_pairs": self.attempted_pairs,
+            "learner_invocations": self.learner_invocations,
+        }
+
+    @property
+    def ever_certified(self) -> bool:
+        return bool(self.frontier)
 
 
 #: How many uncommitted verdict stores a stream accumulates before flushing;
@@ -204,6 +235,7 @@ class CertificationRuntime:
         family, budget = model_cache_key(model, len(dataset))
         engine_key = engine_cache_key(engine)
         amount = model.nominal_amount(len(dataset))
+        flips = model.nominal_flip_amount(len(dataset))
         log10_datasets = model.log10_num_neighbors(len(dataset))
         monotone = monotone_in_budget(model)
         digests = [point_digest(row) for row in rows]
@@ -250,6 +282,7 @@ class CertificationRuntime:
                 resolved[index] = self._adapt_hit(
                     CacheHit(restored[index], "exact", budget),
                     amount,
+                    flips,
                     log10_datasets,
                 )
                 stats.journal_restored += 1
@@ -265,7 +298,7 @@ class CertificationRuntime:
                     fp, digests[index], family, engine_key, budget, monotone=monotone
                 )
                 if hit is not None:
-                    resolved[index] = self._adapt_hit(hit, amount, log10_datasets)
+                    resolved[index] = self._adapt_hit(hit, amount, flips, log10_datasets)
                     if hit.is_exact:
                         stats.cache_hits += 1
                     else:
@@ -353,11 +386,16 @@ class CertificationRuntime:
         Cache effectiveness is accounted in :attr:`stats` (budget sweeps
         measure their learner work as a ``learner_invocations`` delta).
         """
+        # Budget-search probes reach this entry point directly (not through
+        # CertificationRequest), so class-count-dependent families are
+        # resolved here before their cache family key is computed.
+        model = resolve_model_classes(model, dataset.n_classes)
         row = np.asarray(x, dtype=float)
         fp = fingerprint_dataset(dataset)
         family, budget = model_cache_key(model, len(dataset))
         engine_key = engine_cache_key(engine)
         amount = model.nominal_amount(len(dataset))
+        flips = model.nominal_flip_amount(len(dataset))
         if self.cache is not None:
             hit = self.cache.lookup(
                 fp,
@@ -373,7 +411,7 @@ class CertificationRuntime:
                 else:
                     self.stats.cache_monotone_hits += 1
                 return self._adapt_hit(
-                    hit, amount, model.log10_num_neighbors(len(dataset))
+                    hit, amount, flips, model.log10_num_neighbors(len(dataset))
                 )
         result = engine._certify_one(
             dataset, row, model, engine._plan_for(dataset, model)
@@ -393,22 +431,25 @@ class CertificationRuntime:
         *,
         start: int = 1,
         max_budget: Optional[int] = None,
+        model: Optional[PerturbationModel] = None,
     ) -> List[BudgetSweepOutcome]:
         """Max certified budget per point (doubling + binary search, cached).
 
         Every attempt flows through the verdict cache with monotone
         derivation enabled, so overlapping sweeps — and reruns of the same
         sweep — resolve from prior verdicts instead of re-running the
-        learner.
+        learner.  ``model`` is the scalar-budget family template of
+        :func:`repro.verify.search.max_certified_poisoning` (``None`` means
+        the paper's ``Δn``).
         """
         return [
-            self.max_certified_budget(
-                engine, dataset, row, start=start, max_budget=max_budget
+            self.max_certified(
+                engine, dataset, row, start=start, max_budget=max_budget, model=model
             )
             for row in np.asarray(points, dtype=float)
         ]
 
-    def max_certified_budget(
+    def max_certified(
         self,
         engine,
         dataset: Dataset,
@@ -416,8 +457,9 @@ class CertificationRuntime:
         *,
         start: int = 1,
         max_budget: Optional[int] = None,
+        model: Optional[PerturbationModel] = None,
     ) -> BudgetSweepOutcome:
-        """Largest ``n`` in ``[1, max_budget]`` the point is certified for.
+        """Largest budget in ``[1, max_budget]`` the point is certified for.
 
         The doubling/binary search itself is
         :func:`repro.verify.search.max_certified_poisoning`; this method only
@@ -434,6 +476,7 @@ class CertificationRuntime:
             x,
             start=start,
             max_n=max_budget,
+            model=model,
         )
         return BudgetSweepOutcome(
             max_certified_n=search.max_certified_n,
@@ -441,22 +484,91 @@ class CertificationRuntime:
             learner_invocations=self.stats.learner_invocations - invocations_before,
         )
 
+    # Pre-generic-search name, kept for callers of the PR-2 API.
+    max_certified_budget = max_certified
+
+    # --------------------------------------------------------- pareto sweeps
+    def pareto_frontier(
+        self,
+        engine,
+        dataset: Dataset,
+        x: Sequence[float],
+        *,
+        max_remove: Optional[int] = None,
+        max_flip: Optional[int] = None,
+        model: Optional[PerturbationModel] = None,
+    ) -> ParetoOutcome:
+        """Maximal certified ``(n_remove, n_flip)`` pairs of one point, cached.
+
+        The staircase descent itself is
+        :func:`repro.verify.search.pareto_frontier`; this method binds its
+        probes to this runtime's cache — whose componentwise pair-dominance
+        derivation answers dominated/dominating queries without the learner —
+        and counts how many probes actually ran it.
+        """
+        from repro.verify.search import pareto_frontier
+
+        invocations_before = self.stats.learner_invocations
+        outcome = pareto_frontier(
+            _CacheBoundVerifier(self, engine),
+            dataset,
+            x,
+            max_remove=max_remove,
+            max_flip=max_flip,
+            model=model,
+        )
+        return ParetoOutcome(
+            frontier=outcome.frontier,
+            probes=outcome.probes,
+            attempted_pairs=len(outcome.attempts),
+            learner_invocations=self.stats.learner_invocations - invocations_before,
+        )
+
+    def pareto_sweep(
+        self,
+        engine,
+        dataset: Dataset,
+        points: np.ndarray,
+        *,
+        max_remove: Optional[int] = None,
+        max_flip: Optional[int] = None,
+        model: Optional[PerturbationModel] = None,
+    ) -> List[ParetoOutcome]:
+        """Per-point cached Pareto frontiers for a batch of test points.
+
+        Serial by design: the value of the runtime path is that every probe
+        shares one verdict cache, so later points (and reruns) are answered
+        by dominance derivation.  For cache-less parallel fan-out use
+        :func:`repro.verify.search.pareto_sweep` with ``n_jobs``.
+        """
+        return [
+            self.pareto_frontier(
+                engine,
+                dataset,
+                row,
+                max_remove=max_remove,
+                max_flip=max_flip,
+                model=model,
+            )
+            for row in np.asarray(points, dtype=float)
+        ]
+
     # ----------------------------------------------------------------- misc
     @staticmethod
     def _adapt_hit(
-        hit: CacheHit, amount: int, log10_datasets: float
+        hit: CacheHit, amount: int, flips: int, log10_datasets: float
     ) -> VerificationResult:
         """Re-anchor a cached verdict to the budget the caller asked about.
 
         The stored result may come from a different nominal amount (exact
         hits share resolved budgets) or a different budget entirely (monotone
         hits); the status and certificate carry over, while the reported
-        amount and ``log10 |Δ(T)|`` reflect the current query.  Class
-        intervals survive only where they stay sound: a *robust* verdict
-        derived from a larger budget keeps its (wider, still
-        over-approximating) intervals, but an *unknown* verdict derived from
-        a smaller budget drops its intervals — they under-approximate what a
-        larger budget can reach.
+        ``(amount, flips)`` pair and ``log10 |Δ(T)|`` reflect the current
+        query.  Class intervals survive only where they stay sound: a
+        *robust* verdict derived from a larger budget keeps its (wider,
+        still over-approximating) intervals, but an *unknown* verdict
+        derived from a smaller budget drops its intervals — they
+        under-approximate what a larger budget can reach.
 
         ``elapsed_seconds`` / ``peak_memory_bytes`` deliberately keep their
         stored values: per-point numbers describe what the *proof* cost when
@@ -468,6 +580,8 @@ class CertificationRuntime:
         changes: dict = {}
         if result.poisoning_amount != amount:
             changes["poisoning_amount"] = amount
+        if result.poisoning_flips != flips:
+            changes["poisoning_flips"] = flips
         if result.log10_num_datasets != log10_datasets:
             changes["log10_num_datasets"] = log10_datasets
         if not hit.is_exact:

@@ -19,7 +19,14 @@ from repro.verify.robustness import (
     VerificationResult,
     VerificationStatus,
 )
-from repro.verify.search import max_certified_poisoning, robustness_sweep
+from repro.verify.search import (
+    ParetoFrontierResult,
+    PoisoningSearchResult,
+    max_certified_poisoning,
+    pareto_frontier,
+    pareto_sweep,
+    robustness_sweep,
+)
 
 __all__ = [
     "AbstractRunResult",
@@ -27,9 +34,13 @@ __all__ = [
     "DisjunctiveAbstractLearner",
     "EnumerationResult",
     "verify_by_enumeration",
+    "ParetoFrontierResult",
+    "PoisoningSearchResult",
     "PoisoningVerifier",
     "VerificationResult",
     "VerificationStatus",
     "max_certified_poisoning",
+    "pareto_frontier",
+    "pareto_sweep",
     "robustness_sweep",
 ]

@@ -47,8 +47,15 @@ class VerificationResult:
     status:
         Whether robustness was proven (``ROBUST``) or why not.
     poisoning_amount:
-        The resolved integer budget of the perturbation model that was
-        checked (the ``n`` of ``Δn``, or the flip budget for label flips).
+        The nominal integer budget of the perturbation model that was
+        checked (the ``n`` of ``Δn``, the flip budget for label flips, or
+        the total contamination ``r + f`` for the composite model).
+    poisoning_flips:
+        The label-flip component of the budget: ``0`` for the pure-removal
+        families, ``n`` for label flips, ``f`` for the composite ``Δ_{r,f}``
+        model (whose removal component is ``poisoning_amount -
+        poisoning_flips``).  Exported so composite results carry the full
+        budget *pair*.
     predicted_class:
         The concrete prediction of ``DTrace`` on the unpoisoned training set.
     certified_class:
@@ -79,6 +86,7 @@ class VerificationResult:
     exit_count: int
     max_disjuncts: int
     log10_num_datasets: float
+    poisoning_flips: int = 0
     message: str = ""
 
     @property
@@ -90,6 +98,7 @@ class VerificationResult:
         return {
             "status": self.status.value,
             "poisoning_amount": self.poisoning_amount,
+            "poisoning_flips": self.poisoning_flips,
             "predicted_class": self.predicted_class,
             "certified_class": self.certified_class,
             "class_intervals": [[interval.lo, interval.hi] for interval in self.class_intervals],
@@ -120,13 +129,23 @@ class VerificationResult:
             exit_count=int(payload["exit_count"]),
             max_disjuncts=int(payload["max_disjuncts"]),
             log10_num_datasets=float(payload["log10_num_datasets"]),
+            # Pre-pair payloads (older caches / exports) default to no flips.
+            poisoning_flips=int(payload.get("poisoning_flips", 0)),
             message=str(payload.get("message", "")),
         )
 
     def describe(self) -> str:
         intervals = ", ".join(str(interval) for interval in self.class_intervals)
+        budget = f"n={self.poisoning_amount}"
+        if self.poisoning_flips and self.poisoning_flips != self.poisoning_amount:
+            # A genuine composite budget; pure-removal and pure-flip results
+            # keep the familiar scalar rendering.
+            budget = (
+                f"(r, f)=({self.poisoning_amount - self.poisoning_flips}, "
+                f"{self.poisoning_flips})"
+            )
         return (
-            f"{self.status.value} (n={self.poisoning_amount}, domain={self.domain}, "
+            f"{self.status.value} ({budget}, domain={self.domain}, "
             f"prediction={self.predicted_class}, intervals=[{intervals}], "
             f"time={self.elapsed_seconds:.3f}s)"
         )

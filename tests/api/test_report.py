@@ -134,3 +134,96 @@ class TestSerialization:
         assert "p90 time (s)" in rendered
         empty = CertificationReport().render()
         assert "n/a (empty)" in empty
+
+
+class TestCompositePairExport:
+    """Satellite fix: composite results must export the full (r, f) pair."""
+
+    @staticmethod
+    def _composite_report() -> CertificationReport:
+        from repro.poisoning.models import CompositePoisoningModel
+
+        engine = CertificationEngine(max_depth=1, domain="box")
+        return engine.verify(
+            CertificationRequest(
+                well_separated_dataset(),
+                np.array([[0.5], [11.0]]),
+                CompositePoisoningModel(2, 1),
+            )
+        )
+
+    def test_csv_emits_the_budget_pair(self):
+        report = self._composite_report()
+        rows = list(csv.DictReader(io.StringIO(report.to_csv())))
+        assert rows, "composite batch produced no rows"
+        for row in rows:
+            assert row["poisoning_amount"] == "3"  # r + f (nominal total)
+            assert row["poisoning_flips"] == "1"  # the pair is recoverable
+
+    def test_pair_round_trips_through_dict_and_json(self):
+        report = self._composite_report()
+        restored = CertificationReport.from_json(report.to_json())
+        assert [r.poisoning_flips for r in restored.results] == [
+            r.poisoning_flips for r in report.results
+        ]
+        assert all(r.poisoning_flips == 1 for r in restored.results)
+        assert all(r.poisoning_amount == 3 for r in restored.results)
+
+    def test_removal_rows_report_zero_flips(self):
+        report = _engine_report()
+        rows = list(csv.DictReader(io.StringIO(report.to_csv())))
+        assert all(row["poisoning_flips"] == "0" for row in rows)
+
+    def test_pre_pair_payloads_default_to_zero_flips(self):
+        payload = _result().to_dict()
+        del payload["poisoning_flips"]  # an export from before the pair fix
+        restored = VerificationResult.from_dict(payload)
+        assert restored.poisoning_flips == 0
+
+
+class TestFrontierExport:
+    @staticmethod
+    def _frontier_report() -> CertificationReport:
+        engine = CertificationEngine(max_depth=1, domain="box")
+        outcomes = engine.pareto_sweep(
+            well_separated_dataset(),
+            np.array([[0.5], [11.0]]),
+            max_remove=4,
+            max_flip=4,
+        )
+        return CertificationReport(
+            results=[],
+            model_description="composite (r, f) Pareto frontier",
+            dataset_name="well-separated",
+            frontiers=[outcome.to_dict() for outcome in outcomes],
+        )
+
+    def test_frontiers_round_trip_through_json(self):
+        report = self._frontier_report()
+        restored = CertificationReport.from_json(report.to_json(indent=2))
+        assert restored.frontiers == report.frontiers
+
+    def test_frontier_csv_rows(self):
+        report = self._frontier_report()
+        rows = list(csv.DictReader(io.StringIO(report.frontier_csv())))
+        assert rows
+        assert set(rows[0]) == {"index", "n_remove", "n_flip", "probes"}
+        by_index = {}
+        for row in rows:
+            by_index.setdefault(row["index"], []).append(
+                (row["n_remove"], row["n_flip"])
+            )
+        assert set(by_index) == {"0", "1"}
+
+    def test_frontier_csv_blank_row_for_uncertified_point(self):
+        report = CertificationReport(
+            frontiers=[{"frontier": [], "probes": 1}]
+        )
+        rows = list(csv.DictReader(io.StringIO(report.frontier_csv())))
+        assert rows == [
+            {"index": "0", "n_remove": "", "n_flip": "", "probes": "1"}
+        ]
+
+    def test_frontier_csv_requires_frontiers(self):
+        with pytest.raises(ValueError, match="no Pareto frontiers"):
+            CertificationReport().frontier_csv()

@@ -10,6 +10,8 @@ from repro.domains.interval import dominating_component
 from repro.poisoning.label_flip import (
     FlipAbstractTrainingSet,
     LabelFlipVerifier,
+    _flip_side_score_bounds,
+    _flip_split_score_bounds,
     enumerate_composite_poisonings,
     enumerate_label_flips,
     flip_best_split_abstract,
@@ -216,17 +218,25 @@ class TestDisjunctiveFlipSoundness:
             assert verify_composite_by_enumeration(dataset, x, 1, 1, max_depth=depth)
 
     def test_disjuncts_no_less_precise_than_box_on_flips(self):
-        """The motivating precision gap: Box joins, disjuncts don't."""
+        """Box and disjuncts agree on the old motivating-gap instance.
+
+        Before the allocation-aware ``bestSplit#`` flip bound, Box was
+        inconclusive here (the per-side bound granted the full flip budget to
+        both sides of every split, double-counting each flip) and only the
+        disjunctive domain certified the point.  The tightened bound closes
+        that gap: Box now certifies it outright, and the disjunctive domain
+        can only be at least as precise.
+        """
         dataset = well_separated_dataset()
         verifier = LabelFlipVerifier(max_depth=1)
         box = verifier.run_abstract(FlipAbstractTrainingSet.full(dataset, 0, 2), [0.5])
         disjunctive = DisjunctiveAbstractLearner(max_depth=1).run(
             FlipAbstractTrainingSet.full(dataset, 0, 2), [0.5]
         )
-        assert dominating_component(box.class_intervals) is None
+        assert dominating_component(box.class_intervals) == 0
         assert disjunctive.robust_class == 0
-        # The disjunctive certificate is genuine, not an artifact: two flips
-        # really cannot move this point (margin is 20+ elements wide).
+        # The certificates are genuine, not artifacts: two flips really
+        # cannot move this point (margin is 20+ elements wide).
         assert verify_flips_by_enumeration(dataset, [0.5], 2, max_depth=1)
 
 
@@ -274,3 +284,133 @@ class TestFlipEnumeration:
         dataset = figure2_dataset()
         assert verify_flips_by_enumeration(dataset, [18.0], 0, max_depth=1)
         assert not verify_flips_by_enumeration(dataset, [5.0], 4, max_depth=1)
+
+
+class TestAllocationAwareSplitBounds:
+    """Property tests for the flip-allocation fix of ``bestSplit#``.
+
+    The old per-side bound granted the full flip budget to both sides of a
+    split at once, double-counting every flip; the fix bounds over the
+    allocations ``f_l + f_r ≤ f``.  The new bound must (a) never be looser
+    than the old one and (b) still contain every concrete split score of
+    ``Δ_{r,f}(T)`` — and certificates built on it must survive the
+    enumeration oracle.
+    """
+
+    @staticmethod
+    def _split_tables(dataset):
+        from repro.core.splitter import feature_split_table
+
+        for feature in range(dataset.n_features):
+            table = feature_split_table(
+                dataset.X, dataset.y, feature, dataset.n_classes
+            )
+            if table.n_candidates:
+                yield feature, table
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_never_looser_than_the_old_per_side_bound(self, seed):
+        rng = np.random.default_rng(seed)
+        dataset = random_small_dataset(rng, n_samples=int(rng.integers(6, 12)))
+        removals = int(rng.integers(0, 3))
+        flips = int(rng.integers(0, 4))
+        for _, table in self._split_tables(dataset):
+            new_lower, new_upper = _flip_split_score_bounds(
+                table.left_sizes,
+                table.left_class_counts,
+                table.right_sizes,
+                table.right_class_counts,
+                removals,
+                flips,
+            )
+            old_left = _flip_side_score_bounds(
+                table.left_sizes, table.left_class_counts, removals, flips
+            )
+            old_right = _flip_side_score_bounds(
+                table.right_sizes, table.right_class_counts, removals, flips
+            )
+            assert np.all(new_lower >= old_left[0] + old_right[0] - 1e-12)
+            assert np.all(new_upper <= old_left[1] + old_right[1] + 1e-12)
+
+    def test_strictly_tighter_somewhere(self):
+        # The fix must actually bite: on the motivating instance the upper
+        # bound shrinks strictly once flips cannot be double-counted.
+        dataset = well_separated_dataset()
+        improved = False
+        for _, table in self._split_tables(dataset):
+            new_lower, new_upper = _flip_split_score_bounds(
+                table.left_sizes,
+                table.left_class_counts,
+                table.right_sizes,
+                table.right_class_counts,
+                0,
+                2,
+            )
+            old_left = _flip_side_score_bounds(
+                table.left_sizes, table.left_class_counts, 0, 2
+            )
+            old_right = _flip_side_score_bounds(
+                table.right_sizes, table.right_class_counts, 0, 2
+            )
+            if np.any(new_upper < old_left[1] + old_right[1] - 1e-12) or np.any(
+                new_lower > old_left[0] + old_right[0] + 1e-12
+            ):
+                improved = True
+        assert improved
+
+    @staticmethod
+    def _concrete_split_score(poisoned, feature, threshold):
+        values = poisoned.X[:, feature]
+        score = 0.0
+        for labels in (
+            poisoned.y[values <= threshold],
+            poisoned.y[values > threshold],
+        ):
+            if labels.size == 0:
+                continue
+            counts = np.bincount(labels, minlength=poisoned.n_classes)
+            probabilities = counts / labels.size
+            score += labels.size * (1.0 - float(np.sum(probabilities**2)))
+        return score
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bounds_contain_every_concrete_split_score(self, seed):
+        # Boolean features keep candidate thresholds stable under poisoning
+        # (X never changes), so every Δ_{r,f} variant's score at a candidate
+        # must land inside the abstract bound for that candidate.
+        rng = np.random.default_rng(50 + seed)
+        dataset = random_small_dataset(
+            rng, n_samples=int(rng.integers(5, 8)), boolean=True
+        )
+        removals, flips = 1, 1
+        poisonings = list(enumerate_composite_poisonings(dataset, removals, flips))
+        for feature, table in self._split_tables(dataset):
+            lower, upper = _flip_split_score_bounds(
+                table.left_sizes,
+                table.left_class_counts,
+                table.right_sizes,
+                table.right_class_counts,
+                removals,
+                flips,
+            )
+            for position in range(table.n_candidates):
+                threshold = float(table.thresholds[position])
+                for poisoned in poisonings:
+                    score = self._concrete_split_score(poisoned, feature, threshold)
+                    assert lower[position] - 1e-9 <= score <= upper[position] + 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_box_composite_certificates_hold_under_enumeration(self, seed):
+        # End-to-end soundness of the tightened bestSplit# through the Box
+        # learner: anything it certifies against Δ_{1,1} must survive
+        # exhaustive retraining.
+        from repro.verify.abstract_learner import BoxAbstractLearner
+
+        rng = np.random.default_rng(200 + seed)
+        dataset = random_small_dataset(rng, n_samples=int(rng.integers(5, 8)))
+        x = random_test_point(rng, dataset)
+        depth = int(rng.integers(1, 3))
+        learner = BoxAbstractLearner(max_depth=depth)
+        run = learner.run(FlipAbstractTrainingSet.full(dataset, 1, 1), x)
+        if run.robust_class is not None:
+            assert verify_composite_by_enumeration(dataset, x, 1, 1, max_depth=depth)

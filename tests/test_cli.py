@@ -155,3 +155,76 @@ class TestCertifyCache:
         assert "require --cache-dir" in capsys.readouterr().err
         assert main(self.CERTIFY + ["--max-new-points", "1"]) == 2
         assert "require --cache-dir" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    SWEEP = ["sweep", "iris", "--depth", "1", "--scale", "0.3", "--timeout", "20"]
+
+    def test_parses_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "iris", "--model", "composite", "--frontier",
+             "--max-remove", "2", "--max-flip", "3"]
+        )
+        assert args.frontier
+        assert args.max_remove == 2
+        assert args.max_flip == 3
+
+    def test_scalar_sweep_runs_and_exports(self, capsys, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        csv_path = tmp_path / "sweep.csv"
+        code = main(
+            self.SWEEP
+            + ["--max-n", "4", "--points", "2",
+               "--json", str(json_path), "--csv", str(csv_path)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "max certified budget" in output
+        import json as json_module
+
+        payload = json_module.loads(json_path.read_text())
+        assert payload["family"] == "removal"
+        assert len(payload["outcomes"]) == 2
+        assert all("max_certified_n" in row for row in payload["outcomes"])
+        header = csv_path.read_text().splitlines()[0]
+        assert header == "index,max_certified_n,attempts"
+
+    def test_label_flip_family_sweep(self, capsys):
+        code = main(self.SWEEP + ["--model", "label-flip", "--max-n", "2", "--points", "1"])
+        assert code == 0
+        assert "label-flip" in capsys.readouterr().out
+
+    def test_frontier_requires_composite(self, capsys):
+        assert main(self.SWEEP + ["--frontier"]) == 2
+        assert "--model composite" in capsys.readouterr().err
+
+    def test_composite_requires_frontier(self, capsys):
+        assert main(self.SWEEP + ["--model", "composite"]) == 2
+        assert "--frontier" in capsys.readouterr().err
+
+    def test_frontier_sweep_with_warm_cache(self, capsys, tmp_path):
+        import json as json_module
+
+        cache = tmp_path / "cache"
+        cold_path = tmp_path / "cold.json"
+        warm_path = tmp_path / "warm.json"
+        csv_path = tmp_path / "frontier.csv"
+        frontier_args = self.SWEEP + [
+            "--model", "composite", "--frontier",
+            "--max-remove", "1", "--max-flip", "1", "--points", "2",
+            "--cache-dir", str(cache),
+        ]
+        assert main(frontier_args + ["--json", str(cold_path), "--csv", str(csv_path)]) == 0
+        assert "frontier" in capsys.readouterr().out
+        assert main(frontier_args + ["--json", str(warm_path), "--quiet"]) == 0
+        cold = json_module.loads(cold_path.read_text())
+        warm = json_module.loads(warm_path.read_text())
+        assert cold["runtime_stats"]["learner_invocations"] > 0
+        # The warm rerun re-derives every frontier from the pair-dominance
+        # cache: identical frontiers, zero learner invocations.
+        assert warm["runtime_stats"]["learner_invocations"] == 0
+        assert [f["frontier"] for f in warm["frontiers"]] == [
+            f["frontier"] for f in cold["frontiers"]
+        ]
+        header = csv_path.read_text().splitlines()[0]
+        assert header == "index,n_remove,n_flip,probes"
