@@ -1,0 +1,170 @@
+"""Benchmark for the `repro.service` daemon: socket overhead and warm serving.
+
+Three claims are measured:
+
+1. **Socket overhead is bounded**: certifying through the Unix-socket
+   protocol costs one JSON round trip per batch on top of the in-process
+   path; warm (cache-served) batches must still clear hundreds of points
+   per second through the socket.
+2. **Warm beats cold**: a second identical batch against the daemon answers
+   from the warm runtime with **zero** learner invocations and far higher
+   throughput.
+3. **Concurrency scales by coalescing**: four clients hammering the same
+   batch finish with one learner invocation per distinct point (the
+   scheduler coalesces in-flight duplicates), so aggregate throughput does
+   not collapse under redundant traffic.
+
+Artifacts: ``results/service.txt`` (rendered table) and
+``results/BENCH_service.json`` (machine-readable, tracked across PRs).
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro.api import CertificationEngine, CertificationRequest
+from repro.core.dataset import Dataset
+from repro.experiments.reporting import results_directory, save_artifact
+from repro.poisoning.models import RemovalPoisoningModel
+from repro.runtime import CertificationRuntime
+from repro.service import CertificationClient, CertificationServer, wait_for_server
+from repro.utils.tables import TextTable
+
+ROWS = 512
+BATCH_POINTS = 32
+CONCURRENT_CLIENTS = 4
+
+
+def _dataset() -> Dataset:
+    rng = np.random.default_rng(11)
+    per_class = ROWS // 2
+    X = np.concatenate(
+        [rng.normal(0.0, 1.0, per_class), rng.normal(10.0, 1.0, per_class)]
+    ).reshape(-1, 1)
+    y = np.concatenate([np.zeros(per_class), np.ones(per_class)]).astype(np.int64)
+    return Dataset(X=X, y=y, n_classes=2, name="service-bench")
+
+
+def _points() -> np.ndarray:
+    return np.linspace(-1.0, 12.0, BATCH_POINTS).reshape(-1, 1)
+
+
+def bench_service_round_trip(benchmark, tmp_path):
+    dataset = _dataset()
+    points = _points()
+    model = RemovalPoisoningModel(2)
+
+    # -- in-process reference: cold and warm against a local runtime --------
+    engine = CertificationEngine(
+        max_depth=1,
+        domain="box",
+        timeout_seconds=30.0,
+        runtime=CertificationRuntime(tmp_path / "local-cache"),
+    )
+    request = CertificationRequest(dataset, points, model)
+    start = time.perf_counter()
+    local_cold = engine.verify(request)
+    local_cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    local_warm = engine.verify(request)
+    local_warm_seconds = time.perf_counter() - start
+    assert local_warm.runtime_stats["learner_invocations"] == 0
+
+    # -- served: cold, warm, and concurrent through the Unix socket --------
+    server = CertificationServer(tmp_path / "s", cache_dir=tmp_path / "served-cache")
+    with server:
+        wait_for_server(server.socket_path, timeout=30)
+        with CertificationClient(
+            server.socket_path, max_depth=1, domain="box", timeout_seconds=30.0
+        ) as client:
+            start = time.perf_counter()
+            served_cold = client.certify_batch(dataset, points, model)
+            served_cold_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            served_warm = benchmark.pedantic(
+                lambda: client.certify_batch(dataset, points, model),
+                rounds=1,
+                iterations=1,
+            )
+            served_warm_seconds = time.perf_counter() - start
+            assert served_warm.runtime_stats["learner_invocations"] == 0
+            assert [r.status for r in served_warm.results] == [
+                r.status for r in served_cold.results
+            ]
+
+        # Four clients, same warm batch, concurrently.
+        reports = {}
+
+        def hammer(name):
+            with CertificationClient(
+                server.socket_path, max_depth=1, domain="box", timeout_seconds=30.0
+            ) as worker:
+                reports[name] = worker.certify_batch(dataset, points, model)
+
+        invocations_before = server.runtime.stats.learner_invocations
+        threads = [
+            threading.Thread(target=hammer, args=(index,))
+            for index in range(CONCURRENT_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        concurrent_seconds = time.perf_counter() - start
+        assert len(reports) == CONCURRENT_CLIENTS
+        # Redundant concurrent traffic must not re-run the learner.
+        assert server.runtime.stats.learner_invocations == invocations_before
+
+    per_second = {
+        "local_cold": BATCH_POINTS / local_cold_seconds,
+        "local_warm": BATCH_POINTS / local_warm_seconds,
+        "served_cold": BATCH_POINTS / served_cold_seconds,
+        "served_warm": BATCH_POINTS / served_warm_seconds,
+        "served_warm_4_clients": (
+            CONCURRENT_CLIENTS * BATCH_POINTS / concurrent_seconds
+        ),
+    }
+
+    table = TextTable(["measurement", "points/s", "seconds"])
+    table.add_row(["in-process cold", f"{per_second['local_cold']:.1f}", f"{local_cold_seconds:.4f}"])
+    table.add_row(["in-process warm", f"{per_second['local_warm']:.1f}", f"{local_warm_seconds:.4f}"])
+    table.add_row(["socket cold", f"{per_second['served_cold']:.1f}", f"{served_cold_seconds:.4f}"])
+    table.add_row(["socket warm", f"{per_second['served_warm']:.1f}", f"{served_warm_seconds:.4f}"])
+    table.add_row(
+        [
+            f"socket warm, {CONCURRENT_CLIENTS} clients",
+            f"{per_second['served_warm_4_clients']:.1f}",
+            f"{concurrent_seconds:.4f}",
+        ]
+    )
+    save_artifact(
+        "service",
+        f"Certification service: {BATCH_POINTS}-point batches on "
+        f"{ROWS}-row {_dataset().name}\n" + table.render(),
+    )
+    payload = {
+        "dataset_rows": ROWS,
+        "batch_points": BATCH_POINTS,
+        "concurrent_clients": CONCURRENT_CLIENTS,
+        "local_cold_seconds": local_cold_seconds,
+        "local_warm_seconds": local_warm_seconds,
+        "served_cold_seconds": served_cold_seconds,
+        "served_warm_seconds": served_warm_seconds,
+        "served_concurrent_seconds": concurrent_seconds,
+        "points_per_second": per_second,
+        "served_warm_learner_invocations": served_warm.runtime_stats[
+            "learner_invocations"
+        ],
+    }
+    (results_directory() / "BENCH_service.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # The warm daemon answers identical batches without learner work, and
+    # must be much faster than the cold run despite the socket round trip.
+    assert served_warm_seconds < served_cold_seconds
+    assert local_cold.total == served_cold.total == BATCH_POINTS

@@ -79,6 +79,11 @@ from repro.runtime import (
     SharedDatasetHandle,
     fingerprint_dataset,
 )
+from repro.service import (
+    CertificationClient,
+    CertificationServer,
+    wait_for_server,
+)
 from repro.verify.abstract_learner import BoxAbstractLearner
 from repro.verify.disjunctive_learner import DisjunctiveAbstractLearner
 from repro.verify.enumeration import EnumerationResult, verify_by_enumeration
@@ -145,9 +150,12 @@ __all__ = [
     "pareto_sweep",
     "robustness_sweep",
     "CertificationCache",
+    "CertificationClient",
     "CertificationRuntime",
+    "CertificationServer",
     "DatasetStore",
     "SharedDatasetHandle",
     "fingerprint_dataset",
+    "wait_for_server",
     "__version__",
 ]

@@ -22,15 +22,24 @@ from repro.api.engine import (
     FLIP_DOMAIN,
     CertificationEngine,
 )
-from repro.api.report import CertificationReport
+from repro.api.report import SCHEMA_VERSION, CertificationReport
 from repro.api.request import CertificationRequest, ModelLike, as_perturbation_model
+from repro.api.scheduler import (
+    BatchSubmission,
+    CertificationScheduler,
+    SchedulerStats,
+)
 
 __all__ = [
+    "BatchSubmission",
     "CertificationEngine",
     "CertificationReport",
     "CertificationRequest",
+    "CertificationScheduler",
     "FLIP_DISJUNCTS_DOMAIN",
     "FLIP_DOMAIN",
     "ModelLike",
+    "SCHEMA_VERSION",
+    "SchedulerStats",
     "as_perturbation_model",
 ]

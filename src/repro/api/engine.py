@@ -34,6 +34,7 @@ number of :class:`~repro.api.request.CertificationRequest` objects:
 
 from __future__ import annotations
 
+import threading
 import warnings
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -43,6 +44,7 @@ from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.api.report import CertificationReport
+from repro.api.scheduler import BatchSubmission, CertificationScheduler
 from repro.api.request import CertificationRequest, ModelLike, as_perturbation_model
 from repro.core.dataset import Dataset
 from repro.core.trace_learner import TraceLearner
@@ -158,6 +160,12 @@ class CertificationEngine:
     _plan_cache: "OrderedDict[Tuple[str, PerturbationModel], _RequestPlan]" = field(
         init=False, repr=False, default_factory=OrderedDict
     )
+    _plan_lock: threading.Lock = field(
+        init=False, repr=False, default_factory=threading.Lock
+    )
+    _scheduler: Optional[CertificationScheduler] = field(
+        init=False, repr=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if self.domain not in DOMAINS:
@@ -183,11 +191,28 @@ class CertificationEngine:
         # Cached plans hold full abstract training sets — shipping them to
         # pool workers would defeat the shared-memory dataset plane, so they
         # are rebuilt worker-side.  The runtime (sqlite handles, shared-memory
-        # registries) is parent-only state and never travels either.
+        # registries) and the scheduler (locks, in-flight futures, thread
+        # pools) are parent-only state and never travel either.
         state = dict(self.__dict__)
         state["_plan_cache"] = {}
         state["runtime"] = None
+        state["_scheduler"] = None
+        state["_plan_lock"] = None
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._plan_cache = OrderedDict()
+        self._plan_lock = threading.Lock()
+
+    @property
+    def scheduler(self) -> CertificationScheduler:
+        """The in-flight coalescing scheduler guarding this engine's batches."""
+        if self._scheduler is None:
+            with self._plan_lock:
+                if self._scheduler is None:
+                    self._scheduler = CertificationScheduler(self)
+        return self._scheduler
 
     # ----------------------------------------------------------------- public
     def verify(
@@ -235,16 +260,50 @@ class CertificationEngine:
         as it (and every earlier point) is done, which keeps progress
         reporting responsive even for long batches.
 
-        With a :class:`~repro.runtime.CertificationRuntime` attached, points
-        flow through its cache/journal first and only the misses reach the
-        learners; without one, parallel batches still get the process-wide
-        shared-memory dataset plane.
+        Streams are thin clients of the :attr:`scheduler`: a point another
+        batch of this engine is already computing is leased from it instead of
+        recomputed, so concurrent overlapping batches — e.g. several service
+        clients asking the same question — cost one learner invocation per
+        distinct point.  With a :class:`~repro.runtime.CertificationRuntime`
+        attached, the non-leased remainder flows through its cache/journal
+        first and only the misses reach the learners; without one, parallel
+        batches still get the process-wide shared-memory dataset plane.
         """
         dataset = request.dataset
         # Requests resolve n_classes at construction; re-resolving here keeps
         # hand-built requests (or shims bypassing __post_init__) honest.
         model = resolve_model_classes(request.model, dataset.n_classes)
         rows = [np.asarray(row, dtype=float) for row in request.points]
+        yield from self.scheduler.stream_rows(dataset, model, rows, n_jobs=n_jobs)
+
+    def submit(
+        self, request: CertificationRequest, *, n_jobs: int = 1
+    ) -> BatchSubmission:
+        """Certify a request asynchronously; returns per-point futures now.
+
+        The submission runs on a scheduler background thread and coalesces
+        with every other in-flight batch of this engine: N concurrent
+        submissions of the same ``(dataset, point, model)`` cost one learner
+        invocation.  ``BatchSubmission.gather()`` blocks for the results (in
+        request order); ``BatchSubmission.report()`` aggregates them into the
+        same report :meth:`verify` would have produced.
+        """
+        return self.scheduler.submit(request, n_jobs=n_jobs)
+
+    def _stream_rows(
+        self,
+        dataset: Dataset,
+        model: PerturbationModel,
+        rows: Sequence[np.ndarray],
+        *,
+        n_jobs: int = 1,
+    ) -> Iterator[VerificationResult]:
+        """Certify ``rows`` through the cache/journal/pool machinery, in order.
+
+        This is the batch primitive under the scheduler (which handles
+        cross-batch coalescing before delegating here); ``model`` must already
+        be class-count resolved.
+        """
         workers = min(int(n_jobs), len(rows))
         runtime = self.runtime
         if runtime is not None:
@@ -408,10 +467,11 @@ class CertificationEngine:
         interleaved traffic over more than eight pairs.
         """
         key = (fingerprint_dataset(dataset), model)
-        plan = self._plan_cache.get(key)
-        if plan is not None:
-            self._plan_cache.move_to_end(key)
-            return plan
+        with self._plan_lock:
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                self._plan_cache.move_to_end(key)
+                return plan
         budget = model.resolve_budget(len(dataset))
         amount = model.nominal_amount(len(dataset))
         log10_datasets = model.log10_num_neighbors(len(dataset))
@@ -436,9 +496,12 @@ class CertificationEngine:
                 log10_datasets=log10_datasets,
                 removal_trainset=AbstractTrainingSet.full(dataset, budget),
             )
-        if len(self._plan_cache) >= 8:
-            self._plan_cache.popitem(last=False)
-        self._plan_cache[key] = plan
+        with self._plan_lock:
+            # Concurrent builders of the same plan: last writer wins (the
+            # plans are equal; rebuilding one is wasted work, not a bug).
+            if len(self._plan_cache) >= 8 and key not in self._plan_cache:
+                self._plan_cache.popitem(last=False)
+            self._plan_cache[key] = plan
         return plan
 
     def _certify_one(

@@ -20,6 +20,13 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 from repro.utils.tables import TextTable
 from repro.verify.result import VerificationResult, VerificationStatus
 
+#: Version of the report wire/JSON schema.  Version 1 is the unversioned
+#: payload shape of PR 1–4 (no ``schema_version`` key); version 2 added the
+#: key itself and is what the ``repro.service`` protocol speaks.  Decoders
+#: accept every version up to this one and reject newer payloads instead of
+#: silently misreading fields from the future.
+SCHEMA_VERSION = 2
+
 #: Column order of :meth:`CertificationReport.to_csv` (one row per result).
 #: ``poisoning_flips`` carries the flip component of the budget, so composite
 #: ``Δ_{r,f}`` rows export the full pair (``n_remove`` is ``poisoning_amount -
@@ -157,8 +164,9 @@ class CertificationReport:
 
     # ---------------------------------------------------------------- export
     def to_dict(self) -> dict:
-        """JSON-serializable summary + per-point payloads."""
+        """JSON-serializable summary + per-point payloads (schema-versioned)."""
         payload = {
+            "schema_version": SCHEMA_VERSION,
             "dataset_name": self.dataset_name,
             "model_description": self.model_description,
             "total_seconds": self.total_seconds,
@@ -176,7 +184,19 @@ class CertificationReport:
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "CertificationReport":
-        """Reconstruct a report from :meth:`to_dict` output (JSON round-trip)."""
+        """Reconstruct a report from :meth:`to_dict` output (JSON round-trip).
+
+        Accepts every schema version up to :data:`SCHEMA_VERSION`; payloads
+        from before the version field default to version 1 (their shape is a
+        strict subset of the current one, so they decode unchanged).
+        """
+        version = int(payload.get("schema_version", 1))
+        if version > SCHEMA_VERSION:
+            raise ValueError(
+                f"report payload has schema_version={version}, but this "
+                f"decoder only understands versions <= {SCHEMA_VERSION}; "
+                "upgrade the reader"
+            )
         runtime_stats = payload.get("runtime_stats")
         frontiers = payload.get("frontiers")
         return cls(

@@ -1,0 +1,403 @@
+"""Async submission and cross-batch coalescing for the certification engine.
+
+The certification workload is embarrassingly request-shaped — one
+``(dataset, point, threat model, engine config)`` quadruple maps to one
+verdict — which means *identical* requests arriving concurrently (N clients
+of a certification service asking about the same point, overlapping batches
+of a sweep) should cost one learner invocation, not N.  The persistent cache
+already deduplicates across *time*; this module deduplicates across
+*in-flight work*:
+
+* :class:`CertificationScheduler` keeps a table of in-flight certification
+  keys — ``(dataset fingerprint, point digest, model family+budget, engine
+  config)``, the same content-addressed identity the verdict cache uses — and
+  lets a batch that encounters a key another batch is already computing
+  *lease* that batch's future instead of recomputing the point;
+* :meth:`CertificationScheduler.submit` is the asynchronous face: it returns
+  a :class:`BatchSubmission` of per-point futures immediately and certifies
+  the request on a background thread (coalescing with every other in-flight
+  submission);
+* ``CertificationEngine.certify_batch`` / ``certify_stream`` are thin clients
+  of :meth:`stream_rows`, so synchronous callers participate in the same
+  in-flight table as asynchronous and remote (``repro.service``) ones.
+
+Leased results are re-anchored to the lessee's nominal budget exactly like
+cache hits (two models resolving to the same family and budget share one
+proof), and a lease whose owner fails or abandons its stream falls back to
+computing the point locally — coalescing is an optimization, never a new
+failure mode.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.report import CertificationReport
+from repro.api.request import CertificationRequest
+from repro.core.dataset import Dataset
+from repro.poisoning.models import PerturbationModel, resolve_model_classes
+from repro.runtime.fingerprint import (
+    BudgetKey,
+    engine_cache_key,
+    fingerprint_dataset,
+    model_cache_key,
+    point_digest,
+)
+from repro.utils.timing import Stopwatch
+from repro.verify.result import VerificationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.engine import CertificationEngine
+
+#: The content-addressed identity of one unit of certification work.  Two
+#: submissions with equal keys are guaranteed the same verdict, so at most one
+#: of them may run the learner.
+InflightKey = Tuple[str, str, str, BudgetKey, str]
+
+
+class InflightAbandoned(RuntimeError):
+    """The batch owning an in-flight computation exited before resolving it.
+
+    Lessees never see this exception: :meth:`CertificationScheduler.stream_rows`
+    catches it (and any other owner-side failure) and recomputes the leased
+    point locally.
+    """
+
+
+@dataclass
+class SchedulerStats:
+    """Lifetime counters of one scheduler (shown by the service ``stats`` op).
+
+    ``coalesced`` is the headline number: leases granted against another
+    batch's in-flight computation instead of running (or even cache-probing)
+    one's own.  (A granted lease whose owner fails or stalls is recomputed
+    locally — the runtime's lifetime counters record only *delivered*
+    leases as deduplicated work.)
+    """
+
+    batches: int = 0
+    submitted: int = 0
+    coalesced: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "batches": self.batches,
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+        }
+
+
+@dataclass
+class BatchSubmission:
+    """Handle for one asynchronously submitted certification request.
+
+    ``futures`` holds one :class:`concurrent.futures.Future` per request
+    point, in request order; :meth:`gather` blocks for all of them and
+    :meth:`report` aggregates them into the same
+    :class:`~repro.api.report.CertificationReport` a synchronous
+    ``verify(request)`` would have produced.
+    """
+
+    request: CertificationRequest
+    futures: List["Future[VerificationResult]"]
+    _watch: Stopwatch = field(default_factory=lambda: Stopwatch().start())
+    #: Runtime counters of the batch, captured by the submission thread once
+    #: the stream completes (``None`` before completion or without a runtime).
+    _runtime_stats: Optional[dict] = None
+    #: Set by the submission thread after the stream (and the stats capture
+    #: above) finished — the last future resolves slightly *before* that.
+    _completed: threading.Event = field(default_factory=threading.Event)
+
+    def done(self) -> bool:
+        return all(future.done() for future in self.futures)
+
+    def gather(self, timeout: Optional[float] = None) -> List[VerificationResult]:
+        """Block until every point is certified; results in request order.
+
+        ``timeout`` bounds the wait *per point* (the futures resolve in
+        request order, so the total wait is at most ``timeout × points``).
+        """
+        return [future.result(timeout) for future in self.futures]
+
+    def report(self, timeout: Optional[float] = None) -> CertificationReport:
+        """Gather into an aggregate report (see :meth:`gather` for waiting)."""
+        results = self.gather(timeout)
+        self._completed.wait(timeout)
+        return CertificationReport(
+            results=results,
+            model_description=self.request.model.describe(),
+            dataset_name=self.request.dataset.name,
+            total_seconds=self._watch.elapsed(),
+            runtime_stats=self._runtime_stats,
+        )
+
+
+class CertificationScheduler:
+    """Coalesce identical in-flight certification work across batches.
+
+    One scheduler guards one engine (``engine.scheduler`` creates it lazily);
+    every batch path of that engine — synchronous streams, asynchronous
+    submissions, and service requests — registers its points here before
+    computing, so concurrent identical questions are answered once.
+    """
+
+    #: Background threads driving asynchronous submissions.  The learner is
+    #: CPU-bound pure Python, so this is about *concurrency* (overlapping
+    #: submissions coalescing against each other), not parallelism — process
+    #: pools via ``n_jobs`` remain the parallel execution vehicle.
+    DEFAULT_WORKERS = 4
+
+    #: How long a lessee waits for the owning batch before giving up and
+    #: computing the point itself.  An owner's stream advances only as fast
+    #: as its consumer, so a stalled consumer (a hung streaming client) must
+    #: not block other batches forever; the fallback trades duplicated work
+    #: for boundedness.
+    LEASE_TIMEOUT_SECONDS = 600.0
+
+    def __init__(self, engine: "CertificationEngine", *, max_workers: int = DEFAULT_WORKERS) -> None:
+        self._engine = engine
+        self._max_workers = max_workers
+        self._lock = threading.Lock()
+        self._inflight: Dict[InflightKey, "Future[VerificationResult]"] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self.stats = SchedulerStats()
+
+    # -------------------------------------------------------------- streaming
+    def stream(
+        self, request: CertificationRequest, *, n_jobs: int = 1
+    ) -> Iterator[VerificationResult]:
+        """Certify a request's points in order, coalescing with other batches."""
+        dataset = request.dataset
+        model = resolve_model_classes(request.model, dataset.n_classes)
+        rows = [np.asarray(row, dtype=float) for row in request.points]
+        return self.stream_rows(dataset, model, rows, n_jobs=n_jobs)
+
+    def stream_rows(
+        self,
+        dataset: Dataset,
+        model: PerturbationModel,
+        rows: Sequence[np.ndarray],
+        *,
+        n_jobs: int = 1,
+    ) -> Iterator[VerificationResult]:
+        """Certify ``rows`` in order; the coalescing core under every batch.
+
+        Points whose key another batch is already computing are *leased* (the
+        other batch's future answers them); the remainder flows through the
+        engine's classic batch machinery — runtime cache/journal, process
+        pools, shared memory — untouched, so a batch with no concurrent
+        overlap behaves exactly as before this layer existed.
+        """
+        engine = self._engine
+        fp = fingerprint_dataset(dataset)
+        family, budget = model_cache_key(model, len(dataset))
+        engine_key = engine_cache_key(engine)
+        keys: List[InflightKey] = [
+            (fp, point_digest(row), family, budget, engine_key) for row in rows
+        ]
+        owned_indices: List[int] = []
+        owned_futures: Dict[InflightKey, "Future[VerificationResult]"] = {}
+        leases: Dict[int, "Future[VerificationResult]"] = {}
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.submitted += len(rows)
+            for index, key in enumerate(keys):
+                if key in owned_futures:
+                    # In-batch duplicate: owned by this batch's first
+                    # occurrence; the runtime layer (or plain recomputation
+                    # for cache-less engines) handles it exactly as before.
+                    owned_indices.append(index)
+                    continue
+                future = self._inflight.get(key)
+                if future is not None:
+                    leases[index] = future
+                    self.stats.coalesced += 1
+                    continue
+                future = Future()
+                future.set_running_or_notify_cancel()
+                self._inflight[key] = future
+                owned_futures[key] = future
+                owned_indices.append(index)
+        amount = model.nominal_amount(len(dataset))
+        flips = model.nominal_flip_amount(len(dataset))
+        log10_datasets = model.log10_num_neighbors(len(dataset))
+        if engine.runtime is not None:
+            # A fully-leased batch never reaches runtime.stream; reset the
+            # thread-local batch counters so a report built after this stream
+            # cannot pick up a *previous* batch's stats from a reused thread.
+            engine.runtime.last_batch_stats = None
+        try:
+            computed: Iterator[VerificationResult] = iter(())
+            if owned_indices:
+                computed = engine._stream_rows(
+                    dataset, model, [rows[i] for i in owned_indices], n_jobs=n_jobs
+                )
+            for index in range(len(rows)):
+                lease = leases.get(index)
+                if lease is None:
+                    try:
+                        result = next(computed)
+                    except StopIteration:
+                        # The batch machinery truncated the stream (a
+                        # runtime's max_new_points budget ran out); end this
+                        # stream the same way — un-computed futures are
+                        # released as abandoned below.
+                        return
+                    future = owned_futures.get(keys[index])
+                    if future is not None and not future.done():
+                        future.set_result(result)
+                    yield result
+                    continue
+                try:
+                    leased = lease.result(timeout=self.LEASE_TIMEOUT_SECONDS)
+                except BaseException:
+                    # The owning batch failed, was abandoned mid-stream, or
+                    # its consumer stalled past the lease timeout; compute
+                    # the point ourselves rather than surfacing (or waiting
+                    # on) a stranger's failure.  The local computation is
+                    # what the lifetime stats count — nothing was saved.
+                    yield self._certify_locally(dataset, rows[index], model)
+                else:
+                    # Only a *delivered* lease is deduplicated work.
+                    if engine.runtime is not None:
+                        engine.runtime.record_coalesced(1)
+                    yield self._reanchor(leased, amount, flips, log10_datasets, budget)
+            # Advance the batch generator past its final yield so its
+            # completion work (journal discard, lifetime stats accounting)
+            # runs now, not at garbage collection.  A truncated stream
+            # returned above instead, leaving its journal for --resume.
+            for _ in computed:  # pragma: no cover - defensive, never yields
+                pass
+        finally:
+            self._release(owned_futures)
+
+    # ------------------------------------------------------------- submission
+    def submit(
+        self, request: CertificationRequest, *, n_jobs: int = 1
+    ) -> BatchSubmission:
+        """Certify a request asynchronously; returns per-point futures now.
+
+        The batch runs on a background thread through :meth:`stream`, so it
+        coalesces with every other in-flight submission and synchronous
+        stream of this engine.
+        """
+        futures: List["Future[VerificationResult]"] = [
+            Future() for _ in range(request.n_points)
+        ]
+        submission = BatchSubmission(request=request, futures=futures)
+        self._ensure_executor().submit(self._run_submission, request, submission, n_jobs)
+        return submission
+
+    def gather(
+        self, submissions: Sequence[BatchSubmission], timeout: Optional[float] = None
+    ) -> List[List[VerificationResult]]:
+        """Block for several submissions at once (results in submission order)."""
+        return [submission.gather(timeout) for submission in submissions]
+
+    def _run_submission(
+        self,
+        request: CertificationRequest,
+        submission: BatchSubmission,
+        n_jobs: int,
+    ) -> None:
+        futures = submission.futures
+        try:
+            for future, result in zip(futures, self.stream(request, n_jobs=n_jobs)):
+                future.set_result(result)
+            runtime = self._engine.runtime
+            if runtime is not None and runtime.last_batch_stats is not None:
+                submission._runtime_stats = runtime.last_batch_stats.snapshot()
+            # A truncated stream (a runtime's max_new_points budget) yields
+            # fewer results than points; the leftover futures must resolve,
+            # not strand their waiters.
+            for future in futures:
+                if not future.done():
+                    future.set_exception(
+                        InflightAbandoned(
+                            "the stream ended before this point was certified "
+                            "(runtime max_new_points truncation)"
+                        )
+                    )
+        except BaseException as error:  # resolve every waiter, never strand one
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)
+        finally:
+            submission._completed.set()
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-scheduler",
+                )
+            return self._executor
+
+    # ---------------------------------------------------------------- helpers
+    def _certify_locally(
+        self, dataset: Dataset, row: np.ndarray, model: PerturbationModel
+    ) -> VerificationResult:
+        engine = self._engine
+        if engine.runtime is not None:
+            return engine.runtime.certify_point(engine, dataset, row, model)
+        return engine._certify_one(
+            dataset, row, model, engine._plan_for(dataset, model)
+        )
+
+    @staticmethod
+    def _reanchor(
+        result: VerificationResult,
+        amount: int,
+        flips: int,
+        log10_datasets: float,
+        budget: BudgetKey,
+    ) -> VerificationResult:
+        """Re-anchor a leased verdict to the lessee's nominal budget.
+
+        Keys coalesce on the *resolved* budget, so the owner may have asked
+        with a different nominal amount (``RemovalPoisoningModel(1000)`` vs. a
+        fraction resolving to the same count); the same re-anchoring rule the
+        cache applies to exact hits keeps the lessee's report honest.
+        """
+        # Deferred import: repro.runtime.runtime is heavyweight and this
+        # module sits on the engine's import path.
+        from repro.runtime.cache import CacheHit
+        from repro.runtime.runtime import CertificationRuntime
+
+        return CertificationRuntime._adapt_hit(
+            CacheHit(result, "exact", budget), amount, flips, log10_datasets
+        )
+
+    def _release(
+        self, owned: Dict[InflightKey, "Future[VerificationResult]"]
+    ) -> None:
+        with self._lock:
+            for key, future in owned.items():
+                if self._inflight.get(key) is future:
+                    del self._inflight[key]
+        for future in owned.values():
+            if not future.done():
+                # The stream exited before computing this point (consumer
+                # abandoned it, or the compute path raised).  Waiters fall
+                # back to local computation when they see the exception.
+                future.set_exception(
+                    InflightAbandoned("owning batch exited before this point")
+                )
+
+    @property
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def close(self) -> None:
+        """Stop the background submission threads (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)

@@ -20,8 +20,16 @@ The CLI exposes the main workflows without writing any Python:
   of maximal certified ``(n_remove, n_flip)`` pairs instead (staircase
   descent over the pair lattice, probes answered through the cache's pair
   dominance when ``--cache-dir`` is given);
-* ``repro-antidote cache stats|clear --cache-dir DIR`` — inspect or empty a
-  certification cache;
+* ``repro-antidote cache stats|clear|gc --cache-dir DIR`` — inspect, empty,
+  or garbage-collect a certification cache (``gc --max-bytes/--max-age/
+  --max-entries`` evicts LRU-first, derivable verdicts before underivable
+  ones);
+* ``repro-antidote serve SOCKET --cache-dir DIR`` — run the certification
+  daemon: one warm runtime (published datasets, warm request plans, open
+  verdict cache) serving the versioned JSON-lines protocol over a
+  Unix-domain socket; point ``verify``/``certify``/``sweep`` at it with
+  ``--connect SOCKET`` to certify against the warm remote runtime instead
+  of a cold local engine;
 * ``repro-antidote table1`` — regenerate Table 1;
 * ``repro-antidote figure6`` — regenerate the Figure 6 series;
 * ``repro-antidote figure <dataset>`` — regenerate the dataset's performance
@@ -88,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--scale", type=float, default=None, help="dataset scale (1.0 = paper size)")
     verify.add_argument("--seed", type=int, default=0)
     verify.add_argument("--timeout", type=float, default=60.0)
+    verify.add_argument("--connect", default=None, metavar="SOCKET",
+                        help="certify through a running `repro-antidote serve` "
+                        "daemon instead of a local engine")
 
     certify = subparsers.add_parser(
         "certify", help="batch-certify test points against a threat model"
@@ -135,6 +146,11 @@ def build_parser() -> argparse.ArgumentParser:
     certify.add_argument("--no-shared-memory", action="store_true",
                          help="disable the shared-memory dataset plane for "
                          "pool workers (pickle the dataset instead)")
+    certify.add_argument("--connect", default=None, metavar="SOCKET",
+                         help="certify through a running `repro-antidote serve` "
+                         "daemon (the server owns cache and parallelism; "
+                         "incompatible with --cache-dir/--resume/"
+                         "--max-new-points)")
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -179,12 +195,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the per-point outcome rows as CSV")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress the per-point lines")
+    sweep.add_argument("--connect", default=None, metavar="SOCKET",
+                       help="probe through a running `repro-antidote serve` "
+                       "daemon (its cache answers repeat probes; "
+                       "incompatible with --cache-dir)")
 
     cache = subparsers.add_parser(
-        "cache", help="inspect or clear a persistent certification cache"
+        "cache", help="inspect, clear, or garbage-collect a certification cache"
     )
-    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("action", choices=("stats", "clear", "gc"))
     cache.add_argument("--cache-dir", required=True, metavar="DIR")
+    cache.add_argument("--max-bytes", type=int, default=None, metavar="BYTES",
+                       help="gc: evict LRU verdicts (derivable first) until "
+                       "the database is at most this many bytes")
+    cache.add_argument("--max-age", type=float, default=None, metavar="SECONDS",
+                       help="gc: evict verdicts not used within the last "
+                       "SECONDS seconds")
+    cache.add_argument("--max-entries", type=int, default=None, metavar="N",
+                       help="gc: keep at most N verdicts (derivable evicted "
+                       "first, then least recently used)")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the certification daemon on a Unix-domain socket"
+    )
+    serve.add_argument("socket", metavar="SOCKET",
+                       help="filesystem path of the Unix-domain socket to bind")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent verdict cache served to every client "
+                       "(default: an ephemeral cache living as long as the "
+                       "server)")
+    serve.add_argument("--no-shared-memory", action="store_true",
+                       help="disable the shared-memory dataset plane for "
+                       "pool workers")
+    serve.add_argument("--max-engines", type=int, default=8, metavar="N",
+                       help="how many engine configurations to keep warm")
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1")
     _add_experiment_arguments(table1)
@@ -247,6 +291,23 @@ def _command_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dataset_ref(args: argparse.Namespace) -> dict:
+    """The registry reference `--connect` requests send instead of arrays."""
+    return {"name": args.dataset, "scale": args.scale, "seed": args.seed}
+
+
+def _connect_client(args: argparse.Namespace):
+    """A service client configured like the local engine the command builds."""
+    from repro.service import CertificationClient
+
+    return CertificationClient(
+        args.connect,
+        max_depth=args.depth,
+        domain=args.domain,
+        timeout_seconds=args.timeout,
+    )
+
+
 def _command_verify(args: argparse.Namespace) -> int:
     split = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     if not 0 <= args.point < len(split.test):
@@ -255,10 +316,16 @@ def _command_verify(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    engine = CertificationEngine(
-        max_depth=args.depth, domain=args.domain, timeout_seconds=args.timeout
-    )
-    result = engine.certify_point(split.train, split.test.X[args.point], args.n)
+    if args.connect:
+        with _connect_client(args) as client:
+            result = client.certify_point(
+                _dataset_ref(args), split.test.X[args.point], args.n
+            )
+    else:
+        engine = CertificationEngine(
+            max_depth=args.depth, domain=args.domain, timeout_seconds=args.timeout
+        )
+        result = engine.certify_point(split.train, split.test.X[args.point], args.n)
     print(split.describe())
     print(f"test point #{args.point}: {result.describe()}")
     if result.is_certified:
@@ -299,6 +366,17 @@ def _command_certify(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.connect:
+        if args.cache_dir is not None or args.no_shared_memory:
+            # The server owns its cache and dataset plane; a client cannot
+            # re-point either.
+            print(
+                "error: --connect is incompatible with --cache-dir and "
+                "--no-shared-memory (the server owns the runtime)",
+                file=sys.stderr,
+            )
+            return 2
+        return _certify_connected(args, split, count, model)
     runtime = None
     if args.cache_dir is not None or args.no_shared_memory:
         runtime = CertificationRuntime(
@@ -352,6 +430,34 @@ def _command_certify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _certify_connected(args, split, count, model) -> int:
+    """The `certify --connect` path: one warm-runtime round trip per batch."""
+    request_points = split.test.X[:count]
+    print(split.describe())
+    print(
+        f"certify {len(request_points)} point(s) of {split.train.name!r} "
+        f"(|T|={len(split.train)}) against {model.describe()} "
+        f"via {args.connect}"
+    )
+    with _connect_client(args) as client:
+        report = client.certify_batch(
+            _dataset_ref(args), request_points, model, n_jobs=args.n_jobs
+        )
+    if not args.quiet:
+        for index, result in enumerate(report.results):
+            print(f"  point {index:3d}: {result.describe()}")
+    print()
+    print(report.render())
+    print(report.describe())
+    if args.json:
+        Path(args.json).write_text(report.to_json(indent=2), encoding="utf-8")
+        print(f"[report JSON written to {args.json}]", file=sys.stderr)
+    if args.csv:
+        Path(args.csv).write_text(report.to_csv(), encoding="utf-8")
+        print(f"[per-point CSV written to {args.csv}]", file=sys.stderr)
+    return 0
+
+
 def _sweep_template(args: argparse.Namespace) -> Optional[PerturbationModel]:
     """The family template a ``sweep`` run rebinds budgets on.
 
@@ -381,34 +487,52 @@ def _command_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.connect and args.cache_dir is not None:
+        print(
+            "error: --connect is incompatible with --cache-dir (probes flow "
+            "through the server's cache)",
+            file=sys.stderr,
+        )
+        return 2
     split = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     count = max(0, min(args.points, len(split.test)))
     points = split.test.X[:count]
     template = _sweep_template(args)
+    client = None
+    engine = None
     runtime = None
-    if args.cache_dir is not None:
-        runtime = CertificationRuntime(args.cache_dir)
-    engine = CertificationEngine(
-        max_depth=args.depth,
-        domain=args.domain,
-        timeout_seconds=args.timeout,
-        runtime=runtime,
-    )
+    if args.connect:
+        client = _connect_client(args)
+    else:
+        if args.cache_dir is not None:
+            runtime = CertificationRuntime(args.cache_dir)
+        engine = CertificationEngine(
+            max_depth=args.depth,
+            domain=args.domain,
+            timeout_seconds=args.timeout,
+            runtime=runtime,
+        )
     print(split.describe())
 
     watch = Stopwatch().start()
-    if args.frontier:
-        exit_code = _run_frontier_sweep(
-            args, split, points, template, engine, runtime, watch
-        )
-    else:
-        exit_code = _run_scalar_sweep(
-            args, split, points, template, engine, runtime, watch
-        )
+    try:
+        if args.frontier:
+            exit_code = _run_frontier_sweep(
+                args, split, points, template, engine, runtime, watch, client
+            )
+        else:
+            exit_code = _run_scalar_sweep(
+                args, split, points, template, engine, runtime, watch, client
+            )
+    finally:
+        if client is not None:
+            client.close()
     return exit_code
 
 
-def _run_scalar_sweep(args, split, points, template, engine, runtime, watch) -> int:
+def _run_scalar_sweep(
+    args, split, points, template, engine, runtime, watch, client=None
+) -> int:
     """The §6.1 protocol per point: doubling + binary search over one budget."""
     family = (
         "removal" if args.model in ("removal", "fraction") else args.model
@@ -426,11 +550,17 @@ def _run_scalar_sweep(args, split, points, template, engine, runtime, watch) -> 
         )
     outcomes = []
     for index, x in enumerate(points):
-        if runtime is not None:
-            outcome = runtime.max_certified(
-                engine, split.train, x,
-                start=args.start, max_budget=args.max_n, model=template,
-            )
+        if client is not None or runtime is not None:
+            if client is not None:
+                outcome = client.max_certified(
+                    _dataset_ref(args), x,
+                    start=args.start, max_budget=args.max_n, model=template,
+                )
+            else:
+                outcome = runtime.max_certified(
+                    engine, split.train, x,
+                    start=args.start, max_budget=args.max_n, model=template,
+                )
             row = {
                 "index": index,
                 "max_certified_n": outcome.max_certified_n,
@@ -469,6 +599,11 @@ def _run_scalar_sweep(args, split, points, template, engine, runtime, watch) -> 
     stats = runtime.stats.snapshot() if runtime is not None else None
     if stats is not None:
         table.add_row(["learner invocations", stats["learner_invocations"]])
+    elif client is not None and outcomes:
+        table.add_row(
+            ["learner invocations",
+             sum(row["learner_invocations"] for row in outcomes)]
+        )
     table.add_row(["wall-clock (s)", f"{total_seconds:.3f}"])
     print()
     print(table.render())
@@ -499,7 +634,9 @@ def _run_scalar_sweep(args, split, points, template, engine, runtime, watch) -> 
     return 0
 
 
-def _run_frontier_sweep(args, split, points, template, engine, runtime, watch) -> int:
+def _run_frontier_sweep(
+    args, split, points, template, engine, runtime, watch, client=None
+) -> int:
     """Composite (r, f) Pareto frontiers per point (staircase descent)."""
     size = len(split.train)
     max_remove = size if args.max_remove is None else min(args.max_remove, size)
@@ -512,7 +649,13 @@ def _run_frontier_sweep(args, split, points, template, engine, runtime, watch) -
         f"computing {description} for {len(points)} point(s) of "
         f"{split.train.name!r} (|T|={size})"
     )
-    if runtime is not None:
+    if client is not None:
+        outcomes = client.pareto_sweep(
+            _dataset_ref(args), points,
+            max_remove=max_remove, max_flip=max_flip, model=template,
+        )
+        frontiers = [outcome.to_dict() for outcome in outcomes]
+    elif runtime is not None:
         if args.n_jobs > 1:
             print(
                 "note: cached frontier sweeps run serially so every probe "
@@ -562,6 +705,11 @@ def _run_frontier_sweep(args, split, points, template, engine, runtime, watch) -
     table.add_row(["total probes", sum(entry["probes"] for entry in frontiers)])
     if stats is not None:
         table.add_row(["learner invocations", stats["learner_invocations"]])
+    elif client is not None and frontiers:
+        table.add_row(
+            ["learner invocations",
+             sum(entry["learner_invocations"] for entry in frontiers)]
+        )
     table.add_row(["wall-clock (s)", f"{total_seconds:.3f}"])
     print()
     print(table.render())
@@ -583,9 +731,37 @@ def _command_cache(args: argparse.Namespace) -> int:
         print(f"error: no certification cache at {cache_dir}", file=sys.stderr)
         return 2
     cache = CertificationCache(cache_dir)
+    try:
+        return _run_cache_action(cache, args)
+    finally:
+        # A dangling connection (with whatever transaction state the last
+        # statement auto-began) would lock out other processes' VACUUMs.
+        cache.close()
+
+
+def _run_cache_action(cache: CertificationCache, args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = cache.clear()
         print(f"cleared {removed} cached verdict(s) from {cache.db_path}")
+        return 0
+    if args.action == "gc":
+        if args.max_bytes is None and args.max_age is None and args.max_entries is None:
+            print(
+                "error: cache gc needs at least one bound "
+                "(--max-bytes, --max-age, or --max-entries)",
+                file=sys.stderr,
+            )
+            return 2
+        summary = cache.gc(
+            max_bytes=args.max_bytes,
+            max_age=args.max_age,
+            max_entries=args.max_entries,
+        )
+        print(
+            f"evicted {summary['evicted']} verdict(s) from {cache.db_path} "
+            f"({summary['remaining']} remaining, "
+            f"{summary['size_bytes_before']} -> {summary['size_bytes_after']} bytes)"
+        )
         return 0
     stats = cache.stats()
     table = TextTable(["metric", "value"])
@@ -596,6 +772,23 @@ def _command_cache(args: argparse.Namespace) -> int:
     table.add_row(["datasets", stats["datasets"]])
     table.add_row(["size (bytes)", stats["size_bytes"]])
     print(table.render())
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import CertificationServer
+
+    server = CertificationServer(
+        args.socket,
+        cache_dir=args.cache_dir,
+        shared_memory=not args.no_shared_memory,
+        max_engines=args.max_engines,
+    )
+    cache = "ephemeral" if args.cache_dir is None else args.cache_dir
+    print(f"serving certifications on {args.socket} (cache: {cache})")
+    print("press Ctrl-C or send SIGTERM to stop")
+    server.serve_forever()
+    print("server stopped")
     return 0
 
 
@@ -635,6 +828,7 @@ _COMMANDS = {
     "certify": _command_certify,
     "sweep": _command_sweep,
     "cache": _command_cache,
+    "serve": _command_serve,
     "table1": _command_table1,
     "figure6": _command_figure6,
     "figure": _command_figure,

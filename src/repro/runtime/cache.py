@@ -25,16 +25,25 @@ which makes their pair queries degenerate to exactly the scalar rules above.
 Only decisive verdicts (``robust`` / ``unknown``) are stored.  ``timeout``
 and ``resource_exhausted`` outcomes depend on the machine and the configured
 limits, so they are always recomputed.
+
+Long-lived caches (serving fleets, daemons) are bounded by :meth:`gc`:
+verdicts carry a ``last_used`` recency stamp (refreshed on every hit, flushed
+in chunks alongside the normal commit cadence) and are evicted LRU-first —
+preferring verdicts *derivable* from a surviving row (a robust verdict
+dominated by another robust one, an unknown verdict dominating another
+unknown one), whose eviction loses no answering power at all.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.runtime.fingerprint import BudgetKey
 from repro.verify.result import VerificationResult, VerificationStatus
@@ -56,6 +65,7 @@ CREATE TABLE IF NOT EXISTS verdicts (
     status       TEXT    NOT NULL,
     payload      TEXT    NOT NULL,
     created_at   REAL    NOT NULL,
+    last_used    REAL    NOT NULL DEFAULT 0,
     PRIMARY KEY (dataset_fp, point_digest, family, engine_key, budget, budget_f)
 );
 CREATE INDEX IF NOT EXISTS idx_verdicts_lookup
@@ -82,17 +92,31 @@ CREATE TABLE verdicts (
     status       TEXT    NOT NULL,
     payload      TEXT    NOT NULL,
     created_at   REAL    NOT NULL,
+    last_used    REAL    NOT NULL DEFAULT 0,
     PRIMARY KEY (dataset_fp, point_digest, family, engine_key, budget, budget_f)
 );
 INSERT INTO verdicts
     SELECT dataset_fp, point_digest, family, engine_key, budget, 0,
-           status, payload, created_at
+           status, payload, created_at, created_at
     FROM verdicts_v1
     WHERE family NOT LIKE 'label-flip:%';
 DROP TABLE verdicts_v1;
 CREATE INDEX idx_verdicts_lookup
     ON verdicts (dataset_fp, point_digest, family, engine_key, status, budget, budget_f);
 """
+
+#: In-place upgrade of a pair-budget (v2) database that predates the recency
+#: stamp: existing rows inherit their creation time as the initial recency.
+_MIGRATE_V2 = """
+ALTER TABLE verdicts ADD COLUMN last_used REAL NOT NULL DEFAULT 0;
+UPDATE verdicts SET last_used = created_at;
+"""
+
+#: How many refreshed recency stamps accumulate in memory before they are
+#: flushed to the database.  Stamps also flush on every :meth:`commit`,
+#: :meth:`close`, and :meth:`gc`, so the window only bounds how stale
+#: ``last_used`` can be for a crash-killed pure-read workload.
+_TOUCH_CHUNK = 64
 
 
 def _budget_pair(budget: BudgetKey) -> Tuple[int, int]:
@@ -137,6 +161,13 @@ class CertificationCache:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.db_path = self.cache_dir / self.DB_NAME
         self._connection: Optional[sqlite3.Connection] = None
+        # One connection shared by every thread of the process (the service
+        # handler threads and the scheduler all hit the same cache), guarded
+        # by a re-entrant lock; sqlite's own check is disabled at connect.
+        self._lock = threading.RLock()
+        # Recency stamps of rows served since the last flush, keyed by the
+        # full primary key of the stored row.
+        self._touches: Dict[Tuple[str, str, str, str, int, int], float] = {}
 
     # ------------------------------------------------------------ connection
     @property
@@ -144,7 +175,9 @@ class CertificationCache:
         if self._connection is None:
             # WAL lets concurrent processes read while a batch writes, and
             # the 30s busy timeout rides out another writer's commit window.
-            self._connection = sqlite3.connect(str(self.db_path), timeout=30.0)
+            self._connection = sqlite3.connect(
+                str(self.db_path), timeout=30.0, check_same_thread=False
+            )
             self._connection.execute("PRAGMA journal_mode=WAL")
             self._connection.executescript(_SCHEMA)
             columns = {
@@ -155,18 +188,32 @@ class CertificationCache:
                 # A database created before the composite family: rebuild it
                 # with the pair-budget primary key, preserving every verdict.
                 self._connection.executescript(_MIGRATE_V1)
+            elif "last_used" not in columns:
+                # A pair-budget database from before the GC layer: add the
+                # recency stamp in place, seeding it from the creation time.
+                self._connection.executescript(_MIGRATE_V2)
         return self._connection
 
     def close(self) -> None:
-        if self._connection is not None:
-            self._connection.close()
-            self._connection = None
+        with self._lock:
+            if self._connection is not None:
+                self._flush_touches()
+                self._connection.commit()
+                self._connection.close()
+                self._connection = None
 
     def __getstate__(self) -> dict:
-        # sqlite connections cannot cross process boundaries; reconnect lazily.
+        # sqlite connections and locks cannot cross process boundaries;
+        # reconnect (and re-lock) lazily on the other side.
         state = dict(self.__dict__)
         state["_connection"] = None
+        state["_lock"] = None
+        state["_touches"] = {}
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ---------------------------------------------------------------- lookup
     def lookup(
@@ -190,46 +237,58 @@ class CertificationCache:
         """
         base = (dataset_fp, point_digest, family, engine_key)
         removals, flips = _budget_pair(budget)
-        row = self._db.execute(
-            "SELECT payload, budget, budget_f FROM verdicts WHERE dataset_fp=? AND "
-            "point_digest=? AND family=? AND engine_key=? AND budget=? AND budget_f=?",
-            base + (removals, flips),
-        ).fetchone()
-        if row is not None:
-            return CacheHit(
-                result=VerificationResult.from_dict(json.loads(row[0])),
-                kind="exact",
-                stored_budget=_stored_budget(row[1], row[2]),
-            )
-        if not monotone:
+        with self._lock:
+            row = self._db.execute(
+                "SELECT payload, budget, budget_f FROM verdicts WHERE dataset_fp=? AND "
+                "point_digest=? AND family=? AND engine_key=? AND budget=? AND budget_f=?",
+                base + (removals, flips),
+            ).fetchone()
+            if row is not None:
+                return self._hit(base, row, kind="exact")
+            if not monotone:
+                return None
+            # Robust at a dominating budget (both components ≥) ⇒ robust here.
+            row = self._db.execute(
+                "SELECT payload, budget, budget_f FROM verdicts WHERE dataset_fp=? AND "
+                "point_digest=? AND family=? AND engine_key=? AND status=? AND "
+                "budget>=? AND budget_f>=? ORDER BY budget ASC, budget_f ASC LIMIT 1",
+                base + (VerificationStatus.ROBUST.value, removals, flips),
+            ).fetchone()
+            if row is not None:
+                return self._hit(base, row, kind="monotone")
+            # Unknown at a dominated budget (both components ≤) ⇒ still unknown here.
+            row = self._db.execute(
+                "SELECT payload, budget, budget_f FROM verdicts WHERE dataset_fp=? AND "
+                "point_digest=? AND family=? AND engine_key=? AND status=? AND "
+                "budget<=? AND budget_f<=? ORDER BY budget DESC, budget_f DESC LIMIT 1",
+                base + (VerificationStatus.UNKNOWN.value, removals, flips),
+            ).fetchone()
+            if row is not None:
+                return self._hit(base, row, kind="monotone")
             return None
-        # Robust at a dominating budget (both components ≥) ⇒ robust here.
-        row = self._db.execute(
-            "SELECT payload, budget, budget_f FROM verdicts WHERE dataset_fp=? AND "
-            "point_digest=? AND family=? AND engine_key=? AND status=? AND "
-            "budget>=? AND budget_f>=? ORDER BY budget ASC, budget_f ASC LIMIT 1",
-            base + (VerificationStatus.ROBUST.value, removals, flips),
-        ).fetchone()
-        if row is not None:
-            return CacheHit(
-                result=VerificationResult.from_dict(json.loads(row[0])),
-                kind="monotone",
-                stored_budget=_stored_budget(row[1], row[2]),
-            )
-        # Unknown at a dominated budget (both components ≤) ⇒ still unknown here.
-        row = self._db.execute(
-            "SELECT payload, budget, budget_f FROM verdicts WHERE dataset_fp=? AND "
-            "point_digest=? AND family=? AND engine_key=? AND status=? AND "
-            "budget<=? AND budget_f<=? ORDER BY budget DESC, budget_f DESC LIMIT 1",
-            base + (VerificationStatus.UNKNOWN.value, removals, flips),
-        ).fetchone()
-        if row is not None:
-            return CacheHit(
-                result=VerificationResult.from_dict(json.loads(row[0])),
-                kind="monotone",
-                stored_budget=_stored_budget(row[1], row[2]),
-            )
-        return None
+
+    def _hit(self, base: Tuple[str, str, str, str], row, *, kind: str) -> CacheHit:
+        """Build a hit and refresh the stored row's recency stamp (chunked)."""
+        self._touches[base + (int(row[1]), int(row[2]))] = time.time()
+        if len(self._touches) >= _TOUCH_CHUNK:
+            self._flush_touches()
+            self._db.commit()
+        return CacheHit(
+            result=VerificationResult.from_dict(json.loads(row[0])),
+            kind=kind,
+            stored_budget=_stored_budget(row[1], row[2]),
+        )
+
+    def _flush_touches(self) -> None:
+        """Write buffered recency stamps (caller holds the lock, commits)."""
+        if not self._touches:
+            return
+        self._db.executemany(
+            "UPDATE verdicts SET last_used=? WHERE dataset_fp=? AND point_digest=? "
+            "AND family=? AND engine_key=? AND budget=? AND budget_f=?",
+            [(stamp,) + key for key, stamp in self._touches.items()],
+        )
+        self._touches.clear()
 
     # ----------------------------------------------------------------- store
     def store(
@@ -255,41 +314,47 @@ class CertificationCache:
         if result.status not in CACHEABLE_STATUSES:
             return False
         removals, flips = _budget_pair(budget)
-        self._db.execute(
-            "INSERT OR REPLACE INTO verdicts VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                dataset_fp,
-                point_digest,
-                family,
-                engine_key,
-                removals,
-                flips,
-                result.status.value,
-                json.dumps(result.to_dict()),
-                time.time(),
-            ),
-        )
-        if commit:
-            self._db.commit()
+        now = time.time()
+        with self._lock:
+            self._db.execute(
+                "INSERT OR REPLACE INTO verdicts VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    dataset_fp,
+                    point_digest,
+                    family,
+                    engine_key,
+                    removals,
+                    flips,
+                    result.status.value,
+                    json.dumps(result.to_dict()),
+                    now,
+                    now,
+                ),
+            )
+            if commit:
+                self._db.commit()
         return True
 
     def commit(self) -> None:
-        """Flush verdicts stored with ``commit=False``."""
-        if self._connection is not None:
-            self._connection.commit()
+        """Flush verdicts stored with ``commit=False`` (and recency stamps)."""
+        with self._lock:
+            if self._connection is not None:
+                self._flush_touches()
+                self._connection.commit()
 
     # ------------------------------------------------------------ management
     def stats(self) -> dict:
         """Aggregate cache statistics for the ``cache stats`` CLI command."""
-        total = self._db.execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
-        by_status = dict(
-            self._db.execute(
-                "SELECT status, COUNT(*) FROM verdicts GROUP BY status"
-            ).fetchall()
-        )
-        datasets = self._db.execute(
-            "SELECT COUNT(DISTINCT dataset_fp) FROM verdicts"
-        ).fetchone()[0]
+        with self._lock:
+            total = self._db.execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
+            by_status = dict(
+                self._db.execute(
+                    "SELECT status, COUNT(*) FROM verdicts GROUP BY status"
+                ).fetchall()
+            )
+            datasets = self._db.execute(
+                "SELECT COUNT(DISTINCT dataset_fp) FROM verdicts"
+            ).fetchone()[0]
         return {
             "path": str(self.db_path),
             "verdicts": int(total),
@@ -305,12 +370,139 @@ class CertificationCache:
         replay the supposedly-deleted verdicts, and the journal files are
         where most of the reclaimed disk lives.
         """
-        removed = self._db.execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
-        self._db.execute("DELETE FROM verdicts")
-        self._db.commit()
+        with self._lock:
+            removed = self._db.execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
+            self._db.execute("DELETE FROM verdicts")
+            self._touches.clear()
+            self._db.commit()
         for journal in self.cache_dir.glob("journal-*.jsonl"):
             try:
                 journal.unlink()
             except OSError:  # pragma: no cover - concurrent removal
                 pass
         return int(removed)
+
+    # -------------------------------------------------------------------- gc
+    #: SQL truth-value of "this verdict is derivable from another stored row":
+    #: a robust verdict strictly dominated by another robust one, or an
+    #: unknown verdict strictly dominating another unknown one, answers no
+    #: query the other row does not — evicting it loses nothing.
+    _DERIVABLE_SQL = """
+        CASE WHEN (
+            v.status = 'robust' AND EXISTS (
+                SELECT 1 FROM verdicts AS w
+                WHERE w.dataset_fp = v.dataset_fp AND w.point_digest = v.point_digest
+                  AND w.family = v.family AND w.engine_key = v.engine_key
+                  AND w.status = 'robust'
+                  AND w.budget >= v.budget AND w.budget_f >= v.budget_f
+                  AND (w.budget > v.budget OR w.budget_f > v.budget_f)
+            )
+        ) OR (
+            v.status = 'unknown' AND EXISTS (
+                SELECT 1 FROM verdicts AS w
+                WHERE w.dataset_fp = v.dataset_fp AND w.point_digest = v.point_digest
+                  AND w.family = v.family AND w.engine_key = v.engine_key
+                  AND w.status = 'unknown'
+                  AND w.budget <= v.budget AND w.budget_f <= v.budget_f
+                  AND (w.budget < v.budget OR w.budget_f < v.budget_f)
+            )
+        ) THEN 1 ELSE 0 END
+    """
+
+    def _evict(self, count: int) -> int:
+        """Evict up to ``count`` verdicts: derivable rows first, then LRU.
+
+        Caller holds the lock and commits.  Returns how many rows went.
+        """
+        if count <= 0:
+            return 0
+        victims = self._db.execute(
+            f"SELECT v.rowid FROM verdicts AS v ORDER BY {self._DERIVABLE_SQL} DESC, "
+            "v.last_used ASC, v.rowid ASC LIMIT ?",
+            (count,),
+        ).fetchall()
+        if not victims:
+            return 0
+        self._db.executemany(
+            "DELETE FROM verdicts WHERE rowid=?", victims
+        )
+        return len(victims)
+
+    def _logical_size(self) -> int:
+        """Size of the database proper (excluding not-yet-checkpointed WAL)."""
+        page_count = self._db.execute("PRAGMA page_count").fetchone()[0]
+        page_size = self._db.execute("PRAGMA page_size").fetchone()[0]
+        return int(page_count) * int(page_size)
+
+    def gc(
+        self,
+        *,
+        max_bytes: Optional[int] = None,
+        max_age: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> dict:
+        """Bound the cache by age, entry count, and/or on-disk size.
+
+        * ``max_age`` drops every verdict not used (stored or served) within
+          the last ``max_age`` seconds;
+        * ``max_entries`` / ``max_bytes`` then evict least-recently-used
+          verdicts — **derivable verdicts first**: a robust verdict dominated
+          by a surviving robust row (or an unknown verdict dominating a
+          surviving unknown row) answers nothing its dominator cannot, so its
+          eviction costs zero future learner invocations.
+
+        Returns a summary dict (``evicted``, ``remaining``, byte sizes).
+        With no bound given this is a no-op that just reports current sizes.
+        """
+        with self._lock:
+            db = self._db
+            self._flush_touches()
+            db.commit()
+            size_before = self._logical_size()
+            evicted = 0
+            if max_age is not None:
+                cursor = db.execute(
+                    "DELETE FROM verdicts WHERE last_used < ?",
+                    (time.time() - float(max_age),),
+                )
+                evicted += cursor.rowcount
+            if max_entries is not None:
+                count = db.execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
+                evicted += self._evict(int(count) - int(max_entries))
+            # Commit even when nothing was evicted: a 0-row DELETE still
+            # auto-begins a write transaction, which would make the VACUUMs
+            # below fail (and, left dangling, lock out other connections).
+            db.commit()
+            if evicted:
+                db.execute("VACUUM")
+            if max_bytes is not None:
+                if not evicted:
+                    # Reclaim free pages from earlier deletes before
+                    # measuring, or they count against the bound and force
+                    # eviction of live verdicts VACUUM alone would save.
+                    db.execute("VACUUM")
+                size = self._logical_size()
+                while size > int(max_bytes):
+                    count = db.execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
+                    if count == 0:
+                        break
+                    # Estimate how many rows must go to reach the bound and
+                    # evict them in one round; re-measure after VACUUM in
+                    # case variable-width payloads skewed the estimate.
+                    per_row = max(1.0, size / count)
+                    need = max(1, math.ceil((size - int(max_bytes)) / per_row))
+                    removed = self._evict(min(need, int(count)))
+                    if removed == 0:  # pragma: no cover - defensive
+                        break
+                    evicted += removed
+                    db.commit()
+                    db.execute("VACUUM")
+                    size = self._logical_size()
+            remaining = db.execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
+            size_after = self._logical_size()
+        return {
+            "evicted": int(evicted),
+            "remaining": int(remaining),
+            "size_bytes_before": int(size_before),
+            "size_bytes_after": int(size_after),
+        }

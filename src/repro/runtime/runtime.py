@@ -25,6 +25,7 @@ runtime automatically whenever ``n_jobs > 1``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace as _replace
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Union
@@ -200,8 +201,38 @@ class CertificationRuntime:
         self.resume = resume
         self.max_new_points = max_new_points
         self.stats = BatchStats()
-        self.last_batch_stats: Optional[BatchStats] = None
         self._store: Optional[DatasetStore] = None
+        # Lifetime counters are read/written by concurrent streams (service
+        # handler threads, scheduler submissions); int += is not atomic.
+        self._stats_lock = threading.Lock()
+        # Per-batch counters are thread-local: concurrent streams (service
+        # handlers, scheduler submissions) must not clobber each other's
+        # report stats.  Readers consume the stream and read the stats on
+        # the same thread.
+        self._batch_local = threading.local()
+
+    @property
+    def last_batch_stats(self) -> Optional[BatchStats]:
+        """Counters of the most recent batch streamed *on this thread*.
+
+        ``None`` when this thread has not streamed a batch — including a
+        batch whose points were all leased from another in-flight stream.
+        """
+        return getattr(self._batch_local, "stats", None)
+
+    @last_batch_stats.setter
+    def last_batch_stats(self, stats: Optional[BatchStats]) -> None:
+        self._batch_local.stats = stats
+
+    def _op_invocations(self) -> int:
+        """Learner invocations of this thread's current sweep operation.
+
+        Sweeps (:meth:`max_certified`, :meth:`pareto_frontier`) reset this
+        thread-local counter before probing and report it afterwards; using
+        the shared lifetime counter's delta instead would attribute other
+        threads' concurrent work to this operation.
+        """
+        return int(getattr(self._batch_local, "op_invocations", 0))
 
     # ------------------------------------------------------------- the plane
     def publish(self, dataset: Dataset) -> Optional[SharedDatasetHandle]:
@@ -366,7 +397,8 @@ class CertificationRuntime:
         finally:
             if self.cache is not None:
                 self.cache.commit()
-            self.stats.add(stats)
+            with self._stats_lock:
+                self.stats.add(stats)
         if journal is not None and cutoff == len(rows):
             # Once the run completes, every journaled verdict also lives in
             # the (now committed) cache — drop the journal so the cache
@@ -406,18 +438,23 @@ class CertificationRuntime:
                 monotone=monotone_in_budget(model),
             )
             if hit is not None:
-                if hit.is_exact:
-                    self.stats.cache_hits += 1
-                else:
-                    self.stats.cache_monotone_hits += 1
+                with self._stats_lock:
+                    if hit.is_exact:
+                        self.stats.cache_hits += 1
+                    else:
+                        self.stats.cache_monotone_hits += 1
                 return self._adapt_hit(
                     hit, amount, flips, model.log10_num_neighbors(len(dataset))
                 )
         result = engine._certify_one(
             dataset, row, model, engine._plan_for(dataset, model)
         )
-        self.stats.cache_misses += 1
-        self.stats.learner_invocations += 1
+        with self._stats_lock:
+            self.stats.cache_misses += 1
+            self.stats.learner_invocations += 1
+        # Per-operation accounting for sweeps: thread-local, so concurrent
+        # requests on a shared runtime cannot inflate each other's counts.
+        self._batch_local.op_invocations = self._op_invocations() + 1
         if self.cache is not None:
             self.cache.store(fp, point_digest(row), family, engine_key, budget, result)
         return result
@@ -469,7 +506,7 @@ class CertificationRuntime:
         # Deferred: repro.verify.search pulls in the deprecated verifier shim.
         from repro.verify.search import max_certified_poisoning
 
-        invocations_before = self.stats.learner_invocations
+        self._batch_local.op_invocations = 0
         search = max_certified_poisoning(
             _CacheBoundVerifier(self, engine),
             dataset,
@@ -481,7 +518,7 @@ class CertificationRuntime:
         return BudgetSweepOutcome(
             max_certified_n=search.max_certified_n,
             attempts=len(search.attempts),
-            learner_invocations=self.stats.learner_invocations - invocations_before,
+            learner_invocations=self._op_invocations(),
         )
 
     # Pre-generic-search name, kept for callers of the PR-2 API.
@@ -508,7 +545,7 @@ class CertificationRuntime:
         """
         from repro.verify.search import pareto_frontier
 
-        invocations_before = self.stats.learner_invocations
+        self._batch_local.op_invocations = 0
         outcome = pareto_frontier(
             _CacheBoundVerifier(self, engine),
             dataset,
@@ -521,7 +558,7 @@ class CertificationRuntime:
             frontier=outcome.frontier,
             probes=outcome.probes,
             attempted_pairs=len(outcome.attempts),
-            learner_invocations=self.stats.learner_invocations - invocations_before,
+            learner_invocations=self._op_invocations(),
         )
 
     def pareto_sweep(
@@ -592,13 +629,32 @@ class CertificationRuntime:
                 changes["class_intervals"] = ()
         return _replace(result, **changes) if changes else result
 
+    def record_coalesced(self, count: int) -> None:
+        """Credit ``count`` points answered by another batch's in-flight work.
+
+        Called by the :class:`~repro.api.scheduler.CertificationScheduler`
+        when a batch leases points instead of computing (or cache-probing)
+        them, so the lifetime ``deduplicated`` counter covers cross-batch
+        coalescing as well as in-batch duplicates.
+        """
+        with self._stats_lock:
+            self.stats.deduplicated += count
+
     def __getstate__(self) -> dict:
         # Runtimes never travel to pool workers (the engine drops its
         # reference when pickled), but stay safe if someone pickles one:
-        # neither the sqlite connection nor the segment registry survive.
+        # neither the sqlite connection, the segment registry, nor the lock
+        # survive.
         state = dict(self.__dict__)
         state["_store"] = None
+        state["_stats_lock"] = None
+        state["_batch_local"] = None
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
+        self._batch_local = threading.local()
 
 
 class _CacheBoundVerifier:

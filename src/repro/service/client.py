@@ -1,0 +1,374 @@
+"""Client for the certification service: the engine surface, remoted.
+
+:class:`CertificationClient` connects to a :class:`~repro.service.server.CertificationServer`
+socket and exposes the same verbs as a local
+:class:`~repro.api.CertificationEngine` bound to a
+:class:`~repro.runtime.CertificationRuntime` — ``verify`` / ``certify_batch``
+/ ``certify_stream`` / ``certify_point`` / ``max_certified`` /
+``pareto_frontier`` / ``pareto_sweep`` — plus the service-management verbs
+(``cache_stats``, ``cache_gc``, ``server_stats``, ``ping``, ``shutdown``).
+Results decode into the same types the in-process API returns
+(:class:`~repro.verify.result.VerificationResult`,
+:class:`~repro.api.report.CertificationReport`,
+:class:`~repro.runtime.BudgetSweepOutcome`,
+:class:`~repro.runtime.ParetoOutcome`), so callers can swap a local engine
+for a remote one without touching downstream code.
+
+The engine configuration (depth, domain, timeout, …) is fixed per client and
+sent with every request; the server keeps one warm engine per distinct
+configuration.  Datasets can be passed as :class:`~repro.core.dataset.Dataset`
+objects (shipped inline) or as registry references
+(``{"name": "iris", "scale": 0.3, "seed": 0}`` — a few bytes on the wire,
+resolved server-side).
+
+One client owns one connection and serializes its requests on it; use one
+client per thread for concurrent traffic (connections are cheap — the
+expensive state lives server-side).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Iterator, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.report import CertificationReport
+from repro.api.request import CertificationRequest, ModelLike, as_perturbation_model
+from repro.core.dataset import Dataset
+from repro.poisoning.models import PerturbationModel
+from repro.runtime.runtime import BudgetSweepOutcome, ParetoOutcome
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RemoteError,
+    dataset_to_wire,
+    encode_frame,
+    engine_config_to_wire,
+    model_to_wire,
+    read_frame,
+)
+from repro.verify.result import VerificationResult
+
+#: Anything accepted where a dataset is expected: a Dataset (sent inline) or
+#: a registry reference mapping (``{"name": ..., "scale": ..., "seed": ...}``).
+DatasetLike = Union[Dataset, Mapping]
+
+
+def wait_for_server(
+    socket_path: Union[str, Path], *, timeout: float = 10.0, interval: float = 0.05
+) -> None:
+    """Block until a server answers a ping on ``socket_path`` (or raise).
+
+    The bring-up helper for scripts that fork a daemon and immediately
+    connect: retries until the socket exists *and* completes a hello/ping
+    exchange, so a half-bound server never races the first real request.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with CertificationClient(socket_path) as client:
+                client.ping()
+                return
+        except (OSError, ProtocolError, RemoteError) as error:
+            last_error = error
+            time.sleep(interval)
+    raise TimeoutError(
+        f"no certification server answered on {socket_path} within {timeout}s"
+        + (f" (last error: {last_error})" if last_error else "")
+    )
+
+
+class CertificationClient:
+    """Certify against a remote warm runtime over a Unix-domain socket.
+
+    Accepts the same engine-configuration keywords as
+    :class:`~repro.api.CertificationEngine` (``max_depth``, ``domain``,
+    ``cprob_method``, ``timeout_seconds``, ``max_disjuncts``, ``impurity``);
+    they select (or create) the matching warm engine server-side.
+    """
+
+    def __init__(
+        self,
+        socket_path: Union[str, Path],
+        *,
+        connect_timeout: float = 10.0,
+        **engine_config: object,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self._engine_config = engine_config_to_wire(**engine_config)
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(connect_timeout)
+        try:
+            self._sock.connect(str(self.socket_path))
+        except OSError:
+            self._sock.close()
+            raise
+        # Certification calls can legitimately take minutes; the timeout only
+        # guards the connection handshake.
+        self._sock.settimeout(None)
+        self._reader = self._sock.makefile("rb")
+        self._writer = self._sock.makefile("wb")
+        try:
+            self.server_info = self._call("hello", {"protocol": PROTOCOL_VERSION})
+        except BaseException:
+            # A failed handshake (version mismatch, non-repro listener) must
+            # not leak the connected socket — retry loops like
+            # wait_for_server would exhaust the fd limit otherwise.
+            self.close()
+            raise
+
+    # ------------------------------------------------------------- transport
+    def _call(self, op: str, params: Optional[dict] = None) -> dict:
+        """One request/response round trip (thread-safe, serialized)."""
+        with self._lock:
+            frame = self._send(op, params)
+            response = read_frame(self._reader)
+        return self._unwrap(frame["id"], response)
+
+    def _send(self, op: str, params: Optional[dict]) -> dict:
+        self._next_id += 1
+        frame = {"id": self._next_id, "op": op, "params": params or {}}
+        self._writer.write(encode_frame(frame))
+        self._writer.flush()
+        return frame
+
+    @staticmethod
+    def _unwrap(request_id: int, response: Optional[dict]) -> dict:
+        if response is None:
+            raise ProtocolError("server closed the connection mid-request")
+        if response.get("id") not in (None, request_id):
+            raise ProtocolError(
+                f"response id {response.get('id')} does not match request "
+                f"{request_id}"
+            )
+        if response.get("ok"):
+            return response.get("result") or {}
+        error = response.get("error") or {}
+        raise RemoteError(
+            str(error.get("type", "RemoteError")), str(error.get("message", ""))
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._reader.close()
+                self._writer.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "CertificationClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------- the engine verbs
+    def verify(
+        self, request: CertificationRequest, *, n_jobs: int = 1
+    ) -> CertificationReport:
+        """Solve one certification request on the server; aggregate report."""
+        return self.certify_batch(
+            request.dataset, request.points, request.model, n_jobs=n_jobs
+        )
+
+    def certify_batch(
+        self,
+        dataset: DatasetLike,
+        points: np.ndarray,
+        model: ModelLike,
+        *,
+        n_jobs: int = 1,
+    ) -> CertificationReport:
+        """Certify every row of ``points`` against ``model`` on the server."""
+        result = self._call("certify", self._certify_params(dataset, points, model, n_jobs))
+        return CertificationReport.from_dict(result["report"])
+
+    def certify_stream(
+        self,
+        dataset: DatasetLike,
+        points: np.ndarray,
+        model: ModelLike,
+        *,
+        n_jobs: int = 1,
+    ) -> Iterator[VerificationResult]:
+        """Yield per-point verdicts as the server streams them, in order.
+
+        The connection is held for the duration of the stream; other calls on
+        this client block until it is drained (use one client per concurrent
+        stream).
+        """
+        with self._lock:
+            frame = self._send(
+                "certify_stream", self._certify_params(dataset, points, model, n_jobs)
+            )
+            drained = False
+            try:
+                while True:
+                    response = read_frame(self._reader)
+                    if response is None:
+                        drained = True  # nothing left to desynchronize
+                        raise ProtocolError("server closed the connection mid-stream")
+                    if response.get("ok") is False:
+                        drained = True  # an error frame ends the stream
+                        self._unwrap(frame["id"], response)
+                    event = response.get("event")
+                    if event == "result":
+                        yield VerificationResult.from_dict(response["result"])
+                    elif event == "end":
+                        drained = True
+                        return
+                    else:
+                        drained = True
+                        raise ProtocolError(f"unexpected stream frame: {response}")
+            finally:
+                # A consumer that abandons the stream mid-way must not leave
+                # unread frames to desynchronize the next request.
+                while not drained:
+                    response = read_frame(self._reader)
+                    if response is None or response.get("event") == "end" or (
+                        response.get("ok") is False
+                    ):
+                        drained = True
+
+    def certify_point(
+        self, dataset: DatasetLike, x: Sequence[float], model: ModelLike
+    ) -> VerificationResult:
+        """Certify a single test point on the server."""
+        report = self.certify_batch(
+            dataset, np.asarray(x, dtype=float).reshape(1, -1), model
+        )
+        return report.results[0]
+
+    def max_certified(
+        self,
+        dataset: DatasetLike,
+        x: Sequence[float],
+        *,
+        model: Optional[PerturbationModel] = None,
+        start: int = 1,
+        max_budget: Optional[int] = None,
+    ) -> BudgetSweepOutcome:
+        """The §6.1 certified-budget search, probed through the server cache."""
+        result = self._call(
+            "max_certified",
+            {
+                "engine": self._engine_config,
+                "dataset": dataset_to_wire(dataset),
+                "point": np.asarray(x, dtype=float).tolist(),
+                "model": model_to_wire(model),
+                "start": start,
+                "max_budget": max_budget,
+            },
+        )
+        return BudgetSweepOutcome(
+            max_certified_n=int(result["max_certified_n"]),
+            attempts=int(result["attempts"]),
+            learner_invocations=int(result["learner_invocations"]),
+        )
+
+    def pareto_frontier(
+        self,
+        dataset: DatasetLike,
+        x: Sequence[float],
+        *,
+        max_remove: Optional[int] = None,
+        max_flip: Optional[int] = None,
+        model: Optional[PerturbationModel] = None,
+    ) -> ParetoOutcome:
+        """Maximal certified ``(n_remove, n_flip)`` pairs of one point."""
+        result = self._call(
+            "pareto_frontier",
+            {
+                "engine": self._engine_config,
+                "dataset": dataset_to_wire(dataset),
+                "point": np.asarray(x, dtype=float).tolist(),
+                "max_remove": max_remove,
+                "max_flip": max_flip,
+                "model": model_to_wire(model),
+            },
+        )
+        return self._pareto_outcome(result)
+
+    def pareto_sweep(
+        self,
+        dataset: DatasetLike,
+        points: np.ndarray,
+        *,
+        max_remove: Optional[int] = None,
+        max_flip: Optional[int] = None,
+        model: Optional[PerturbationModel] = None,
+    ) -> List[ParetoOutcome]:
+        """Per-point Pareto frontiers for a batch of test points."""
+        result = self._call(
+            "pareto_sweep",
+            {
+                "engine": self._engine_config,
+                "dataset": dataset_to_wire(dataset),
+                "points": np.asarray(points, dtype=float).tolist(),
+                "max_remove": max_remove,
+                "max_flip": max_flip,
+                "model": model_to_wire(model),
+            },
+        )
+        return [self._pareto_outcome(entry) for entry in result["outcomes"]]
+
+    @staticmethod
+    def _pareto_outcome(payload: Mapping) -> ParetoOutcome:
+        return ParetoOutcome(
+            frontier=tuple((int(r), int(f)) for r, f in payload["frontier"]),
+            probes=int(payload["probes"]),
+            attempted_pairs=int(payload["attempted_pairs"]),
+            learner_invocations=int(payload["learner_invocations"]),
+        )
+
+    # ------------------------------------------------------------ management
+    def ping(self) -> dict:
+        return self._call("ping")
+
+    def cache_stats(self) -> dict:
+        """Verdict-cache statistics + lifetime runtime counters of the server."""
+        return self._call("cache_stats")
+
+    def cache_gc(
+        self,
+        *,
+        max_bytes: Optional[int] = None,
+        max_age: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> dict:
+        """Run cache eviction server-side; returns the eviction summary."""
+        return self._call(
+            "cache_gc",
+            {"max_bytes": max_bytes, "max_age": max_age, "max_entries": max_entries},
+        )
+
+    def server_stats(self) -> dict:
+        """Server-level counters: uptime, engines, scheduler coalescing."""
+        return self._call("stats")
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop serving (it answers before stopping)."""
+        return self._call("shutdown")
+
+    # --------------------------------------------------------------- helpers
+    def _certify_params(
+        self, dataset: DatasetLike, points: np.ndarray, model: ModelLike, n_jobs: int
+    ) -> dict:
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        return {
+            "engine": self._engine_config,
+            "dataset": dataset_to_wire(dataset),
+            "points": points.tolist(),
+            "model": model_to_wire(as_perturbation_model(model)),
+            "n_jobs": n_jobs,
+        }

@@ -7,7 +7,12 @@ import json
 import numpy as np
 import pytest
 
-from repro.api import CertificationEngine, CertificationReport, CertificationRequest
+from repro.api import (
+    SCHEMA_VERSION,
+    CertificationEngine,
+    CertificationReport,
+    CertificationRequest,
+)
 from repro.domains.interval import Interval
 from repro.poisoning.models import RemovalPoisoningModel
 from repro.verify.result import VerificationResult, VerificationStatus
@@ -134,6 +139,44 @@ class TestSerialization:
         assert "p90 time (s)" in rendered
         empty = CertificationReport().render()
         assert "n/a (empty)" in empty
+
+
+class TestSchemaVersioning:
+    """Satellite: the report wire form is explicitly versioned."""
+
+    def test_to_dict_stamps_the_current_version(self):
+        payload = _engine_report().to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_versioned_payload_round_trips(self):
+        report = _engine_report()
+        restored = CertificationReport.from_json(report.to_json())
+        assert restored.to_dict()["schema_version"] == SCHEMA_VERSION
+        assert [r.to_dict() for r in restored.results] == [
+            r.to_dict() for r in report.results
+        ]
+
+    def test_pre_versioning_payload_still_decodes(self):
+        """A PR-1..4 era export (no schema_version key) is implicitly v1."""
+        report = _engine_report()
+        old_fixture = report.to_dict()
+        del old_fixture["schema_version"]
+        restored = CertificationReport.from_dict(old_fixture)
+        assert restored.total == report.total
+        assert [r.status for r in restored.results] == [
+            r.status for r in report.results
+        ]
+
+    def test_explicit_version_one_accepted(self):
+        payload = _engine_report().to_dict()
+        payload["schema_version"] = 1
+        assert CertificationReport.from_dict(payload).total == 3
+
+    def test_future_version_rejected(self):
+        payload = _engine_report().to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="upgrade the reader"):
+            CertificationReport.from_dict(payload)
 
 
 class TestCompositePairExport:

@@ -198,6 +198,148 @@ class TestSchemaMigration:
             cache.close()
 
 
+class TestGarbageCollection:
+    """Satellite: LRU eviction that prefers derivable verdicts."""
+
+    def test_derivable_verdicts_evicted_before_underivable_ones(self, cache):
+        # Point P: robust@5 dominates robust@2 (the @2 row is derivable).
+        cache.store(FP, POINT, "removal", ENGINE, 5, _result(VerificationStatus.ROBUST, 5))
+        cache.store(FP, POINT, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST, 2))
+        # Point Q: unknown@1 dominates unknown@4 (the @4 row is derivable).
+        other = "e" * 64
+        cache.store(FP, other, "removal", ENGINE, 1, _result(VerificationStatus.UNKNOWN, 1))
+        cache.store(FP, other, "removal", ENGINE, 4, _result(VerificationStatus.UNKNOWN, 4))
+        summary = cache.gc(max_entries=2)
+        assert summary["evicted"] == 2
+        assert summary["remaining"] == 2
+        # The two *underivable* rows survive: they still answer every query
+        # the four-row cache answered.
+        assert cache.lookup(FP, POINT, "removal", ENGINE, 5).is_exact
+        assert cache.lookup(FP, other, "removal", ENGINE, 1).is_exact
+        assert cache.lookup(FP, POINT, "removal", ENGINE, 2).stored_budget == 5
+        assert cache.lookup(FP, other, "removal", ENGINE, 4).stored_budget == 1
+        assert cache.lookup(FP, POINT, "removal", ENGINE, 2, monotone=False) is None
+        assert cache.lookup(FP, other, "removal", ENGINE, 4, monotone=False) is None
+
+    def test_lru_breaks_ties_among_underivable_rows(self, cache):
+        # Three incomparable verdicts (different points): pure LRU order.
+        for index, digest in enumerate(("a" * 63 + "1", "a" * 63 + "2", "a" * 63 + "3")):
+            cache.store(FP, digest, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST))
+        # Touch the first row so it becomes the most recently used.
+        assert cache.lookup(FP, "a" * 63 + "1", "removal", ENGINE, 2) is not None
+        cache.commit()
+        summary = cache.gc(max_entries=1)
+        assert summary["evicted"] == 2
+        assert cache.lookup(FP, "a" * 63 + "1", "removal", ENGINE, 2) is not None
+        assert cache.lookup(FP, "a" * 63 + "2", "removal", ENGINE, 2) is None
+        assert cache.lookup(FP, "a" * 63 + "3", "removal", ENGINE, 2) is None
+
+    def test_max_age_drops_only_stale_rows(self, cache):
+        import time as time_module
+
+        cache.store(FP, POINT, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST))
+        # Backdate the row, then store a fresh one.
+        with cache._lock:
+            cache._db.execute(
+                "UPDATE verdicts SET last_used = last_used - 1000"
+            )
+            cache._db.commit()
+        cache.store(FP, "e" * 64, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST))
+        summary = cache.gc(max_age=500)
+        assert summary["evicted"] == 1
+        assert cache.lookup(FP, POINT, "removal", ENGINE, 2) is None
+        assert cache.lookup(FP, "e" * 64, "removal", ENGINE, 2) is not None
+        del time_module
+
+    def test_max_bytes_shrinks_the_database(self, cache):
+        for index in range(64):
+            digest = f"{index:064d}"
+            cache.store(FP, digest, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST))
+        before = cache.gc()  # no bounds: pure measurement
+        assert before["evicted"] == 0
+        target = before["size_bytes_after"] // 2
+        summary = cache.gc(max_bytes=target)
+        assert summary["evicted"] > 0
+        assert summary["size_bytes_after"] <= max(target, 4 * 4096)  # sqlite min pages
+        assert summary["remaining"] == 64 - summary["evicted"]
+
+    def test_pair_budget_dominance_in_eviction_order(self, cache):
+        cache.store(FP, POINT, COMPOSITE, ENGINE, (3, 3), _result(VerificationStatus.ROBUST))
+        cache.store(FP, POINT, COMPOSITE, ENGINE, (1, 2), _result(VerificationStatus.ROBUST))
+        # (4, 1) is incomparable with (3, 3): NOT derivable, must survive.
+        cache.store(FP, POINT, COMPOSITE, ENGINE, (4, 1), _result(VerificationStatus.ROBUST))
+        summary = cache.gc(max_entries=2)
+        assert summary["evicted"] == 1
+        assert cache.lookup(FP, POINT, COMPOSITE, ENGINE, (3, 3), monotone=False) is not None
+        assert cache.lookup(FP, POINT, COMPOSITE, ENGINE, (4, 1), monotone=False) is not None
+        assert cache.lookup(FP, POINT, COMPOSITE, ENGINE, (1, 2), monotone=False) is None
+
+    def test_gc_without_bounds_is_a_noop_report(self, cache):
+        cache.store(FP, POINT, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST))
+        summary = cache.gc()
+        assert summary["evicted"] == 0
+        assert summary["remaining"] == 1
+        assert summary["size_bytes_after"] > 0
+
+    def test_recency_stamp_survives_reopen(self, cache, tmp_path):
+        cache.store(FP, POINT, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST))
+        assert cache.lookup(FP, POINT, "removal", ENGINE, 2) is not None
+        cache.close()  # flushes buffered recency stamps
+        reopened = CertificationCache(tmp_path)
+        try:
+            row = reopened._db.execute(
+                "SELECT last_used, created_at FROM verdicts"
+            ).fetchone()
+            assert row[0] >= row[1] > 0
+        finally:
+            reopened.close()
+
+    def test_pre_gc_database_gains_last_used_column(self, tmp_path):
+        import json as json_module
+        import sqlite3
+
+        # A v2 (pair-budget, no last_used) database as PR 3 created it.
+        db_path = tmp_path / CertificationCache.DB_NAME
+        connection = sqlite3.connect(str(db_path))
+        connection.executescript(
+            """
+            CREATE TABLE verdicts (
+                dataset_fp   TEXT    NOT NULL,
+                point_digest TEXT    NOT NULL,
+                family       TEXT    NOT NULL,
+                engine_key   TEXT    NOT NULL,
+                budget       INTEGER NOT NULL,
+                budget_f     INTEGER NOT NULL DEFAULT 0,
+                status       TEXT    NOT NULL,
+                payload      TEXT    NOT NULL,
+                created_at   REAL    NOT NULL,
+                PRIMARY KEY (dataset_fp, point_digest, family, engine_key, budget, budget_f)
+            );
+            """
+        )
+        old = _result(VerificationStatus.ROBUST, 4)
+        connection.execute(
+            "INSERT INTO verdicts VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (FP, POINT, "removal", ENGINE, 4, 0, "robust",
+             json_module.dumps(old.to_dict()), 123.0),
+        )
+        connection.commit()
+        connection.close()
+
+        cache = CertificationCache(tmp_path)
+        try:
+            assert cache.lookup(FP, POINT, "removal", ENGINE, 4).is_exact
+            # The migrated row inherited its creation time as recency.
+            row = cache._db.execute(
+                "SELECT created_at, last_used FROM verdicts WHERE budget=4 AND point_digest=?",
+                (POINT,),
+            ).fetchone()
+            assert row[1] == row[0] == 123.0
+            assert cache.gc(max_entries=10)["remaining"] == 1
+        finally:
+            cache.close()
+
+
 class TestCachePolicy:
     def test_environmental_outcomes_never_stored(self, cache):
         assert not cache.store(

@@ -1,0 +1,229 @@
+"""End-to-end tests for the certification daemon and its client.
+
+Each test runs a real :class:`CertificationServer` on a Unix-domain socket in
+a temp directory and talks to it through :class:`CertificationClient` — the
+same path the CLI's ``--connect`` and the CI daemon smoke take.
+"""
+
+import socket as socket_module
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import SCHEMA_VERSION
+from repro.poisoning.models import CompositePoisoningModel, RemovalPoisoningModel
+from repro.service import (
+    PROTOCOL_VERSION,
+    CertificationClient,
+    CertificationServer,
+    RemoteError,
+    wait_for_server,
+)
+from repro.verify.result import VerificationResult
+from tests.conftest import well_separated_dataset
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket_module, "AF_UNIX"), reason="requires Unix-domain sockets"
+)
+
+POINTS = np.array([[0.5], [11.0], [5.0]])
+
+
+@pytest.fixture
+def server(tmp_path):
+    # Keep the socket path short: AF_UNIX paths are limited to ~104 bytes.
+    server = CertificationServer(tmp_path / "s", cache_dir=tmp_path / "cache")
+    with server:
+        wait_for_server(server.socket_path, timeout=30)
+        yield server
+
+
+@pytest.fixture
+def client(server):
+    with CertificationClient(server.socket_path, max_depth=1, domain="box") as client:
+        yield client
+
+
+class TestHandshake:
+    def test_hello_reports_versions(self, client):
+        assert client.server_info["protocol"] == PROTOCOL_VERSION
+        assert client.server_info["schema_version"] == SCHEMA_VERSION
+
+    def test_ping(self, client):
+        pong = client.ping()
+        assert pong["pong"] is True
+        assert pong["uptime_seconds"] >= 0
+
+    def test_protocol_mismatch_rejected(self, server):
+        with pytest.raises(RemoteError, match="protocol"):
+            # Re-run the handshake with a bogus version through a raw client.
+            with CertificationClient(server.socket_path) as raw:
+                raw._call("hello", {"protocol": 999})
+
+    def test_unknown_op_is_reported_not_fatal(self, client):
+        with pytest.raises(RemoteError, match="unknown operation"):
+            client._call("frobnicate")
+        # The connection survives the error.
+        assert client.ping()["pong"] is True
+
+
+class TestCertification:
+    def test_warm_rerun_reports_zero_learner_invocations(self, client):
+        """Acceptance: a second identical batch costs zero learner work."""
+        dataset = well_separated_dataset()
+        cold = client.certify_batch(dataset, POINTS, RemovalPoisoningModel(1))
+        assert cold.total == 3
+        assert cold.runtime_stats["learner_invocations"] == 3
+        warm = client.certify_batch(dataset, POINTS, RemovalPoisoningModel(1))
+        assert warm.runtime_stats["learner_invocations"] == 0
+        assert [r.status for r in warm.results] == [r.status for r in cold.results]
+
+    def test_registry_reference_batches_share_the_warm_cache(self, client):
+        ref = {"name": "iris", "scale": 0.3, "seed": 0}
+        points = np.asarray(
+            [[5.0, 3.4, 1.5, 0.2], [6.1, 2.8, 4.7, 1.2]], dtype=float
+        )
+        cold = client.certify_batch(ref, points, 2)
+        warm = client.certify_batch(ref, points, 2)
+        assert warm.runtime_stats["learner_invocations"] == 0
+        assert warm.total == cold.total == 2
+
+    def test_certify_stream_yields_in_order(self, client):
+        dataset = well_separated_dataset()
+        streamed = list(
+            client.certify_stream(dataset, POINTS, RemovalPoisoningModel(1))
+        )
+        assert len(streamed) == 3
+        assert all(isinstance(r, VerificationResult) for r in streamed)
+        batch = client.certify_batch(dataset, POINTS, RemovalPoisoningModel(1))
+        assert [r.status for r in streamed] == [r.status for r in batch.results]
+
+    def test_certify_point_and_composite_model(self, client):
+        dataset = well_separated_dataset()
+        result = client.certify_point(dataset, [0.5], CompositePoisoningModel(1, 1))
+        assert result.domain.startswith("flip-")
+        assert result.poisoning_amount == 2
+
+    def test_validation_errors_cross_the_wire(self, client):
+        dataset = well_separated_dataset()
+        with pytest.raises(RemoteError, match="n_classes"):
+            client.certify_batch(
+                dataset, POINTS, CompositePoisoningModel(1, 1, n_classes=7)
+            )
+        assert client.ping()["pong"] is True
+
+    def test_concurrent_clients_one_invocation_per_distinct_point(self, server):
+        """Acceptance: two clients submitting the same points concurrently
+        trigger exactly one learner invocation per distinct point."""
+        dataset = well_separated_dataset()
+        results = {}
+        errors = []
+
+        def run(name):
+            try:
+                with CertificationClient(
+                    server.socket_path, max_depth=1, domain="box"
+                ) as client:
+                    results[name] = client.certify_batch(
+                        dataset, POINTS, RemovalPoisoningModel(1)
+                    )
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [threading.Thread(target=run, args=(name,)) for name in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert results["a"].total == results["b"].total == 3
+        assert [r.status for r in results["a"].results] == [
+            r.status for r in results["b"].results
+        ]
+        # Whether the two batches coalesced in flight or the later one hit
+        # the cache, the server ran the learner exactly once per point.
+        assert server.runtime.stats.learner_invocations == 3
+
+
+class TestSweepOps:
+    def test_max_certified_probes_through_the_server_cache(self, client):
+        dataset = well_separated_dataset()
+        first = client.max_certified(dataset, [0.5], max_budget=4)
+        again = client.max_certified(dataset, [0.5], max_budget=4)
+        assert again.max_certified_n == first.max_certified_n
+        assert again.learner_invocations == 0  # all probes derived from cache
+
+    def test_pareto_frontier_and_sweep(self, client):
+        dataset = well_separated_dataset()
+        outcome = client.pareto_frontier(dataset, [0.5], max_remove=2, max_flip=2)
+        assert isinstance(outcome.frontier, tuple)
+        swept = client.pareto_sweep(
+            dataset, np.array([[0.5], [11.0]]), max_remove=2, max_flip=2
+        )
+        assert len(swept) == 2
+        assert swept[0].frontier == outcome.frontier
+        # The warm sweep re-derives every frontier without the learner.
+        assert swept[0].learner_invocations == 0
+
+
+class TestManagement:
+    def test_cache_stats_and_gc(self, client):
+        dataset = well_separated_dataset()
+        client.certify_batch(dataset, POINTS, RemovalPoisoningModel(1))
+        stats = client.cache_stats()
+        assert stats["cache"]["verdicts"] == 3
+        assert stats["runtime"]["learner_invocations"] == 3
+        summary = client.cache_gc(max_entries=1)
+        assert summary["evicted"] == 2
+        assert summary["remaining"] == 1
+        assert client.cache_stats()["cache"]["verdicts"] == 1
+
+    def test_server_stats_report_engines_and_scheduler(self, client):
+        dataset = well_separated_dataset()
+        client.certify_batch(dataset, POINTS, RemovalPoisoningModel(1))
+        stats = client.server_stats()
+        assert stats["requests_served"] >= 2  # hello + certify
+        assert stats["datasets_resident"] == 1
+        assert len(stats["engines"]) == 1
+        assert stats["engines"][0]["scheduler"]["submitted"] == 3
+
+    def test_engine_configs_are_isolated(self, server):
+        dataset = well_separated_dataset()
+        with CertificationClient(server.socket_path, max_depth=1, domain="box") as shallow:
+            with CertificationClient(server.socket_path, max_depth=2, domain="box") as deep:
+                shallow.certify_batch(dataset, POINTS, RemovalPoisoningModel(1))
+                deep.certify_batch(dataset, POINTS, RemovalPoisoningModel(1))
+        stats = server.runtime.stats
+        # Different depths are different proof problems: no cross-engine
+        # cache sharing, 6 invocations in total.
+        assert stats.learner_invocations == 6
+
+
+class TestLifecycle:
+    def test_shutdown_op_stops_the_server(self, tmp_path):
+        server = CertificationServer(tmp_path / "s2")
+        server.start()
+        wait_for_server(server.socket_path, timeout=30)
+        with CertificationClient(server.socket_path) as client:
+            assert client.shutdown()["stopping"] is True
+        server.close()
+        assert not server.socket_path.exists()
+
+    def test_stale_socket_file_is_reclaimed(self, tmp_path):
+        path = tmp_path / "s3"
+        path.touch()  # a dead socket (nothing listening)
+        server = CertificationServer(path)
+        with server:
+            wait_for_server(path, timeout=30)
+
+    def test_live_socket_is_not_stolen(self, tmp_path):
+        first = CertificationServer(tmp_path / "s4")
+        with first:
+            wait_for_server(first.socket_path, timeout=30)
+            with pytest.raises(RuntimeError, match="already listening"):
+                CertificationServer(tmp_path / "s4").start()
+
+    def test_wait_for_server_times_out(self, tmp_path):
+        with pytest.raises(TimeoutError, match="no certification server"):
+            wait_for_server(tmp_path / "nothing", timeout=0.3, interval=0.05)

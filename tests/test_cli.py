@@ -157,6 +157,94 @@ class TestCertifyCache:
         assert "require --cache-dir" in capsys.readouterr().err
 
 
+class TestCacheGC:
+    CERTIFY = TestCertifyCache.CERTIFY
+
+    def test_gc_requires_a_bound(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.CERTIFY + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache-dir", cache_dir]) == 2
+        assert "at least one bound" in capsys.readouterr().err
+
+    def test_gc_evicts_and_reports(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.CERTIFY + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache-dir", cache_dir, "--max-entries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 3 verdict(s)" in out
+        assert "1 remaining" in out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert TestCertifyCache._metric(capsys.readouterr().out, "verdicts") == "1"
+
+    def test_gc_age_and_byte_bounds(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.CERTIFY + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        # Freshly used verdicts survive a generous age bound...
+        assert main(["cache", "gc", "--cache-dir", cache_dir, "--max-age", "3600"]) == 0
+        assert "evicted 0 verdict(s)" in capsys.readouterr().out
+        # ...but an impossible byte bound empties the cache entirely.
+        assert main(["cache", "gc", "--cache-dir", cache_dir,
+                     "--max-bytes", "0"]) == 0
+        assert "0 remaining" in capsys.readouterr().out
+
+
+class TestServeAndConnect:
+    def test_serve_parser_options(self):
+        args = build_parser().parse_args(
+            ["serve", "/tmp/x.sock", "--cache-dir", "/tmp/c", "--max-engines", "3"]
+        )
+        assert args.socket == "/tmp/x.sock"
+        assert args.cache_dir == "/tmp/c"
+        assert args.max_engines == 3
+
+    def test_connect_rejects_local_cache_flags(self, capsys):
+        code = main(
+            ["certify", "iris", "--points", "1", "--depth", "1", "--scale", "0.3",
+             "--connect", "/tmp/nope.sock", "--cache-dir", "/tmp/c"]
+        )
+        assert code == 2
+        assert "server owns the runtime" in capsys.readouterr().err
+
+    def test_sweep_connect_rejects_cache_dir(self, capsys):
+        code = main(
+            ["sweep", "iris", "--points", "1", "--depth", "1", "--scale", "0.3",
+             "--connect", "/tmp/nope.sock", "--cache-dir", "/tmp/c"]
+        )
+        assert code == 2
+        assert "--connect is incompatible" in capsys.readouterr().err
+
+    def test_certify_and_sweep_against_a_live_daemon(self, capsys, tmp_path):
+        from repro.service import CertificationServer, wait_for_server
+
+        server = CertificationServer(tmp_path / "s", cache_dir=tmp_path / "cache")
+        base = ["--points", "2", "--depth", "1", "--scale", "0.3", "--quiet"]
+        with server:
+            wait_for_server(server.socket_path, timeout=30)
+            connect = ["--connect", str(server.socket_path)]
+            assert main(["certify", "iris", "--model", "removal", "--n", "2",
+                         *base, *connect]) == 0
+            capsys.readouterr()
+            # The warm rerun answers from the server's cache.
+            assert main(["certify", "iris", "--model", "removal", "--n", "2",
+                         *base, *connect,
+                         "--json", str(tmp_path / "warm.json")]) == 0
+            output = capsys.readouterr().out
+            assert "learner invocations        | 0" in output
+            import json as json_module
+
+            warm = json_module.loads((tmp_path / "warm.json").read_text())
+            assert warm["runtime_stats"]["learner_invocations"] == 0
+            # A scalar sweep through the same daemon.
+            assert main(["sweep", "iris", "--model", "removal", "--max-n", "2",
+                         *base, *connect]) == 0
+            sweep_out = capsys.readouterr().out
+            assert "largest max budget" in sweep_out
+            assert "learner invocations" in sweep_out
+
+
 class TestSweepCommand:
     SWEEP = ["sweep", "iris", "--depth", "1", "--scale", "0.3", "--timeout", "20"]
 
