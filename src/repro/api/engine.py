@@ -58,6 +58,8 @@ from repro.poisoning.models import (
 )
 from repro.runtime.fingerprint import fingerprint_dataset
 from repro.runtime.shm import SharedDatasetHandle
+from repro.telemetry import metrics, tracing
+from repro.telemetry import profiling
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch, TimeBudget, TimeoutExceeded
 from repro.utils.validation import ValidationError
@@ -95,6 +97,20 @@ _DOMAIN_LADDERS = {
         "either": (FLIP_DOMAIN, FLIP_DISJUNCTS_DOMAIN),
     },
 }
+
+#: Learner-side certification latency, by threat-model family, final ladder
+#: domain, and outcome.  Only observed on the cold path (cache hits and
+#: leases never reach :meth:`CertificationEngine._certify_one`).
+_CERTIFY_SECONDS = metrics.histogram(
+    "certify_seconds",
+    "Per-point certification latency through the abstract learners.",
+    labelnames=("family", "domain", "outcome"),
+)
+#: Actual learner runs in this process (warm serving keeps this flat).
+_LEARNER_INVOCATIONS = metrics.counter(
+    "learner_invocations_total",
+    "Points certified by running the abstract learners (not cache/lease).",
+)
 
 
 @dataclass(frozen=True)
@@ -225,10 +241,14 @@ class CertificationEngine:
         pool (results stay in input order either way).
         """
         watch = Stopwatch().start()
-        results = list(self.certify_stream(request, n_jobs=n_jobs))
+        with tracing.span("engine.verify") as trace_root:
+            results = list(self.certify_stream(request, n_jobs=n_jobs))
         runtime_stats = None
         if self.runtime is not None and self.runtime.last_batch_stats is not None:
             runtime_stats = self.runtime.last_batch_stats.snapshot()
+        if trace_root is not None:
+            runtime_stats = dict(runtime_stats or {})
+            runtime_stats["trace"] = trace_root.to_dict()
         return CertificationReport(
             results=results,
             model_description=request.model.describe(),
@@ -527,32 +547,42 @@ class CertificationEngine:
             assert plan.removal_trainset is not None
             trainset = plan.removal_trainset
             domains = _DOMAIN_LADDERS["removal"][self.domain]
-        predicted = int(self._trace_learner.predict(dataset, x))
-        watch = Stopwatch().start()
-        budget = (
-            TimeBudget(self.timeout_seconds)
-            if self.timeout_seconds
-            else TimeBudget.unlimited()
+        family = "flip" if plan.flip_trainset is not None else "removal"
+        with tracing.span("engine.certify_one"):
+            predicted = int(self._trace_learner.predict(dataset, x))
+            watch = Stopwatch().start()
+            budget = (
+                TimeBudget(self.timeout_seconds)
+                if self.timeout_seconds
+                else TimeBudget.unlimited()
+            )
+            last_result: Optional[VerificationResult] = None
+            with MemoryTracker() as memory:
+                for domain in domains:
+                    outcome = self._run_domain(domain, trainset, x, budget)
+                    result = self._build_result(
+                        outcome,
+                        domain=domain,
+                        n=plan.amount,
+                        flips=plan.flips,
+                        predicted=predicted,
+                        log10_datasets=plan.log10_datasets,
+                    )
+                    last_result = result
+                    if result.is_certified:
+                        break
+            assert last_result is not None
+            elapsed = watch.elapsed()
+        _LEARNER_INVOCATIONS.inc()
+        _CERTIFY_SECONDS.observe(
+            elapsed,
+            family=family,
+            domain=last_result.domain,
+            outcome=last_result.status.value,
         )
-        last_result: Optional[VerificationResult] = None
-        with MemoryTracker() as memory:
-            for domain in domains:
-                outcome = self._run_domain(domain, trainset, x, budget)
-                result = self._build_result(
-                    outcome,
-                    domain=domain,
-                    n=plan.amount,
-                    flips=plan.flips,
-                    predicted=predicted,
-                    log10_datasets=plan.log10_datasets,
-                )
-                last_result = result
-                if result.is_certified:
-                    break
-        assert last_result is not None
         return replace(
             last_result,
-            elapsed_seconds=watch.elapsed(),
+            elapsed_seconds=elapsed,
             peak_memory_bytes=memory.peak_bytes,
         )
 
@@ -571,7 +601,8 @@ class CertificationEngine:
             else self._box_learner
         )
         try:
-            run = learner.run(trainset, x, time_budget=budget)
+            with profiling.ladder_stage(domain), tracing.span(f"ladder.{domain}"):
+                run = learner.run(trainset, x, time_budget=budget)
         except TimeoutExceeded as error:
             return _DomainOutcome(run=None, failure=VerificationStatus.TIMEOUT, message=str(error))
         except (DisjunctBudgetExceeded, MemoryError) as error:

@@ -48,11 +48,31 @@ from repro.runtime.fingerprint import (
     model_cache_key,
     point_digest,
 )
+from repro.telemetry import metrics, tracing
 from repro.utils.timing import Stopwatch
 from repro.verify.result import VerificationResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.engine import CertificationEngine
+
+_BATCHES = metrics.counter(
+    "scheduler_batches_total", "Batches streamed through the scheduler."
+)
+_SUBMITTED = metrics.counter(
+    "scheduler_submitted_total", "Points submitted across all batches."
+)
+_COALESCED = metrics.counter(
+    "scheduler_coalesced_total",
+    "Points leased from another batch's in-flight computation.",
+)
+_LEASE_FALLBACKS = metrics.counter(
+    "scheduler_lease_fallback_total",
+    "Leases whose owner failed/stalled, recomputed locally.",
+)
+_LEASE_WAIT_SECONDS = metrics.histogram(
+    "scheduler_lease_wait_seconds",
+    "Time a batch spent blocked on another batch's in-flight future.",
+)
 
 #: The content-addressed identity of one unit of certification work.  Two
 #: submissions with equal keys are guaranteed the same verdict, so at most one
@@ -223,6 +243,10 @@ class CertificationScheduler:
                 self._inflight[key] = future
                 owned_futures[key] = future
                 owned_indices.append(index)
+        _BATCHES.inc()
+        _SUBMITTED.inc(len(rows))
+        if leases:
+            _COALESCED.inc(len(leases))
         amount = model.nominal_amount(len(dataset))
         flips = model.nominal_flip_amount(len(dataset))
         log10_datasets = model.log10_num_neighbors(len(dataset))
@@ -253,6 +277,7 @@ class CertificationScheduler:
                         future.set_result(result)
                     yield result
                     continue
+                wait_started = Stopwatch().start()
                 try:
                     leased = lease.result(timeout=self.LEASE_TIMEOUT_SECONDS)
                 except BaseException:
@@ -261,8 +286,13 @@ class CertificationScheduler:
                     # the point ourselves rather than surfacing (or waiting
                     # on) a stranger's failure.  The local computation is
                     # what the lifetime stats count — nothing was saved.
-                    yield self._certify_locally(dataset, rows[index], model)
+                    _LEASE_WAIT_SECONDS.observe(wait_started.elapsed())
+                    _LEASE_FALLBACKS.inc()
+                    with tracing.span("scheduler.lease_fallback"):
+                        fallback = self._certify_locally(dataset, rows[index], model)
+                    yield fallback
                 else:
+                    _LEASE_WAIT_SECONDS.observe(wait_started.elapsed())
                     # Only a *delivered* lease is deduplicated work.
                     if engine.runtime is not None:
                         engine.runtime.record_coalesced(1)

@@ -30,6 +30,12 @@ The CLI exposes the main workflows without writing any Python:
   Unix-domain socket; point ``verify``/``certify``/``sweep`` at it with
   ``--connect SOCKET`` to certify against the warm remote runtime instead
   of a cold local engine;
+* ``repro-antidote metrics [--connect SOCKET] [--format prometheus]`` — dump
+  the telemetry registry (:mod:`repro.telemetry`) of this process or of a
+  running daemon, as a JSON snapshot or Prometheus text exposition;
+  ``verify``/``certify``/``sweep`` additionally accept ``--metrics-json PATH``
+  (write the local registry after the command) and ``verify``/``certify``
+  accept ``--trace`` (enable span tracing on the local engine);
 * ``repro-antidote table1`` — regenerate Table 1;
 * ``repro-antidote figure6`` — regenerate the Figure 6 series;
 * ``repro-antidote figure <dataset>`` — regenerate the dataset's performance
@@ -73,6 +79,9 @@ from repro.poisoning.models import (
     RemovalPoisoningModel,
 )
 from repro.runtime import CertificationCache, CertificationRuntime
+from repro.service.protocol import METRICS_VERSION
+from repro.telemetry import metrics as telemetry_metrics
+from repro.telemetry import tracing
 from repro.utils.tables import TextTable
 from repro.utils.timing import Stopwatch
 
@@ -99,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--connect", default=None, metavar="SOCKET",
                         help="certify through a running `repro-antidote serve` "
                         "daemon instead of a local engine")
+    verify.add_argument("--trace", action="store_true",
+                        help="enable span tracing and print the wall-time "
+                        "trace tree (local engine only)")
+    verify.add_argument("--metrics-json", default=None, metavar="PATH",
+                        help="write this process's telemetry snapshot as JSON "
+                        "after the command")
 
     certify = subparsers.add_parser(
         "certify", help="batch-certify test points against a threat model"
@@ -151,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "daemon (the server owns cache and parallelism; "
                          "incompatible with --cache-dir/--resume/"
                          "--max-new-points)")
+    certify.add_argument("--trace", action="store_true",
+                         help="enable span tracing; the report's runtime_stats "
+                         "carries the wall-time trace tree (local engine only)")
+    certify.add_argument("--metrics-json", default=None, metavar="PATH",
+                         help="write this process's telemetry snapshot as JSON "
+                         "after the command")
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -199,6 +220,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="probe through a running `repro-antidote serve` "
                        "daemon (its cache answers repeat probes; "
                        "incompatible with --cache-dir)")
+    sweep.add_argument("--metrics-json", default=None, metavar="PATH",
+                       help="write this process's telemetry snapshot as JSON "
+                       "after the command")
+
+    metrics_cmd = subparsers.add_parser(
+        "metrics",
+        help="dump a telemetry registry (this process's, or a daemon's via "
+        "--connect)",
+    )
+    metrics_cmd.add_argument("--connect", default=None, metavar="SOCKET",
+                             help="fetch the registry of a running "
+                             "`repro-antidote serve` daemon through the "
+                             "versioned `metrics` op (default: the — mostly "
+                             "empty — local process registry)")
+    metrics_cmd.add_argument("--format", choices=("json", "prometheus"),
+                             default="json",
+                             help="json snapshot (default) or Prometheus text "
+                             "exposition")
+    metrics_cmd.add_argument("--json", default=None, metavar="PATH",
+                             help="also write the output to PATH")
 
     cache = subparsers.add_parser(
         "cache", help="inspect, clear, or garbage-collect a certification cache"
@@ -325,7 +366,12 @@ def _command_verify(args: argparse.Namespace) -> int:
         engine = CertificationEngine(
             max_depth=args.depth, domain=args.domain, timeout_seconds=args.timeout
         )
-        result = engine.certify_point(split.train, split.test.X[args.point], args.n)
+        with tracing.span("cli.verify") as trace_root:
+            result = engine.certify_point(
+                split.train, split.test.X[args.point], args.n
+            )
+        if trace_root is not None:
+            print(trace_root.render(), file=sys.stderr)
     print(split.describe())
     print(f"test point #{args.point}: {result.describe()}")
     if result.is_certified:
@@ -397,19 +443,24 @@ def _command_certify(args: argparse.Namespace) -> int:
 
     watch = Stopwatch().start()
     results = []
-    for index, result in enumerate(
-        engine.certify_stream(request, n_jobs=args.n_jobs)
-    ):
-        results.append(result)
-        if not args.quiet:
-            print(f"  point {index:3d}: {result.describe()}")
+    with tracing.span("cli.certify") as trace_root:
+        for index, result in enumerate(
+            engine.certify_stream(request, n_jobs=args.n_jobs)
+        ):
+            results.append(result)
+            if not args.quiet:
+                print(f"  point {index:3d}: {result.describe()}")
     batch_stats = runtime.last_batch_stats if runtime is not None else None
+    runtime_stats = None if batch_stats is None else batch_stats.snapshot()
+    if trace_root is not None:
+        runtime_stats = dict(runtime_stats or {})
+        runtime_stats["trace"] = trace_root.to_dict()
     report = CertificationReport(
         results=results,
         model_description=model.describe(),
         dataset_name=split.train.name,
         total_seconds=watch.elapsed(),
-        runtime_stats=None if batch_stats is None else batch_stats.snapshot(),
+        runtime_stats=runtime_stats,
     )
     print()
     print(report.render())
@@ -792,6 +843,34 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_metrics(args: argparse.Namespace) -> int:
+    if args.connect:
+        from repro.service import CertificationClient
+
+        with CertificationClient(args.connect) as client:
+            payload = client.metrics(format=args.format)
+        if args.format == "prometheus":
+            text = str(payload.get("prometheus", ""))
+        else:
+            text = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        registry = telemetry_metrics.get_registry()
+        if args.format == "prometheus":
+            text = registry.to_prometheus()
+        else:
+            payload = {
+                "metrics_version": METRICS_VERSION,
+                "format": args.format,
+                "metrics": registry.snapshot(),
+            }
+            text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.json:
+        Path(args.json).write_text(text + "\n", encoding="utf-8")
+        print(f"[metrics written to {args.json}]", file=sys.stderr)
+    return 0
+
+
 def _command_table1(args: argparse.Namespace) -> int:
     config = _experiment_config(args)
     rows = compute_table1(config)
@@ -829,6 +908,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "cache": _command_cache,
     "serve": _command_serve,
+    "metrics": _command_metrics,
     "table1": _command_table1,
     "figure6": _command_figure6,
     "figure": _command_figure,
@@ -840,7 +920,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    return _COMMANDS[args.command](args)
+    if getattr(args, "trace", False):
+        tracing.enable_spans(True)
+    code = _COMMANDS[args.command](args)
+    metrics_path = getattr(args, "metrics_json", None)
+    if metrics_path:
+        Path(metrics_path).write_text(
+            telemetry_metrics.get_registry().snapshot_json(indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"[telemetry snapshot written to {metrics_path}]", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.dataset import Dataset, FeatureKind
 from repro.core.impurity import split_score
 from repro.core.predicates import EqualityPredicate, Predicate, ThresholdPredicate
+from repro.telemetry import profiling
 
 
 @dataclass(frozen=True)
@@ -81,6 +82,13 @@ def feature_split_table(
     the feature, so every candidate splits the data non-trivially by
     construction.  The table is empty when the feature is constant.
     """
+    with profiling.phase("split_table"):
+        return _feature_split_table(X, y, feature, n_classes)
+
+
+def _feature_split_table(
+    X: np.ndarray, y: np.ndarray, feature: int, n_classes: int
+) -> FeatureSplitTable:
     values = np.asarray(X)[:, feature]
     labels = np.asarray(y)
     order = np.argsort(values, kind="stable")

@@ -46,7 +46,24 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from repro.runtime.fingerprint import BudgetKey
+from repro.telemetry import metrics
 from repro.verify.result import VerificationResult, VerificationStatus
+
+#: Latency of the cache's sqlite operations, by operation.  Lookups are the
+#: warm serving path's dominant cost, so this is the histogram to watch when
+#: tuning chunk sizes or WAL settings.
+_SQLITE_SECONDS = metrics.histogram(
+    "cache_sqlite_seconds",
+    "Wall seconds per verdict-cache sqlite operation.",
+    labelnames=("op",),
+)
+_SQLITE_LOOKUP = _SQLITE_SECONDS.labels(op="lookup")
+_SQLITE_STORE = _SQLITE_SECONDS.labels(op="store")
+_SQLITE_COMMIT = _SQLITE_SECONDS.labels(op="commit")
+_SQLITE_GC = _SQLITE_SECONDS.labels(op="gc")
+_GC_EVICTED = metrics.counter(
+    "cache_gc_evicted_total", "Verdicts evicted by cache garbage collection."
+)
 
 #: Statuses that are environment-independent facts about the proof problem.
 #: Shared with the run journal: neither layer may persist a timeout or a
@@ -235,6 +252,24 @@ class CertificationCache:
         verdict is never derived across non-nested ``(n_remove, n_flip)``
         pairs — both components must point the same (sound) way.
         """
+        started = time.perf_counter()
+        try:
+            return self._lookup(
+                dataset_fp, point_digest, family, engine_key, budget, monotone=monotone
+            )
+        finally:
+            _SQLITE_LOOKUP.observe(time.perf_counter() - started)
+
+    def _lookup(
+        self,
+        dataset_fp: str,
+        point_digest: str,
+        family: str,
+        engine_key: str,
+        budget: BudgetKey,
+        *,
+        monotone: bool,
+    ) -> Optional[CacheHit]:
         base = (dataset_fp, point_digest, family, engine_key)
         removals, flips = _budget_pair(budget)
         with self._lock:
@@ -315,6 +350,7 @@ class CertificationCache:
             return False
         removals, flips = _budget_pair(budget)
         now = time.time()
+        started = time.perf_counter()
         with self._lock:
             self._db.execute(
                 "INSERT OR REPLACE INTO verdicts VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
@@ -333,14 +369,17 @@ class CertificationCache:
             )
             if commit:
                 self._db.commit()
+        _SQLITE_STORE.observe(time.perf_counter() - started)
         return True
 
     def commit(self) -> None:
         """Flush verdicts stored with ``commit=False`` (and recency stamps)."""
+        started = time.perf_counter()
         with self._lock:
             if self._connection is not None:
                 self._flush_touches()
                 self._connection.commit()
+        _SQLITE_COMMIT.observe(time.perf_counter() - started)
 
     # ------------------------------------------------------------ management
     def stats(self) -> dict:
@@ -451,19 +490,34 @@ class CertificationCache:
           surviving unknown row) answers nothing its dominator cannot, so its
           eviction costs zero future learner invocations.
 
-        Returns a summary dict (``evicted``, ``remaining``, byte sizes).
-        With no bound given this is a no-op that just reports current sizes.
+        Returns a summary dict (``evicted``, ``remaining``, byte sizes, and
+        ``repaired`` clock-skew stamps).  With no bound given this reports
+        current sizes (and still repairs skewed stamps).
         """
+        started = time.perf_counter()
         with self._lock:
             db = self._db
             self._flush_touches()
+            now = time.time()
+            # Recency stamps come from the wall clock, which can step
+            # backwards (NTP corrections, VM migrations).  A row stamped
+            # while the clock was ahead carries ``last_used > now`` — a
+            # negative age.  Left alone it sorts as the freshest row in the
+            # LRU order *forever*, so under entry/size pressure genuinely
+            # fresh verdicts get evicted as "oldest" while the ghost row
+            # survives every pass.  Clamp negative ages to zero before
+            # applying any bound; subsequent real hits stamp later times, so
+            # a repaired row ages normally from here.
+            repaired = db.execute(
+                "UPDATE verdicts SET last_used=? WHERE last_used>?", (now, now)
+            ).rowcount
             db.commit()
             size_before = self._logical_size()
             evicted = 0
             if max_age is not None:
                 cursor = db.execute(
                     "DELETE FROM verdicts WHERE last_used < ?",
-                    (time.time() - float(max_age),),
+                    (now - float(max_age),),
                 )
                 evicted += cursor.rowcount
             if max_entries is not None:
@@ -500,9 +554,13 @@ class CertificationCache:
                     size = self._logical_size()
             remaining = db.execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
             size_after = self._logical_size()
+        if evicted:
+            _GC_EVICTED.inc(evicted)
+        _SQLITE_GC.observe(time.perf_counter() - started)
         return {
             "evicted": int(evicted),
             "remaining": int(remaining),
+            "repaired": int(repaired),
             "size_bytes_before": int(size_before),
             "size_bytes_after": int(size_after),
         }

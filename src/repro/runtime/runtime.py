@@ -44,7 +44,24 @@ from repro.runtime.fingerprint import (
 )
 from repro.runtime.journal import RunJournal, run_id
 from repro.runtime.shm import DatasetStore, SharedDatasetHandle, default_store
+from repro.telemetry import metrics
 from repro.verify.result import VerificationResult
+
+_CACHE_LOOKUPS = metrics.counter(
+    "cache_lookups_total",
+    "Verdict-cache lookups by result (exact hit, monotone derivation, miss).",
+    labelnames=("result",),
+)
+_CACHE_HIT = _CACHE_LOOKUPS.labels(result="hit")
+_CACHE_MONOTONE = _CACHE_LOOKUPS.labels(result="monotone")
+_CACHE_MISS = _CACHE_LOOKUPS.labels(result="miss")
+_JOURNAL_RESTORED = metrics.counter(
+    "journal_restored_total", "Verdicts replayed from a resumable run journal."
+)
+_DEDUPLICATED = metrics.counter(
+    "runtime_deduplicated_total",
+    "Points answered by another point's work (in-batch dups + delivered leases).",
+)
 
 
 @dataclass
@@ -317,12 +334,14 @@ class CertificationRuntime:
                     log10_datasets,
                 )
                 stats.journal_restored += 1
+                _JOURNAL_RESTORED.inc()
                 if self.cache is not None:
                     store_chunked(digests[index], resolved[index])
                 continue
             if digests[index] in first_miss_for:
                 duplicate_of[index] = digests[index]
                 stats.deduplicated += 1
+                _DEDUPLICATED.inc()
                 continue
             if self.cache is not None:
                 hit = self.cache.lookup(
@@ -352,6 +371,14 @@ class CertificationRuntime:
         # Without a cache there is nothing to miss — only report cache
         # counters a persistent cache actually produced.
         stats.cache_misses = len(miss_indices) if self.cache is not None else 0
+        # One amortized increment per batch, not one per point: the lookup
+        # loop above is the warm hot path the <5% overhead budget guards.
+        if stats.cache_hits:
+            _CACHE_HIT.inc(stats.cache_hits)
+        if stats.cache_monotone_hits:
+            _CACHE_MONOTONE.inc(stats.cache_monotone_hits)
+        if stats.cache_misses:
+            _CACHE_MISS.inc(stats.cache_misses)
         # learner_invocations counts computed results as they arrive (below),
         # so an abandoned or failed stream does not overstate the work done.
 
@@ -441,8 +468,10 @@ class CertificationRuntime:
                 with self._stats_lock:
                     if hit.is_exact:
                         self.stats.cache_hits += 1
+                        _CACHE_HIT.inc()
                     else:
                         self.stats.cache_monotone_hits += 1
+                        _CACHE_MONOTONE.inc()
                 return self._adapt_hit(
                     hit, amount, flips, model.log10_num_neighbors(len(dataset))
                 )
@@ -452,6 +481,8 @@ class CertificationRuntime:
         with self._stats_lock:
             self.stats.cache_misses += 1
             self.stats.learner_invocations += 1
+        if self.cache is not None:
+            _CACHE_MISS.inc()
         # Per-operation accounting for sweeps: thread-local, so concurrent
         # requests on a shared runtime cannot inflate each other's counts.
         self._batch_local.op_invocations = self._op_invocations() + 1
@@ -639,6 +670,7 @@ class CertificationRuntime:
         """
         with self._stats_lock:
             self.stats.deduplicated += count
+        _DEDUPLICATED.inc(count)
 
     def __getstate__(self) -> dict:
         # Runtimes never travel to pool workers (the engine drops its

@@ -354,6 +354,15 @@ class CertificationClient:
         """Server-level counters: uptime, engines, scheduler coalescing."""
         return self._call("stats")
 
+    def metrics(self, *, format: str = "json") -> dict:
+        """The server process's telemetry registry (the ``metrics`` op).
+
+        ``format="json"`` returns ``{"metrics_version", "metrics": {...}}``;
+        ``format="prometheus"`` returns the text exposition under a
+        ``"prometheus"`` key instead.
+        """
+        return self._call("metrics", {"format": format})
+
     def shutdown(self) -> dict:
         """Ask the server to stop serving (it answers before stopping)."""
         return self._call("shutdown")

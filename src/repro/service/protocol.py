@@ -20,6 +20,15 @@ few bytes cross the socket) or **inline** (``{"inline": {...}}`` — full
 arrays for datasets the server has never seen).  Threat models and engine
 configurations have small explicit wire forms; predicate pools are not
 representable over the wire.
+
+The ``metrics`` op exposes the server process's telemetry registry
+(:mod:`repro.telemetry`).  Its payload carries its own
+:data:`METRICS_VERSION` — the snapshot schema can evolve (new metric
+families, new labels) without a protocol bump, since additions are
+backwards-compatible; the version only moves when existing fields change
+meaning.  ``params = {"format": "json" | "prometheus"}``; the Prometheus
+form is the standard text exposition, relayed verbatim by
+``repro metrics --connect --format prometheus`` for scrape sidecars.
 """
 
 from __future__ import annotations
@@ -42,6 +51,9 @@ from repro.poisoning.models import (
 #: Version of the framing + operation vocabulary.  Bumped on incompatible
 #: changes; servers reject hellos from a different major version.
 PROTOCOL_VERSION = 1
+
+#: Version of the ``metrics`` op's snapshot schema (see module docstring).
+METRICS_VERSION = 1
 
 #: Hard bound on one frame (64 MiB): large enough for an inline MNIST-scale
 #: dataset, small enough that a garbage byte stream cannot balloon memory.

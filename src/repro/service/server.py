@@ -34,7 +34,7 @@ import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from repro.core.dataset import Dataset
 from repro.runtime.fingerprint import fingerprint_dataset
 from repro.runtime.runtime import CertificationRuntime
 from repro.service.protocol import (
+    METRICS_VERSION,
     PROTOCOL_VERSION,
     ProtocolError,
     dataset_from_wire,
@@ -54,7 +55,17 @@ from repro.service.protocol import (
     model_from_wire,
     read_frame,
 )
+from repro.telemetry import metrics
 from repro.utils.validation import ValidationError
+
+_OP_REQUESTS = metrics.counter(
+    "server_requests_total", "Protocol operations served.", labelnames=("op",)
+)
+_OP_SECONDS = metrics.histogram(
+    "server_op_seconds",
+    "Wall seconds per protocol operation (request frame to response frame).",
+    labelnames=("op",),
+)
 
 
 class _ThreadingUnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
@@ -166,7 +177,9 @@ class CertificationServer:
         self._lock = threading.Lock()
         self._server: Optional[_ThreadingUnixServer] = None
         self._serve_thread: Optional[threading.Thread] = None
-        self._started_at = time.time()
+        # Monotonic, not wall clock: uptime must never go negative or jump
+        # when NTP steps the system clock.
+        self._started_at = time.monotonic()
         self.requests_served = 0
         # Operations currently executing on handler threads.  close() drains
         # this before closing the cache: handler threads are daemonic (an
@@ -204,7 +217,7 @@ class CertificationServer:
         server = _ThreadingUnixServer(str(self.socket_path), _ClientHandler)
         server.certification_server = self
         self._server = server
-        self._started_at = time.time()
+        self._started_at = time.monotonic()
 
     def _remove_stale_socket(self) -> None:
         if not self.socket_path.exists():
@@ -292,9 +305,12 @@ class CertificationServer:
         with self._lock:
             self.requests_served += 1
             self._active_ops += 1
+        _OP_REQUESTS.inc(op=op)
+        started = time.perf_counter()
         try:
             return handler(self, params)
         finally:
+            _OP_SECONDS.observe(time.perf_counter() - started, op=op)
             with self._lock:
                 self._active_ops -= 1
 
@@ -314,7 +330,7 @@ class CertificationServer:
 
     def _op_ping(self, params: dict) -> dict:
         del params
-        return {"pong": True, "uptime_seconds": time.time() - self._started_at}
+        return {"pong": True, "uptime_seconds": time.monotonic() - self._started_at}
 
     def _op_certify(self, params: dict) -> dict:
         engine, request, n_jobs = self._decode_certify(params)
@@ -415,12 +431,34 @@ class CertificationServer:
                 for key, engine in self._engines.items()
             ]
         return {
-            "uptime_seconds": time.time() - self._started_at,
+            "uptime_seconds": time.monotonic() - self._started_at,
             "requests_served": self.requests_served,
             "datasets_resident": len(self._datasets),
             "runtime": self.runtime.stats.snapshot(),
             "engines": engines,
+            "metrics": metrics.get_registry().snapshot(),
         }
+
+    def _op_metrics(self, params: dict) -> dict:
+        """The versioned telemetry op: the server process's metrics registry.
+
+        ``format="json"`` (default) returns the structured snapshot;
+        ``format="prometheus"`` returns the text exposition, which the CLI's
+        ``repro metrics --connect`` relays verbatim so a scrape sidecar needs
+        no knowledge of the snapshot schema.
+        """
+        fmt = str(params.get("format", "json"))
+        registry = metrics.get_registry()
+        payload = {"metrics_version": METRICS_VERSION, "format": fmt}
+        if fmt == "prometheus":
+            payload["prometheus"] = registry.to_prometheus()
+        elif fmt == "json":
+            payload["metrics"] = registry.snapshot()
+        else:
+            raise ProtocolError(
+                f"unknown metrics format {fmt!r}; use 'json' or 'prometheus'"
+            )
+        return payload
 
     _OPS = {
         "hello": _op_hello,
@@ -432,6 +470,7 @@ class CertificationServer:
         "cache_stats": _op_cache_stats,
         "cache_gc": _op_cache_gc,
         "stats": _op_stats,
+        "metrics": _op_metrics,
     }
 
     # ------------------------------------------------------------- streaming
@@ -441,12 +480,15 @@ class CertificationServer:
         with self._lock:
             self.requests_served += 1
             self._active_ops += 1
+        _OP_REQUESTS.inc(op="certify_stream")
+        started = time.perf_counter()
         try:
             for index, result in enumerate(
                 engine.certify_stream(request, n_jobs=n_jobs)
             ):
                 yield index, result
         finally:
+            _OP_SECONDS.observe(time.perf_counter() - started, op="certify_stream")
             with self._lock:
                 self._active_ops -= 1
 

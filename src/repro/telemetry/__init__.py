@@ -1,0 +1,64 @@
+"""Observability for the certification stack: metrics, spans, and profiling.
+
+Three cooperating pieces (see the per-module docstrings for design details):
+
+* :mod:`repro.telemetry.metrics` — a process-wide :class:`MetricsRegistry`
+  of thread-safe counters, gauges, and fixed-bucket histograms with labeled
+  series, exportable as a JSON snapshot or Prometheus text exposition.
+  Counters are always on (cheap enough for the warm path) unless the
+  registry is disabled with :func:`set_enabled` or ``REPRO_TELEMETRY=0``.
+* :mod:`repro.telemetry.tracing` — a nestable, thread-safe span tracer.
+  Opt-in via :func:`enable_spans` or ``REPRO_TELEMETRY_SPANS=1``; traced
+  requests attach their tree to ``CertificationReport.runtime_stats["trace"]``.
+* :mod:`repro.telemetry.profiling` — ladder-stage × transformer-phase wall
+  time attribution hooks used by the cold abstract-learner loops.
+
+The daemon serves the registry through the versioned ``metrics`` protocol
+op; the CLI exposes it via ``repro metrics`` and ``--metrics-json PATH``.
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    enabled,
+    gauge,
+    get_registry,
+    histogram,
+    series_value,
+    set_enabled,
+)
+from repro.telemetry.tracing import (
+    SpanNode,
+    clear_completed,
+    completed_roots,
+    enable_spans,
+    find_span,
+    span,
+    spans_enabled,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanNode",
+    "clear_completed",
+    "completed_roots",
+    "counter",
+    "enable_spans",
+    "enabled",
+    "find_span",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "series_value",
+    "set_enabled",
+    "span",
+    "spans_enabled",
+]

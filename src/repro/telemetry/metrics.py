@@ -1,0 +1,499 @@
+"""Process-wide metrics registry: counters, gauges, and histograms.
+
+The registry is the always-on half of the telemetry subsystem: counter
+increments and histogram observations are a dict lookup plus a locked float
+add, cheap enough to leave enabled on the warm serving path (the paired
+``benchmarks/bench_telemetry.py`` keeps the overhead under 5%).  Span tracing,
+the expensive half, lives in :mod:`repro.telemetry.tracing` and is opt-in.
+
+Metrics are *labeled series*: one metric family (say
+``cache_lookups_total``) owns one series per distinct label value combination
+(``result="hit"``, ``result="miss"``, ...).  Hot call sites bind their labels
+once at import time (:meth:`Counter.labels`) so the per-event cost is a single
+lock/add.
+
+Two export formats are supported:
+
+* :meth:`MetricsRegistry.snapshot` — a JSON-safe dict, served by the daemon's
+  ``metrics`` op and written by the CLI's ``--metrics-json``;
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text exposition
+  format (version 0.0.4), so a scraper can poll the daemon directly.
+
+Everything here is standard library only and safe to import from pool
+workers; each process has its own registry (a worker's counters die with the
+worker — per-process attribution is a documented limitation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "set_enabled",
+    "enabled",
+]
+
+LabelValues = Tuple[str, ...]
+
+#: Default latency buckets (seconds).  They span sub-millisecond sqlite ops
+#: up to the minutes-long cold disjunctive runs of the paper's evaluation.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    300.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects (ints stay ints)."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labelnames: Sequence[str], labelvalues: LabelValues) -> str:
+    if not labelnames:
+        return ""
+    escaped = (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        for value in labelvalues
+    )
+    pairs = ",".join(f'{name}="{value}"' for name, value in zip(labelnames, escaped))
+    return "{" + pairs + "}"
+
+
+class _Metric:
+    """Base class for one metric family (shared bookkeeping)."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, registry: "MetricsRegistry", name: str, help: str, labelnames: Sequence[str]
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._series: Dict[LabelValues, object] = {}
+        if not self.labelnames:
+            # Unlabeled families expose their single series eagerly so a
+            # snapshot shows 0 rather than an absent metric.
+            self._series[()] = self._new_series()
+
+    # -- subclass hooks ----------------------------------------------------
+    def _new_series(self) -> object:
+        raise NotImplementedError
+
+    def _series_snapshot(self, state: object) -> dict:
+        raise NotImplementedError
+
+    def _series_exposition(self, labelvalues: LabelValues, state: object) -> List[str]:
+        raise NotImplementedError
+
+    # -- shared API --------------------------------------------------------
+    def _resolve(self, labels: Mapping[str, str]) -> LabelValues:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _state(self, labelvalues: LabelValues) -> object:
+        state = self._series.get(labelvalues)
+        if state is None:
+            with self._lock:
+                state = self._series.setdefault(labelvalues, self._new_series())
+        return state
+
+    def clear(self) -> None:
+        with self._lock:
+            self._series.clear()
+            if not self.labelnames:
+                self._series[()] = self._new_series()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            series = [
+                {
+                    "labels": dict(zip(self.labelnames, labelvalues)),
+                    **self._series_snapshot(state),
+                }
+                for labelvalues, state in sorted(self._series.items())
+            ]
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": series,
+        }
+
+    def exposition(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        with self._lock:
+            for labelvalues, state in sorted(self._series.items()):
+                lines.extend(self._series_exposition(labelvalues, state))
+        return lines
+
+
+class _ScalarSeries:
+    __slots__ = ("value", "lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.lock = threading.Lock()
+
+
+class Counter(_Metric):
+    """A monotonically increasing counter (optionally labeled)."""
+
+    kind = "counter"
+
+    def _new_series(self) -> _ScalarSeries:
+        return _ScalarSeries()
+
+    def labels(self, **labels: str) -> "BoundCounter":
+        return BoundCounter(self, self._state(self._resolve(labels)))
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if not self._registry._enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        state = self._state(self._resolve(labels))
+        with state.lock:
+            state.value += amount
+
+    def value(self, **labels: str) -> float:
+        state = self._series.get(self._resolve(labels))
+        return 0.0 if state is None else state.value
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(state.value for state in self._series.values())
+
+    def _series_snapshot(self, state: _ScalarSeries) -> dict:
+        return {"value": state.value}
+
+    def _series_exposition(self, labelvalues: LabelValues, state: _ScalarSeries) -> List[str]:
+        labels = _format_labels(self.labelnames, labelvalues)
+        return [f"{self.name}{labels} {_format_value(state.value)}"]
+
+
+class BoundCounter:
+    """A counter series with its labels pre-resolved (hot-path helper)."""
+
+    __slots__ = ("_metric", "_state")
+
+    def __init__(self, metric: Counter, state: _ScalarSeries) -> None:
+        self._metric = metric
+        self._state = state
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._metric._registry._enabled:
+            return
+        state = self._state
+        with state.lock:
+            state.value += amount
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (pool sizes, in-flight counts)."""
+
+    kind = "gauge"
+
+    def _new_series(self) -> _ScalarSeries:
+        return _ScalarSeries()
+
+    def set(self, value: float, **labels: str) -> None:
+        if not self._registry._enabled:
+            return
+        state = self._state(self._resolve(labels))
+        with state.lock:
+            state.value = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if not self._registry._enabled:
+            return
+        state = self._state(self._resolve(labels))
+        with state.lock:
+            state.value += amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        state = self._series.get(self._resolve(labels))
+        return 0.0 if state is None else state.value
+
+    def _series_snapshot(self, state: _ScalarSeries) -> dict:
+        return {"value": state.value}
+
+    def _series_exposition(self, labelvalues: LabelValues, state: _ScalarSeries) -> List[str]:
+        labels = _format_labels(self.labelnames, labelvalues)
+        return [f"{self.name}{labels} {_format_value(state.value)}"]
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "sum", "count", "lock")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+        self.lock = threading.Lock()
+
+
+class Histogram(_Metric):
+    """A fixed-bucket histogram of observed values (typically seconds)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        super().__init__(registry, name, help, labelnames)
+
+    def _new_series(self) -> _HistogramSeries:
+        return _HistogramSeries(len(self.buckets))
+
+    def labels(self, **labels: str) -> "BoundHistogram":
+        return BoundHistogram(self, self._state(self._resolve(labels)))
+
+    def observe(self, value: float, **labels: str) -> None:
+        if not self._registry._enabled:
+            return
+        state = self._state(self._resolve(labels))
+        index = bisect_left(self.buckets, value)
+        with state.lock:
+            state.counts[index] += 1
+            state.sum += value
+            state.count += 1
+
+    def _series_snapshot(self, state: _HistogramSeries) -> dict:
+        cumulative = 0
+        buckets = {}
+        for bound, count in zip(self.buckets, state.counts):
+            cumulative += count
+            buckets[repr(bound)] = cumulative
+        buckets["+Inf"] = state.count
+        return {"count": state.count, "sum": state.sum, "buckets": buckets}
+
+    def _series_exposition(
+        self, labelvalues: LabelValues, state: _HistogramSeries
+    ) -> List[str]:
+        lines = []
+        cumulative = 0
+        for bound, count in zip(self.buckets, state.counts):
+            cumulative += count
+            labels = _format_labels(
+                self.labelnames + ("le",), labelvalues + (repr(bound),)
+            )
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+        labels = _format_labels(self.labelnames + ("le",), labelvalues + ("+Inf",))
+        lines.append(f"{self.name}_bucket{labels} {state.count}")
+        plain = _format_labels(self.labelnames, labelvalues)
+        lines.append(f"{self.name}_sum{plain} {_format_value(state.sum)}")
+        lines.append(f"{self.name}_count{plain} {state.count}")
+        return lines
+
+
+class BoundHistogram:
+    """A histogram series with its labels pre-resolved (hot-path helper)."""
+
+    __slots__ = ("_metric", "_state")
+
+    def __init__(self, metric: Histogram, state: _HistogramSeries) -> None:
+        self._metric = metric
+        self._state = state
+
+    def observe(self, value: float) -> None:
+        metric = self._metric
+        if not metric._registry._enabled:
+            return
+        state = self._state
+        index = bisect_left(metric.buckets, value)
+        with state.lock:
+            state.counts[index] += 1
+            state.sum += value
+            state.count += 1
+
+
+class MetricsRegistry:
+    """A named collection of metric families, one per process by default.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: instrumented
+    modules can each ask for the same family and share its series.  The
+    registry can be globally disabled (``set_enabled(False)``) to measure the
+    zero-telemetry baseline; disabled increments are a single attribute check.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, _Metric]" = {}
+        self._enabled = os.environ.get("REPRO_TELEMETRY", "1") != "0"
+
+    # -- registration ------------------------------------------------------
+    def _register(self, cls: type, name: str, **kwargs: object) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                labelnames = tuple(kwargs.get("labelnames", ()))
+                if labelnames != existing.labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}, requested {labelnames}"
+                    )
+                return existing
+            metric = cls(self, name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help=help, labelnames=labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help=help, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help=help, labelnames=labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    # -- enablement --------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def set_enabled(self, enabled: bool) -> None:
+        self._enabled = bool(enabled)
+
+    def reset(self) -> None:
+        """Zero every series (registrations survive).  Intended for tests."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.clear()
+
+    # -- export ------------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """A JSON-safe dict: ``{metric_name: {type, help, labelnames, series}}``."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in metrics}
+
+    def snapshot_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (content type text/plain)."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        lines: List[str] = []
+        for _, metric in metrics:
+            lines.extend(metric.exposition())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def counter(name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+    return _REGISTRY.counter(name, help=help, labelnames=labelnames)
+
+
+def gauge(name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+    return _REGISTRY.gauge(name, help=help, labelnames=labelnames)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    labelnames: Sequence[str] = (),
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+) -> Histogram:
+    return _REGISTRY.histogram(name, help=help, labelnames=labelnames, buckets=buckets)
+
+
+def set_enabled(enabled: bool) -> None:
+    _REGISTRY.set_enabled(enabled)
+
+
+def enabled() -> bool:
+    return _REGISTRY.enabled
+
+
+def series_value(
+    snapshot: Mapping[str, dict], name: str, **labels: str
+) -> Union[float, int]:
+    """Read one series value out of a :meth:`MetricsRegistry.snapshot` dict.
+
+    Convenience for tests and CI assertions: returns 0 when the metric or
+    series is absent; for histograms returns the observation count.
+    """
+    family = snapshot.get(name)
+    if family is None:
+        return 0
+    for series in family.get("series", []):
+        if series.get("labels", {}) == labels:
+            if family.get("type") == "histogram":
+                return series.get("count", 0)
+            return series.get("value", 0)
+    return 0

@@ -1,0 +1,170 @@
+"""Lightweight span tracing: nestable, thread-safe wall-time attribution.
+
+Spans answer the question counters cannot: *where inside one request did the
+time go?*  A traced certification run produces a tree like::
+
+    engine.verify                      2.41s
+      engine.certify_one               0.55s
+        ladder.box                     0.12s
+          transformer.best_split       0.08s
+            splitter.split_table       0.05s
+          transformer.filter           0.01s
+        ladder.disjuncts               0.43s
+          ...
+
+Tracing is **opt-in** (:func:`enable_spans`, or the environment variable
+``REPRO_TELEMETRY_SPANS=1``) because span bookkeeping costs a few
+microseconds per span — negligible on the ~2 s/point cold path it is meant to
+diagnose, but pure overhead on the warm cache-served path.  When disabled,
+:func:`span` is a single module-flag check that yields ``None``.
+
+Design notes:
+
+* Span stacks are **thread-local**, so concurrent batches on scheduler or
+  server threads never corrupt each other's trees.
+* A span opened with no enclosing span becomes a *root*; finished roots are
+  kept in a bounded process-wide deque (:func:`completed_roots`) so tests and
+  diagnostics can observe spans stamped on worker threads they do not own.
+* Process-pool workers trace into their own process's deque; their spans are
+  not visible to the parent (documented limitation — use serial ``n_jobs=1``
+  runs for full traces, which is also where cold-path attribution matters).
+* :meth:`SpanNode.to_dict` is JSON-safe, so the engine can attach a trace
+  tree to ``CertificationReport.runtime_stats["trace"]``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Deque, Iterator, List, Optional
+
+__all__ = [
+    "SpanNode",
+    "span",
+    "enable_spans",
+    "spans_enabled",
+    "completed_roots",
+    "clear_completed",
+    "find_span",
+]
+
+_MAX_COMPLETED_ROOTS = 64
+
+_enabled = os.environ.get("REPRO_TELEMETRY_SPANS", "0") not in ("0", "")
+_local = threading.local()
+_completed_lock = threading.Lock()
+_completed: Deque["SpanNode"] = deque(maxlen=_MAX_COMPLETED_ROOTS)
+
+
+class SpanNode:
+    """One timed region; ``children`` are the spans opened while it was open."""
+
+    __slots__ = ("name", "duration", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.duration: float = 0.0
+        self.children: List["SpanNode"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanNode({self.name!r}, {self.duration:.6f}s, {len(self.children)} children)"
+
+    def to_dict(self) -> dict:
+        """JSON-safe tree form (attached to ``runtime_stats['trace']``)."""
+        return {
+            "name": self.name,
+            "duration_seconds": self.duration,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def walk(self) -> Iterator["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def attributed_fraction(self) -> float:
+        """Fraction of this span's wall time covered by its child spans.
+
+        The acceptance metric for "no big untracked residual": a well
+        instrumented cold run keeps the root's fraction above 0.8.
+        """
+        if self.duration <= 0.0:
+            return 1.0
+        covered = sum(child.duration for child in self.children)
+        return min(1.0, covered / self.duration)
+
+    def render(self, indent: int = 0) -> str:
+        """A human-readable tree (used by ``repro metrics``-style debugging)."""
+        lines = [f"{'  ' * indent}{self.name:<40s} {self.duration * 1000.0:10.3f} ms"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def enable_spans(enabled: bool = True) -> None:
+    """Turn span tracing on or off process-wide."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+def spans_enabled() -> bool:
+    return _enabled
+
+
+def _stack() -> List[SpanNode]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+@contextmanager
+def span(name: str) -> Iterator[Optional[SpanNode]]:
+    """Time a region and attach it to the current thread's trace tree.
+
+    Yields the :class:`SpanNode` (its ``duration`` is final once the context
+    exits), or ``None`` when tracing is disabled — callers must not rely on
+    the node being present.
+    """
+    if not _enabled:
+        yield None
+        return
+    stack = _stack()
+    node = SpanNode(name)
+    parent = stack[-1] if stack else None
+    if parent is not None:
+        parent.children.append(node)
+    stack.append(node)
+    started = perf_counter()
+    try:
+        yield node
+    finally:
+        node.duration = perf_counter() - started
+        if stack and stack[-1] is node:
+            stack.pop()
+        if parent is None:
+            with _completed_lock:
+                _completed.append(node)
+
+
+def completed_roots() -> List[SpanNode]:
+    """Recently finished root spans, oldest first (bounded ring buffer)."""
+    with _completed_lock:
+        return list(_completed)
+
+
+def clear_completed() -> None:
+    with _completed_lock:
+        _completed.clear()
+
+
+def find_span(name: str) -> Optional[SpanNode]:
+    """Search completed roots (newest first) for a span with ``name``."""
+    for root in reversed(completed_roots()):
+        for node in root.walk():
+            if node.name == name:
+                return node
+    return None

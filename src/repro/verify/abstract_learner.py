@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.domains.interval import Interval, dominating_component, join_interval_vectors
 from repro.domains.predicate_set import AbstractPredicateSet
 from repro.domains.trainingset import AbstractTrainingSet
+from repro.telemetry import profiling
 from repro.utils.timing import TimeBudget
 from repro.verify.transformers import (
     best_split_abstract,
@@ -134,7 +135,8 @@ class BoxAbstractLearner:
 
             # --- conditional: φ = ⋄ --------------------------------------------
             if predicates.includes_null:
-                exits.append(cprob_intervals(state, self.cprob_method))
+                with profiling.phase("cprob_exit"):
+                    exits.append(cprob_intervals(state, self.cprob_method))
             predicates = predicates.without_null()
             if not predicates.has_concrete_choices:
                 state = None
@@ -144,7 +146,8 @@ class BoxAbstractLearner:
             state = filter_abstract(state, predicates, x)
 
         if state is not None:
-            exits.append(cprob_intervals(state, self.cprob_method))
+            with profiling.phase("cprob_exit"):
+                exits.append(cprob_intervals(state, self.cprob_method))
 
         intervals = self._join_exit_intervals(exits, trainset.dataset.n_classes)
         return AbstractRunResult(

@@ -47,6 +47,7 @@ from repro.core.splitter import feature_split_table
 from repro.domains.interval import Interval, mul_bounds
 from repro.domains.predicate_set import AbstractPredicateSet
 from repro.domains.trainingset import AbstractTrainingSet
+from repro.telemetry import profiling
 
 #: Tolerance used when comparing abstract scores; widening the comparison by a
 #: tiny epsilon can only *add* predicates to the returned set, which keeps the
@@ -157,13 +158,14 @@ def pure_exit_vector(
     joined point vectors of every feasible pure class directly — which is
     exactly the classification of those exits.
     """
-    pure_exits = getattr(trainset, "pure_exit_intervals", None)
-    if pure_exits is not None:
-        return pure_exits()
-    restricted = trainset.restrict_pure_any()
-    if restricted is None:
-        return None
-    return cprob_intervals(restricted, method)
+    with profiling.phase("pure_exit"):
+        pure_exits = getattr(trainset, "pure_exit_intervals", None)
+        if pure_exits is not None:
+            return pure_exits()
+        restricted = trainset.restrict_pure_any()
+        if restricted is None:
+            return None
+        return cprob_intervals(restricted, method)
 
 
 def entropy_is_definitely_zero(
@@ -188,22 +190,23 @@ def filter_abstract(
     Returns ``None`` (bottom) when no predicate applies, which can only happen
     when ``Ψ`` contains no concrete choices.
     """
-    satisfied, falsified = predicates.partition_for_point(x)
-    pieces: List[AbstractTrainingSet] = []
-    for predicate in satisfied:
-        pieces.append(trainset.split_down(predicate, True))
-    for predicate in falsified:
-        pieces.append(trainset.split_down(predicate, False))
-    # An abstractly empty side means no concrete run can take that branch with
-    # that predicate (a non-trivial split needs both sides non-empty), so such
-    # pieces are identity elements for the join, exactly as in Example 4.8.
-    pieces = [piece for piece in pieces if piece.size > 0]
-    if not pieces:
-        return None
-    result = pieces[0]
-    for piece in pieces[1:]:
-        result = result.join(piece)
-    return result
+    with profiling.phase("filter"):
+        satisfied, falsified = predicates.partition_for_point(x)
+        pieces: List[AbstractTrainingSet] = []
+        for predicate in satisfied:
+            pieces.append(trainset.split_down(predicate, True))
+        for predicate in falsified:
+            pieces.append(trainset.split_down(predicate, False))
+        # An abstractly empty side means no concrete run can take that branch
+        # with that predicate (a non-trivial split needs both sides non-empty),
+        # so such pieces are identity elements for the join (Example 4.8).
+        pieces = [piece for piece in pieces if piece.size > 0]
+        if not pieces:
+            return None
+        result = pieces[0]
+        for piece in pieces[1:]:
+            result = result.join(piece)
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -366,6 +369,18 @@ def best_split_abstract(
     interval overlaps the minimal achievable score, plus ``⋄`` when some
     concretization might admit no non-trivial split at all.
     """
+    with profiling.phase("best_split"):
+        return _best_split_abstract(
+            trainset, method=method, predicate_pool=predicate_pool
+        )
+
+
+def _best_split_abstract(
+    trainset: AbstractTrainingSet,
+    *,
+    method: str,
+    predicate_pool: Optional[Sequence[Predicate]],
+) -> AbstractPredicateSet:
     flip_split = getattr(trainset, "abstract_best_split", None)
     if flip_split is not None:
         return flip_split(method=method, predicate_pool=predicate_pool)

@@ -250,6 +250,103 @@ class TestCrossBatchDedup:
         assert all(isinstance(r, VerificationResult) for r in results)
 
 
+class TestSchedulerTelemetry:
+    """Satellite: coalescing and lease fallbacks move the telemetry counters."""
+
+    def test_coalesced_lease_increments_counters(self):
+        from repro.telemetry import metrics
+        from repro.telemetry.metrics import series_value
+
+        engine = _engine()
+        dataset = well_separated_dataset()
+        request = CertificationRequest(dataset, POINTS, RemovalPoisoningModel(1))
+        scheduler = engine.scheduler
+
+        release = threading.Event()
+        started = threading.Event()
+        original = CertificationEngine._certify_one
+
+        def gated(self, ds, x, model, plan):
+            started.set()
+            assert release.wait(timeout=60)
+            return original(self, ds, x, model, plan)
+
+        engine._certify_one = gated.__get__(engine)
+        before = metrics.get_registry().snapshot()
+        first = scheduler.submit(request)
+        assert started.wait(timeout=60)
+        second = scheduler.submit(request)
+        for _ in range(600):
+            if scheduler.stats.coalesced >= 3:
+                break
+            threading.Event().wait(0.05)
+        release.set()
+        first.gather(timeout=120)
+        second.gather(timeout=120)
+        after = metrics.get_registry().snapshot()
+
+        def delta(name, **labels):
+            return series_value(after, name, **labels) - series_value(
+                before, name, **labels
+            )
+
+        assert delta("scheduler_batches_total") == 2
+        assert delta("scheduler_submitted_total") == 6
+        assert delta("scheduler_coalesced_total") == 3
+        # The three leases were satisfied by the owner: waits were recorded,
+        # no fallback was needed.
+        assert delta("scheduler_lease_wait_seconds") == 3
+        assert delta("scheduler_lease_fallback_total") == 0
+
+    def test_owner_failure_fallback_counts_and_stamps_a_span(self):
+        from repro.telemetry import metrics, tracing
+        from repro.telemetry.metrics import series_value
+
+        engine = _engine()
+        dataset = well_separated_dataset()
+        request = CertificationRequest(dataset, POINTS, RemovalPoisoningModel(1))
+        scheduler = engine.scheduler
+
+        release = threading.Event()
+        started = threading.Event()
+
+        def exploding_stream(*args, **kwargs):
+            started.set()
+            assert release.wait(timeout=60)
+            raise RuntimeError("owner died")
+            yield  # pragma: no cover - makes this a generator
+
+        engine._stream_rows = exploding_stream
+        tracing.clear_completed()
+        tracing.enable_spans(True)
+        before = metrics.get_registry().snapshot()
+        try:
+            doomed = scheduler.submit(request)
+            assert started.wait(timeout=60)
+            follower = scheduler.submit(request)
+            release.set()
+            with pytest.raises(RuntimeError, match="owner died"):
+                doomed.gather(timeout=120)
+            del engine._stream_rows
+            results = follower.gather(timeout=120)
+        finally:
+            tracing.enable_spans(False)
+        after = metrics.get_registry().snapshot()
+        assert len(results) == 3
+
+        def delta(name, **labels):
+            return series_value(after, name, **labels) - series_value(
+                before, name, **labels
+            )
+
+        # Every leased point fell back to a local certification.
+        assert delta("scheduler_lease_fallback_total") == 3
+        assert delta("scheduler_lease_wait_seconds") == 3
+        # The fallbacks ran on scheduler threads; their spans are observable
+        # through the completed-roots ring.
+        assert tracing.find_span("scheduler.lease_fallback") is not None
+
+
 class TestSchedulerBookkeeping:
     def test_inflight_table_empties_after_stream(self):
         engine = _engine()

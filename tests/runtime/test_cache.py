@@ -279,7 +279,42 @@ class TestGarbageCollection:
         summary = cache.gc()
         assert summary["evicted"] == 0
         assert summary["remaining"] == 1
+        assert summary["repaired"] == 0
         assert summary["size_bytes_after"] > 0
+
+    def test_clock_skew_ghost_rows_repaired_not_perpetually_fresh(self, cache):
+        """Satellite: a row stamped while the clock was ahead must not become
+        immortal.
+
+        A ``last_used`` in the future sorts as the freshest row in the LRU
+        order on every pass, so under ``max_entries`` pressure genuinely
+        fresh rows get evicted as "oldest" while the ghost survives.  ``gc``
+        clamps such stamps to *now* before applying any bound.
+        """
+        ghost = POINT
+        cache.store(FP, ghost, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST))
+        # Simulate a backwards clock step: the ghost's stamp is an hour ahead.
+        with cache._lock:
+            cache._db.execute(
+                "UPDATE verdicts SET last_used = last_used + 3600"
+            )
+            cache._db.commit()
+
+        # Pass 1 — repair only (no bounds).  The skewed stamp is clamped.
+        summary = cache.gc()
+        assert summary["repaired"] == 1
+        assert summary["evicted"] == 0
+
+        # Pass 2 — a row stored *after* the repair is genuinely fresher.
+        fresh = "e" * 64
+        cache.store(FP, fresh, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST))
+        summary = cache.gc(max_entries=1)
+        assert summary["evicted"] == 1
+        assert summary["repaired"] == 0
+        # Without the repair the ghost would have survived here and the
+        # fresh row would have been evicted as "oldest".
+        assert cache.lookup(FP, fresh, "removal", ENGINE, 2) is not None
+        assert cache.lookup(FP, ghost, "removal", ENGINE, 2) is None
 
     def test_recency_stamp_survives_reopen(self, cache, tmp_path):
         cache.store(FP, POINT, "removal", ENGINE, 2, _result(VerificationStatus.ROBUST))

@@ -200,6 +200,52 @@ class TestManagement:
         assert stats.learner_invocations == 6
 
 
+class TestMetricsOp:
+    """The versioned ``metrics`` op and per-op telemetry on the daemon."""
+
+    def test_json_snapshot_counts_server_requests(self, client):
+        from repro.service.protocol import METRICS_VERSION
+        from repro.telemetry.metrics import series_value
+
+        client.ping()
+        payload = client.metrics()
+        assert payload["metrics_version"] == METRICS_VERSION
+        assert payload["format"] == "json"
+        snapshot = payload["metrics"]
+        # The server and client share this process's registry in-test, but
+        # the `op`-labeled families are only incremented by the dispatcher.
+        assert series_value(snapshot, "server_requests_total", op="ping") >= 1
+        assert series_value(snapshot, "server_requests_total", op="metrics") >= 1
+        assert series_value(snapshot, "server_op_seconds", op="ping") >= 1
+
+    def test_prometheus_format(self, client):
+        payload = client.metrics(format="prometheus")
+        text = payload["prometheus"]
+        assert "# TYPE server_requests_total counter" in text
+        assert 'server_requests_total{op="hello"}' in text
+
+    def test_unknown_format_rejected(self, client):
+        with pytest.raises(RemoteError, match="format"):
+            client.metrics(format="xml")
+
+    def test_server_stats_surface_the_registry(self, client):
+        from repro.telemetry.metrics import series_value
+
+        dataset = well_separated_dataset()
+        client.certify_batch(dataset, POINTS, RemovalPoisoningModel(1))
+        stats = client.server_stats()
+        assert "metrics" in stats
+        assert (
+            series_value(stats["metrics"], "server_requests_total", op="certify_stream")
+            >= 1
+        )
+
+    def test_uptime_is_monotonic_and_nonnegative(self, client):
+        first = client.ping()["uptime_seconds"]
+        second = client.ping()["uptime_seconds"]
+        assert 0 <= first <= second
+
+
 class TestLifecycle:
     def test_shutdown_op_stops_the_server(self, tmp_path):
         server = CertificationServer(tmp_path / "s2")

@@ -1,0 +1,166 @@
+"""Tests for the process-wide metrics registry (counters/gauges/histograms)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    series_value,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        counter = registry.counter("requests_total", "Requests.")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5.0
+        assert counter.total() == 5.0
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("requests_total", "Requests.")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labeled_series_are_independent(self, registry):
+        counter = registry.counter("lookups_total", "Lookups.", ("result",))
+        counter.labels(result="hit").inc(3)
+        counter.labels(result="miss").inc()
+        assert counter.value(result="hit") == 3.0
+        assert counter.value(result="miss") == 1.0
+        assert counter.total() == 4.0
+
+    def test_inc_with_inline_labels(self, registry):
+        counter = registry.counter("ops_total", "Ops.", ("op",))
+        counter.inc(op="ping")
+        counter.inc(2, op="ping")
+        assert counter.value(op="ping") == 3.0
+
+    def test_wrong_labelnames_rejected(self, registry):
+        counter = registry.counter("lookups_total", "Lookups.", ("result",))
+        with pytest.raises(ValueError):
+            counter.labels(outcome="hit")
+
+    def test_unlabeled_family_snapshot_shows_zero(self, registry):
+        # Unlabeled families eagerly create their one series so a fresh
+        # registry still exposes them as 0 (CI asserts "zero invocations").
+        registry.counter("invocations_total", "Invocations.")
+        snap = registry.snapshot()
+        assert series_value(snap, "invocations_total") == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("active", "Active things.")
+        gauge.set(7)
+        gauge.dec(2)
+        gauge.inc()
+        assert gauge.value() == 6.0
+
+
+class TestHistogram:
+    def test_observe_counts_and_sums(self, registry):
+        hist = registry.histogram("seconds", "Durations.")
+        hist.observe(0.002)
+        hist.observe(30.0)
+        snap = registry.snapshot()["seconds"]
+        (series,) = snap["series"]
+        assert series["count"] == 2
+        assert series["sum"] == pytest.approx(30.002)
+
+    def test_buckets_are_cumulative_with_inf(self, registry):
+        hist = registry.histogram("seconds", "Durations.", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        (series,) = registry.snapshot()["seconds"]["series"]
+        assert series["buckets"] == {"0.1": 1, "1.0": 2, "+Inf": 3}
+
+    def test_labeled_histogram_bound_child(self, registry):
+        hist = registry.histogram("op_seconds", "Per-op.", ("op",))
+        bound = hist.labels(op="stats")
+        bound.observe(0.01)
+        bound.observe(0.02)
+        assert series_value(registry.snapshot(), "op_seconds", op="stats") == 2
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self, registry):
+        first = registry.counter("x_total", "X.")
+        second = registry.counter("x_total", "X.")
+        assert first is second
+
+    def test_type_mismatch_rejected(self, registry):
+        registry.counter("x_total", "X.")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "X.")
+
+    def test_labelnames_mismatch_rejected(self, registry):
+        registry.counter("x_total", "X.", ("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "X.", ("b",))
+
+    def test_disabled_registry_is_noop(self, registry):
+        counter = registry.counter("x_total", "X.")
+        registry.set_enabled(False)
+        counter.inc(10)
+        registry.set_enabled(True)
+        assert counter.value() == 0.0
+
+    def test_reset_clears_series_keeps_registrations(self, registry):
+        counter = registry.counter("x_total", "X.", ("k",))
+        counter.inc(k="v")
+        registry.reset()
+        assert counter.total() == 0.0
+        assert registry.counter("x_total", "X.", ("k",)) is counter
+
+    def test_snapshot_json_round_trips(self, registry):
+        registry.counter("x_total", "X.").inc(2)
+        payload = json.loads(registry.snapshot_json())
+        assert series_value(payload, "x_total") == 2.0
+
+    def test_prometheus_exposition(self, registry):
+        counter = registry.counter("lookups_total", "Cache lookups.", ("result",))
+        counter.inc(3, result="hit")
+        hist = registry.histogram("dur_seconds", "Durations.", buckets=(1.0,))
+        hist.observe(0.5)
+        text = registry.to_prometheus()
+        assert "# HELP lookups_total Cache lookups." in text
+        assert "# TYPE lookups_total counter" in text
+        assert 'lookups_total{result="hit"} 3' in text
+        assert "# TYPE dur_seconds histogram" in text
+        assert 'dur_seconds_bucket{le="1.0"} 1' in text
+        assert 'dur_seconds_bucket{le="+Inf"} 1' in text
+        assert "dur_seconds_sum 0.5" in text
+        assert "dur_seconds_count 1" in text
+
+    def test_series_value_missing_returns_zero(self, registry):
+        snap = registry.snapshot()
+        assert series_value(snap, "never_registered_total") == 0.0
+
+    def test_concurrent_increments_are_not_lost(self, registry):
+        counter = registry.counter("hot_total", "Hot.", ("k",))
+        bound = counter.labels(k="v")
+
+        def hammer():
+            for _ in range(1000):
+                bound.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(k="v") == 8000.0

@@ -1,0 +1,91 @@
+"""Tests for the opt-in span tracer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.telemetry import tracing
+
+
+@pytest.fixture
+def spans():
+    """Enable tracing for one test, restoring the disabled default after."""
+    tracing.clear_completed()
+    tracing.enable_spans(True)
+    yield
+    tracing.enable_spans(False)
+    tracing.clear_completed()
+
+
+class TestDisabled:
+    def test_span_yields_none(self):
+        assert not tracing.spans_enabled()
+        with tracing.span("anything") as node:
+            assert node is None
+
+    def test_no_roots_recorded(self):
+        tracing.clear_completed()
+        with tracing.span("anything"):
+            pass
+        assert tracing.completed_roots() == []
+
+
+class TestTree:
+    def test_nesting_builds_a_tree(self, spans):
+        with tracing.span("root") as root:
+            with tracing.span("child-a") as a:
+                with tracing.span("grandchild"):
+                    pass
+            with tracing.span("child-b"):
+                pass
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [c.name for c in a.children] == ["grandchild"]
+        assert root.duration >= a.duration >= 0.0
+
+    def test_root_lands_in_completed_ring(self, spans):
+        with tracing.span("the-root"):
+            with tracing.span("inner"):
+                pass
+        roots = tracing.completed_roots()
+        assert [r.name for r in roots] == ["the-root"]
+        assert tracing.find_span("inner") is not None
+        assert tracing.find_span("absent") is None
+
+    def test_to_dict_is_json_safe(self, spans):
+        with tracing.span("root") as root:
+            with tracing.span("child"):
+                pass
+        payload = root.to_dict()
+        assert payload["name"] == "root"
+        assert payload["duration_seconds"] == root.duration
+        assert payload["children"][0]["name"] == "child"
+        assert payload["children"][0]["children"] == []
+
+    def test_render_mentions_every_span(self, spans):
+        with tracing.span("root") as root:
+            with tracing.span("child"):
+                pass
+        text = root.render()
+        assert "root" in text and "child" in text and "ms" in text
+
+    def test_attributed_fraction(self, spans):
+        with tracing.span("root") as root:
+            with tracing.span("covered"):
+                time.sleep(0.02)
+        assert 0.5 < root.attributed_fraction() <= 1.0
+
+    def test_threads_get_independent_stacks(self, spans):
+        def worker():
+            with tracing.span("thread-root"):
+                with tracing.span("thread-child"):
+                    pass
+
+        with tracing.span("main-root") as main_root:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The worker's root must not have been adopted by the main root.
+        assert [c.name for c in main_root.children] == []
+        names = {r.name for r in tracing.completed_roots()}
+        assert names == {"main-root", "thread-root"}

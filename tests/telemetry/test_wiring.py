@@ -1,0 +1,112 @@
+"""Integration tests: the engine/runtime/service actually move the metrics."""
+
+import pytest
+
+from repro.api import CertificationEngine, CertificationRequest
+from repro.datasets.toy import figure2_dataset
+from repro.runtime import CertificationRuntime
+from repro.telemetry import metrics, tracing
+from repro.telemetry.metrics import series_value
+
+
+@pytest.fixture
+def registry():
+    return metrics.get_registry()
+
+
+def _delta(before, after, name, **labels):
+    return series_value(after, name, **labels) - series_value(before, name, **labels)
+
+
+class TestEngineWiring:
+    def test_cold_certify_counts_invocations_and_durations(self, registry):
+        engine = CertificationEngine(max_depth=1, domain="box")
+        before = registry.snapshot()
+        report = engine.verify(
+            CertificationRequest(figure2_dataset(), [[5.0], [9.0]], 1)
+        )
+        after = registry.snapshot()
+        assert report.total == 2
+        assert _delta(before, after, "learner_invocations_total") == 2
+        outcome = report.results[0].status.value
+        assert (
+            _delta(
+                before,
+                after,
+                "certify_seconds",
+                family="removal",
+                domain="box",
+                outcome=outcome,
+            )
+            >= 1
+        )
+
+    def test_traced_verify_attaches_trace_tree(self, registry):
+        engine = CertificationEngine(max_depth=1, domain="box")
+        tracing.enable_spans(True)
+        try:
+            report = engine.verify(
+                CertificationRequest(figure2_dataset(), [[5.0]], 1)
+            )
+        finally:
+            tracing.enable_spans(False)
+        trace = (report.runtime_stats or {}).get("trace")
+        assert trace is not None
+        assert trace["name"] == "engine.verify"
+        names = set()
+
+        def collect(node):
+            names.add(node["name"])
+            for child in node["children"]:
+                collect(child)
+
+        collect(trace)
+        assert "engine.certify_one" in names
+        assert "ladder.box" in names
+
+    def test_untraced_verify_attaches_no_trace(self):
+        engine = CertificationEngine(max_depth=1, domain="box")
+        report = engine.verify(CertificationRequest(figure2_dataset(), [[5.0]], 1))
+        assert "trace" not in (report.runtime_stats or {})
+
+    def test_cold_run_records_transformer_phases(self, registry):
+        engine = CertificationEngine(max_depth=1, domain="box")
+        before = registry.snapshot()
+        engine.certify_point(figure2_dataset(), [5.0], 1)
+        after = registry.snapshot()
+        for phase in ("pure_exit", "best_split", "filter", "split_table"):
+            assert (
+                _delta(
+                    before, after, "learner_phase_seconds", stage="box", phase=phase
+                )
+                >= 1
+            ), phase
+
+
+class TestRuntimeWiring:
+    def test_warm_run_counts_cache_hits(self, registry, tmp_path):
+        dataset = figure2_dataset()
+        request = CertificationRequest(dataset, [[5.0], [9.0]], 1)
+
+        cold_runtime = CertificationRuntime(tmp_path, shared_memory=False)
+        cold_engine = CertificationEngine(
+            max_depth=1, domain="box", runtime=cold_runtime
+        )
+        before_cold = registry.snapshot()
+        cold_engine.verify(request)
+        after_cold = registry.snapshot()
+        assert _delta(before_cold, after_cold, "cache_lookups_total", result="miss") == 2
+        assert _delta(before_cold, after_cold, "learner_invocations_total") == 2
+
+        warm_runtime = CertificationRuntime(tmp_path, shared_memory=False)
+        warm_engine = CertificationEngine(
+            max_depth=1, domain="box", runtime=warm_runtime
+        )
+        before_warm = registry.snapshot()
+        warm_engine.verify(request)
+        after_warm = registry.snapshot()
+        assert _delta(before_warm, after_warm, "cache_lookups_total", result="hit") == 2
+        assert _delta(before_warm, after_warm, "learner_invocations_total") == 0
+        # The sqlite histogram saw at least the lookups and the stores.
+        assert _delta(before_cold, after_warm, "cache_sqlite_seconds", op="lookup") >= 4
+        assert _delta(before_cold, after_cold, "cache_sqlite_seconds", op="store") >= 2
