@@ -11,6 +11,11 @@ Two claims are measured:
    stages and transformer phases), so a flame view has no large untracked
    residual.
 
+3. **Worker metric shipping is cheap**: in a pooled (``n_jobs=2``) cold
+   batch, the parent-side cost of folding worker delta snapshots
+   (``MetricsRegistry.merge_snapshot``, the ``worker_merge_seconds``
+   histogram) must stay under 5% of the pooled batch's wall time.
+
 Runs standalone (``PYTHONPATH=src python benchmarks/bench_telemetry.py``);
 artifacts are ``results/telemetry.txt`` (rendered table) and
 ``results/BENCH_telemetry.json`` (machine-readable, tracked across PRs).
@@ -34,9 +39,11 @@ from repro.utils.tables import TextTable
 
 ROWS = 512
 BATCH_POINTS = 64
+POOLED_POINTS = 16
 REPETITIONS = 9
 MAX_COUNTER_OVERHEAD = 0.05
 MIN_ATTRIBUTED_FRACTION = 0.8
+MAX_MERGE_FRACTION = 0.05
 
 
 def _dataset() -> Dataset:
@@ -138,6 +145,49 @@ def _walk(node: dict):
         yield from _walk(child)
 
 
+def bench_worker_merge() -> dict:
+    """Parent-side cost of merging worker metric deltas in a pooled batch.
+
+    Returns an empty dict when the platform cannot run a process pool, so
+    the benchmark degrades gracefully instead of failing on exotic CI.
+    """
+    dataset = _dataset()
+    points = np.linspace(-1.0, 12.0, POOLED_POINTS).reshape(-1, 1)
+    request = CertificationRequest(dataset, points, RemovalPoisoningModel(2))
+    engine = CertificationEngine(max_depth=1, domain="box")
+    registry = metrics.get_registry()
+
+    def merge_stats(snapshot):
+        series = snapshot.get("worker_merge_seconds", {}).get("series", [])
+        if not series:
+            return 0, 0.0
+        return series[0]["count"], series[0]["sum"]
+
+    before_count, before_sum = merge_stats(registry.snapshot())
+    start = time.perf_counter()
+    try:
+        report = engine.verify(request, n_jobs=2)
+    except OSError:
+        return {}
+    wall = time.perf_counter() - start
+    after_count, after_sum = merge_stats(registry.snapshot())
+    merges = after_count - before_count
+    if merges == 0:
+        # The pool fell back to serial (broken executor); nothing to report.
+        return {}
+    merge_seconds = after_sum - before_sum
+    assert report.total == POOLED_POINTS
+    return {
+        "pooled_points": POOLED_POINTS,
+        "n_jobs": 2,
+        "pooled_wall_seconds": wall,
+        "merges": merges,
+        "merge_seconds": merge_seconds,
+        "merge_seconds_per_task": merge_seconds / merges,
+        "merge_fraction_of_wall": merge_seconds / wall if wall > 0 else 0.0,
+    }
+
+
 def main() -> int:
     scratch = Path(tempfile.mkdtemp(prefix="bench-telemetry-"))
     try:
@@ -145,6 +195,7 @@ def main() -> int:
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
     coverage = bench_trace_coverage()
+    worker_merge = bench_worker_merge()
 
     off = overhead["telemetry_off"]
     counters_overhead = overhead["counters_on"] / off - 1.0
@@ -166,6 +217,17 @@ def main() -> int:
         + f"\n\ntraced cold run: {coverage['spans']} spans, "
         f"{coverage['attributed_fraction']:.1%} of root wall time attributed"
     )
+    if worker_merge:
+        text += (
+            f"\npooled ({worker_merge['n_jobs']} workers, "
+            f"{worker_merge['pooled_points']} points): "
+            f"{worker_merge['merges']} delta merges cost "
+            f"{worker_merge['merge_seconds'] * 1000:.2f} ms, "
+            f"{worker_merge['merge_fraction_of_wall']:.2%} of "
+            f"{worker_merge['pooled_wall_seconds']:.3f} s wall"
+        )
+    else:
+        text += "\npooled worker-merge arm skipped (no process pool available)"
     print(text)
     save_artifact("telemetry", text)
 
@@ -188,6 +250,8 @@ def main() -> int:
         "spans_overhead": spans_overhead,
         "max_counter_overhead": MAX_COUNTER_OVERHEAD,
         "trace_coverage": coverage,
+        "worker_merge": worker_merge,
+        "max_merge_fraction": MAX_MERGE_FRACTION,
     }
     (results_directory() / "BENCH_telemetry.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
@@ -203,6 +267,12 @@ def main() -> int:
         failures.append(
             f"traced cold run attributes only "
             f"{coverage['attributed_fraction']:.1%} of root wall time"
+        )
+    if worker_merge and worker_merge["merge_fraction_of_wall"] > MAX_MERGE_FRACTION:
+        failures.append(
+            f"worker delta merges cost "
+            f"{worker_merge['merge_fraction_of_wall']:.2%} of pooled wall "
+            f"time, over the {MAX_MERGE_FRACTION:.0%} budget"
         )
     for failure in failures:
         print(f"FAIL: {failure}")

@@ -34,12 +34,16 @@ number of :class:`~repro.api.request.CertificationRequest` objects:
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
+import time
+import uuid
 import warnings
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -58,7 +62,7 @@ from repro.poisoning.models import (
 )
 from repro.runtime.fingerprint import fingerprint_dataset
 from repro.runtime.shm import SharedDatasetHandle
-from repro.telemetry import metrics, tracing
+from repro.telemetry import events, metrics, tracing
 from repro.telemetry import profiling
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch, TimeBudget, TimeoutExceeded
@@ -110,6 +114,43 @@ _CERTIFY_SECONDS = metrics.histogram(
 _LEARNER_INVOCATIONS = metrics.counter(
     "learner_invocations_total",
     "Points certified by running the abstract learners (not cache/lease).",
+)
+#: Pool dispatch latency: task submission in the parent to task start in the
+#: worker (queue wait + argument pickling).  The first explanation to check
+#: when pooled throughput trails serial (``BENCH_parallel.json``).
+_DISPATCH_OVERHEAD = metrics.histogram(
+    "dispatch_overhead_seconds",
+    "Pool task latency from parent submit to worker start.",
+)
+#: Per-worker certification wall time (the busy half of utilization).
+_WORKER_TASK_SECONDS = metrics.histogram(
+    "worker_task_seconds",
+    "Per-task certification wall time inside one pool worker.",
+    labelnames=("worker",),
+)
+#: Worker-side pool start-up: dataset attach/unpickle plus plan rebuild.
+#: Observed in the worker and shipped to the parent via the merge plane.
+_POOL_ATTACH_SECONDS = metrics.histogram(
+    "pool_attach_seconds",
+    "Pool initializer time: dataset attach plus request-plan rebuild.",
+)
+#: Bytes of pickled per-worker payload (a shm handle or the full dataset).
+_POOL_PAYLOAD_BYTES = metrics.gauge(
+    "pool_payload_bytes",
+    "Pickled size of the per-worker pool payload.",
+    labelnames=("kind",),
+)
+#: Busy fraction of each worker over the last pooled batch's wall time.
+_WORKER_UTILIZATION = metrics.gauge(
+    "worker_utilization",
+    "Fraction of the last pooled batch each worker spent certifying.",
+    labelnames=("worker",),
+)
+#: Parent-side cost of folding worker metric deltas into the registry
+#: (``bench_telemetry.py`` keeps this under 5% of pooled batch wall time).
+_WORKER_MERGE_SECONDS = metrics.histogram(
+    "worker_merge_seconds",
+    "Parent-side merge cost per worker metric delta.",
 )
 
 
@@ -367,6 +408,18 @@ class CertificationEngine:
         payload: Union[Dataset, SharedDatasetHandle] = (
             shared_handle if shared_handle is not None else dataset
         )
+        _POOL_PAYLOAD_BYTES.set(
+            len(pickle.dumps(payload)),
+            kind="shared" if shared_handle is not None else "inline",
+        )
+        request_id = events.current_request_id()
+        tasks = [
+            _WorkerTask(row=row, submitted_at=time.time(), request_id=request_id)
+            for row in rows
+        ]
+        registry = metrics.get_registry()
+        busy_seconds: dict = {}
+        pool_started = time.perf_counter()
         yielded = 0
         try:
             with ProcessPoolExecutor(
@@ -374,9 +427,26 @@ class CertificationEngine:
                 initializer=_pool_initializer,
                 initargs=(self, payload, model),
             ) as executor:
-                for result in executor.map(_pool_certify, rows):
+                for envelope in executor.map(_pool_certify, tasks):
                     yielded += 1
-                    yield result
+                    merge_started = time.perf_counter()
+                    if envelope.metrics_delta:
+                        registry.merge_snapshot(
+                            envelope.metrics_delta, task_id=envelope.task_id
+                        )
+                    _WORKER_MERGE_SECONDS.observe(time.perf_counter() - merge_started)
+                    _DISPATCH_OVERHEAD.observe(envelope.dispatch_seconds)
+                    _WORKER_TASK_SECONDS.observe(
+                        envelope.task_seconds, worker=envelope.worker
+                    )
+                    busy_seconds[envelope.worker] = (
+                        busy_seconds.get(envelope.worker, 0.0) + envelope.task_seconds
+                    )
+                    yield envelope.result
+            wall = time.perf_counter() - pool_started
+            if wall > 0:
+                for worker, seconds in busy_seconds.items():
+                    _WORKER_UTILIZATION.set(min(1.0, seconds / wall), worker=worker)
             return
         except (OSError, BrokenExecutor) as error:
             # Worker processes could not be spawned (sandboxed hosts forbid
@@ -673,10 +743,37 @@ class _DomainOutcome:
 # Process-pool plumbing.  Workers receive the engine/model once via the pool
 # initializer together with either a SharedDatasetHandle (attached zero-copy
 # from shared memory) or, as a fallback, the pickled dataset; afterwards only
-# the (small) test points travel through the task queue.
+# the (small) test points travel through the task queue — and each result
+# travels back inside a `_WorkerEnvelope` that also carries the worker's
+# metric delta for that task, so `n_jobs > 1` batches lose no attribution.
 # ---------------------------------------------------------------------------
 
 _POOL_STATE: dict = {}
+
+
+@dataclass(frozen=True)
+class _WorkerTask:
+    """One pool task: the row plus its submit timestamp and request id.
+
+    ``submitted_at`` is ``time.time()`` (wall clock — ``perf_counter`` is not
+    comparable across processes) so the worker can report dispatch overhead.
+    """
+
+    row: np.ndarray
+    submitted_at: float
+    request_id: Optional[str]
+
+
+@dataclass(frozen=True)
+class _WorkerEnvelope:
+    """A worker's reply: the verdict plus the telemetry to merge parent-side."""
+
+    result: VerificationResult
+    task_id: str
+    worker: str
+    task_seconds: float
+    dispatch_seconds: float
+    metrics_delta: Mapping
 
 
 def _pool_initializer(
@@ -684,14 +781,52 @@ def _pool_initializer(
     dataset: Union[Dataset, SharedDatasetHandle],
     model: PerturbationModel,
 ) -> None:
+    # Snapshot *before* any work: under the fork start method the worker's
+    # registry inherits the parent's series wholesale, and everything in this
+    # baseline is excluded from the first task's delta.  Attach and plan
+    # rebuild happen after, so their cost ships with that first delta.
+    _POOL_STATE["baseline"] = metrics.get_registry().snapshot()
+    _POOL_STATE["epoch"] = uuid.uuid4().hex[:8]
+    _POOL_STATE["task_counter"] = 0
+    attach_started = time.perf_counter()
     if isinstance(dataset, SharedDatasetHandle):
         dataset = dataset.attach()
     _POOL_STATE["engine"] = engine
     _POOL_STATE["dataset"] = dataset
     _POOL_STATE["model"] = model
     _POOL_STATE["plan"] = engine._plan_for(dataset, model)
+    _POOL_ATTACH_SECONDS.observe(time.perf_counter() - attach_started)
 
 
-def _pool_certify(row: np.ndarray) -> VerificationResult:
+def _pool_certify(task: _WorkerTask) -> _WorkerEnvelope:
     state = _POOL_STATE
-    return state["engine"]._certify_one(state["dataset"], row, state["model"], state["plan"])
+    started = time.time()
+    dispatch_seconds = max(0.0, started - task.submitted_at)
+    task_started = time.perf_counter()
+    result = state["engine"]._certify_one(
+        state["dataset"], task.row, state["model"], state["plan"]
+    )
+    task_seconds = time.perf_counter() - task_started
+    worker = str(os.getpid())
+    state["task_counter"] += 1
+    task_id = f"{state['epoch']}:{worker}:{state['task_counter']}"
+    after = metrics.get_registry().snapshot()
+    delta = metrics.diff_snapshots(state["baseline"], after)
+    state["baseline"] = after
+    events.emit(
+        "worker.task",
+        rid=task.request_id,
+        worker=worker,
+        task_id=task_id,
+        seconds=task_seconds,
+        dispatch_seconds=dispatch_seconds,
+        status=result.status.value,
+    )
+    return _WorkerEnvelope(
+        result=result,
+        task_id=task_id,
+        worker=worker,
+        task_seconds=task_seconds,
+        dispatch_seconds=dispatch_seconds,
+        metrics_delta=delta,
+    )

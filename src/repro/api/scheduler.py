@@ -48,7 +48,7 @@ from repro.runtime.fingerprint import (
     model_cache_key,
     point_digest,
 )
-from repro.telemetry import metrics, tracing
+from repro.telemetry import events, metrics, tracing
 from repro.utils.timing import Stopwatch
 from repro.verify.result import VerificationResult
 
@@ -247,6 +247,16 @@ class CertificationScheduler:
         _SUBMITTED.inc(len(rows))
         if leases:
             _COALESCED.inc(len(leases))
+        # One event per batch: how the points split between freshly registered
+        # in-flight leases (owned, computed here) and leases of other batches'
+        # futures (coalesced).  Carries the thread's bound request id.
+        events.emit(
+            "scheduler.lease",
+            points=len(rows),
+            owned=len(owned_indices),
+            coalesced=len(leases),
+            n_jobs=n_jobs,
+        )
         amount = model.nominal_amount(len(dataset))
         flips = model.nominal_flip_amount(len(dataset))
         log10_datasets = model.log10_num_neighbors(len(dataset))

@@ -51,7 +51,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -80,6 +82,7 @@ from repro.poisoning.models import (
 )
 from repro.runtime import CertificationCache, CertificationRuntime
 from repro.service.protocol import METRICS_VERSION
+from repro.telemetry import events as telemetry_events
 from repro.telemetry import metrics as telemetry_metrics
 from repro.telemetry import tracing
 from repro.utils.tables import TextTable
@@ -114,6 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--metrics-json", default=None, metavar="PATH",
                         help="write this process's telemetry snapshot as JSON "
                         "after the command")
+    verify.add_argument("--log-json", default=None, metavar="PATH",
+                        help="append request-correlated JSONL events to PATH "
+                        "(also enabled by REPRO_LOG_JSON)")
 
     certify = subparsers.add_parser(
         "certify", help="batch-certify test points against a threat model"
@@ -172,6 +178,9 @@ def build_parser() -> argparse.ArgumentParser:
     certify.add_argument("--metrics-json", default=None, metavar="PATH",
                          help="write this process's telemetry snapshot as JSON "
                          "after the command")
+    certify.add_argument("--log-json", default=None, metavar="PATH",
+                         help="append request-correlated JSONL events to PATH "
+                         "(also enabled by REPRO_LOG_JSON)")
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -223,6 +232,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metrics-json", default=None, metavar="PATH",
                        help="write this process's telemetry snapshot as JSON "
                        "after the command")
+    sweep.add_argument("--log-json", default=None, metavar="PATH",
+                       help="append request-correlated JSONL events to PATH "
+                       "(also enabled by REPRO_LOG_JSON)")
 
     metrics_cmd = subparsers.add_parser(
         "metrics",
@@ -240,6 +252,35 @@ def build_parser() -> argparse.ArgumentParser:
                              "exposition")
     metrics_cmd.add_argument("--json", default=None, metavar="PATH",
                              help="also write the output to PATH")
+
+    top = subparsers.add_parser(
+        "top",
+        help="live terminal dashboard over a telemetry registry (this "
+        "process's, or a daemon's via --connect)",
+    )
+    top.add_argument("--connect", default=None, metavar="SOCKET",
+                     help="watch a running `repro-antidote serve` daemon "
+                     "through the versioned `metrics` op")
+    top.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                     help="refresh period (default: 2s)")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="stop after N refreshes (default 0: run until "
+                     "Ctrl-C)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen "
+                     "(for logs and tests)")
+
+    trace_cmd = subparsers.add_parser(
+        "trace",
+        help="fetch and render the stored span tree of one request id",
+    )
+    trace_cmd.add_argument("request_id", metavar="REQUEST_ID",
+                           help="correlation id printed by the issuing "
+                           "command ('[request id ...]' on stderr)")
+    trace_cmd.add_argument("--connect", default=None, metavar="SOCKET",
+                           help="query a running `repro-antidote serve` "
+                           "daemon (it must run with --trace); default: "
+                           "this process's completed-roots ring")
 
     cache = subparsers.add_parser(
         "cache", help="inspect, clear, or garbage-collect a certification cache"
@@ -270,6 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
                        "pool workers")
     serve.add_argument("--max-engines", type=int, default=8, metavar="N",
                        help="how many engine configurations to keep warm")
+    serve.add_argument("--trace", action="store_true",
+                       help="enable span tracing server-wide so `repro trace "
+                       "REQUEST_ID --connect` can fetch stored request traces")
+    serve.add_argument("--log-json", default=None, metavar="PATH",
+                       help="append request-correlated JSONL events to PATH "
+                       "(also enabled by REPRO_LOG_JSON)")
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1")
     _add_experiment_arguments(table1)
@@ -871,6 +918,76 @@ def _command_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_top(args: argparse.Namespace) -> int:
+    """The refreshing dashboard loop: snapshot, render, clear, repeat."""
+    from repro.telemetry import dashboard
+
+    client = None
+    if args.connect:
+        from repro.service import CertificationClient
+
+        client = CertificationClient(args.connect)
+        source = f"daemon at {args.connect}"
+    else:
+        source = f"local process {os.getpid()}"
+    previous = None
+    refreshes = 0
+    try:
+        while True:
+            if client is not None:
+                snapshot = client.metrics()["metrics"]
+            else:
+                snapshot = telemetry_metrics.get_registry().snapshot()
+            frame = dashboard.render_dashboard(
+                snapshot,
+                previous,
+                interval=args.interval if previous is not None else None,
+                source=source,
+            )
+            if not args.no_clear:
+                # ANSI clear-screen + home; the frame repaints in place.
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            previous = snapshot
+            refreshes += 1
+            if args.iterations and refreshes >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    finally:
+        if client is not None:
+            client.close()
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import dashboard
+
+    if args.connect:
+        from repro.service import CertificationClient
+        from repro.service.protocol import RemoteError
+
+        try:
+            with CertificationClient(args.connect) as client:
+                payload = client.trace(args.request_id)
+        except RemoteError as error:
+            print(f"error: {error.message}", file=sys.stderr)
+            return 2
+        print(dashboard.render_trace(payload["trace"]))
+        return 0
+    root = tracing.find_root_by_request(args.request_id)
+    if root is None:
+        print(
+            f"error: no stored trace for request id {args.request_id!r} in "
+            "this process; pass --connect SOCKET to query a daemon running "
+            "with --trace",
+            file=sys.stderr,
+        )
+        return 2
+    print(root.render())
+    return 0
+
+
 def _command_table1(args: argparse.Namespace) -> int:
     config = _experiment_config(args)
     rows = compute_table1(config)
@@ -909,6 +1026,8 @@ _COMMANDS = {
     "cache": _command_cache,
     "serve": _command_serve,
     "metrics": _command_metrics,
+    "top": _command_top,
+    "trace": _command_trace,
     "table1": _command_table1,
     "figure6": _command_figure6,
     "figure": _command_figure,
@@ -920,9 +1039,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    if getattr(args, "trace", False):
+    if getattr(args, "trace", False) and args.command != "trace":
         tracing.enable_spans(True)
-    code = _COMMANDS[args.command](args)
+    log_json = getattr(args, "log_json", None)
+    if log_json:
+        telemetry_events.configure(log_json)
+    # Every invocation mints one correlation id: it stamps this process's
+    # events and root spans, travels to a daemon in request frames, and
+    # reaches pool workers inside task payloads.  Printed when the event log
+    # is active so scripts can grep the log for this exact run.
+    request_id = telemetry_events.new_request_id()
+    with telemetry_events.bind_request(request_id):
+        if telemetry_events.configured_path():
+            print(f"[request id {request_id}]", file=sys.stderr)
+        telemetry_events.emit("cli.command", command=args.command)
+        started = time.perf_counter()
+        code = _COMMANDS[args.command](args)
+        telemetry_events.emit(
+            "cli.exit",
+            command=args.command,
+            seconds=time.perf_counter() - started,
+            code=code,
+        )
     metrics_path = getattr(args, "metrics_json", None)
     if metrics_path:
         Path(metrics_path).write_text(

@@ -44,7 +44,7 @@ from repro.runtime.fingerprint import (
 )
 from repro.runtime.journal import RunJournal, run_id
 from repro.runtime.shm import DatasetStore, SharedDatasetHandle, default_store
-from repro.telemetry import metrics
+from repro.telemetry import events, metrics
 from repro.verify.result import VerificationResult
 
 _CACHE_LOOKUPS = metrics.counter(
@@ -426,6 +426,7 @@ class CertificationRuntime:
                 self.cache.commit()
             with self._stats_lock:
                 self.stats.add(stats)
+            events.emit("runtime.batch", **stats.snapshot())
         if journal is not None and cutoff == len(rows):
             # Once the run completes, every journaled verdict also lives in
             # the (now committed) cache — drop the journal so the cache

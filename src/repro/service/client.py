@@ -51,6 +51,7 @@ from repro.service.protocol import (
     model_to_wire,
     read_frame,
 )
+from repro.telemetry import events
 from repro.verify.result import VerificationResult
 
 #: Anything accepted where a dataset is expected: a Dataset (sent inline) or
@@ -127,14 +128,37 @@ class CertificationClient:
     # ------------------------------------------------------------- transport
     def _call(self, op: str, params: Optional[dict] = None) -> dict:
         """One request/response round trip (thread-safe, serialized)."""
+        started = time.perf_counter()
         with self._lock:
             frame = self._send(op, params)
             response = read_frame(self._reader)
-        return self._unwrap(frame["id"], response)
+        try:
+            result = self._unwrap(frame["id"], response)
+        except Exception as error:
+            events.emit(
+                "client.request",
+                op=op,
+                seconds=time.perf_counter() - started,
+                outcome="error",
+                error_kind=events.classify_error(error),
+            )
+            raise
+        events.emit(
+            "client.request",
+            op=op,
+            seconds=time.perf_counter() - started,
+            outcome="ok",
+        )
+        return result
 
     def _send(self, op: str, params: Optional[dict]) -> dict:
         self._next_id += 1
         frame = {"id": self._next_id, "op": op, "params": params or {}}
+        # Protocol minor 1: propagate the thread's correlation id so both
+        # sides of the socket log (and trace) under one request id.
+        rid = events.current_request_id()
+        if rid is not None:
+            frame["rid"] = rid
         self._writer.write(encode_frame(frame))
         self._writer.flush()
         return frame
@@ -362,6 +386,15 @@ class CertificationClient:
         ``"prometheus"`` key instead.
         """
         return self._call("metrics", {"format": format})
+
+    def trace(self, request_id: str) -> dict:
+        """Fetch a stored span tree by correlation id (the ``trace`` op).
+
+        Requires the server to run with span tracing enabled
+        (``repro serve --trace``); raises :class:`RemoteError` when the id is
+        unknown or tracing is off.
+        """
+        return self._call("trace", {"request_id": request_id})
 
     def shutdown(self) -> dict:
         """Ask the server to stop serving (it answers before stopping)."""

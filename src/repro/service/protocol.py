@@ -6,7 +6,13 @@ answers with its own version (and the report :data:`~repro.api.report.SCHEMA_VER
 it emits) or rejects the connection — explicit versioning on both layers so a
 fleet can roll servers and clients independently.
 
-Requests are ``{"id": N, "op": <name>, "params": {...}}``.  Most operations
+Requests are ``{"id": N, "op": <name>, "params": {...}}``, optionally
+carrying a correlation id in ``"rid"`` (minor protocol revision 1): the
+server binds it for the duration of the operation so structured log events
+(:mod:`repro.telemetry.events`) and stored span trees on both sides of the
+socket share one request id.  Servers ignore an absent ``rid``; clients
+ignore the minor revision of older servers — the field is additive, so the
+major version stays 1.  Most operations
 answer with a single ``{"id": N, "ok": true, "result": {...}}`` frame (or
 ``{"id": N, "ok": false, "error": {"type": ..., "message": ...}}``);
 ``certify_stream`` answers with a sequence of
@@ -29,6 +35,12 @@ backwards-compatible; the version only moves when existing fields change
 meaning.  ``params = {"format": "json" | "prometheus"}``; the Prometheus
 form is the standard text exposition, relayed verbatim by
 ``repro metrics --connect --format prometheus`` for scrape sidecars.
+
+The ``trace`` op (``params = {"request_id": ...}``) looks up a completed
+span tree in the server's bounded completed-roots ring by the correlation
+id stamped on its root — the remote half of ``repro trace REQUEST_ID``.
+The server must run with span tracing enabled (``repro serve --trace``)
+for trees to be retained.
 """
 
 from __future__ import annotations
@@ -51,6 +63,11 @@ from repro.poisoning.models import (
 #: Version of the framing + operation vocabulary.  Bumped on incompatible
 #: changes; servers reject hellos from a different major version.
 PROTOCOL_VERSION = 1
+
+#: Additive revision within the major version: 1 added the optional ``rid``
+#: request-frame field and the ``trace`` op.  Informational — peers never
+#: reject on a minor mismatch.
+PROTOCOL_MINOR = 1
 
 #: Version of the ``metrics`` op's snapshot schema (see module docstring).
 METRICS_VERSION = 1

@@ -47,6 +47,7 @@ from repro.runtime.fingerprint import fingerprint_dataset
 from repro.runtime.runtime import CertificationRuntime
 from repro.service.protocol import (
     METRICS_VERSION,
+    PROTOCOL_MINOR,
     PROTOCOL_VERSION,
     ProtocolError,
     dataset_from_wire,
@@ -55,7 +56,7 @@ from repro.service.protocol import (
     model_from_wire,
     read_frame,
 )
-from repro.telemetry import metrics
+from repro.telemetry import events, metrics, tracing
 from repro.utils.validation import ValidationError
 
 _OP_REQUESTS = metrics.counter(
@@ -90,16 +91,21 @@ class _ClientHandler(socketserver.StreamRequestHandler):
             request_id = frame.get("id")
             op = frame.get("op")
             params = frame.get("params") or {}
+            # The optional correlation id (protocol minor 1).  Binding it to
+            # this handler thread lets every event, metric merge, and root
+            # span under this operation carry the id the client minted.
+            rid = frame.get("rid")
             try:
-                if op == "certify_stream":
-                    self._handle_stream(server, request_id, params)
-                elif op == "shutdown":
-                    self._write({"id": request_id, "ok": True, "result": {"stopping": True}})
-                    server.request_shutdown()
-                    return
-                else:
-                    result = server.dispatch(op, params)
-                    self._write({"id": request_id, "ok": True, "result": result})
+                with events.bind_request(rid if isinstance(rid, str) else None):
+                    if op == "certify_stream":
+                        self._handle_stream(server, request_id, params)
+                    elif op == "shutdown":
+                        self._write({"id": request_id, "ok": True, "result": {"stopping": True}})
+                        server.request_shutdown()
+                        return
+                    else:
+                        result = server.dispatch(op, params)
+                        self._write({"id": request_id, "ok": True, "result": result})
             except BrokenPipeError:
                 return
             except Exception as error:  # noqa: BLE001 - protocol boundary
@@ -307,12 +313,32 @@ class CertificationServer:
             self._active_ops += 1
         _OP_REQUESTS.inc(op=op)
         started = time.perf_counter()
+        failure: Optional[BaseException] = None
         try:
-            return handler(self, params)
+            # The op is the root span on this handler thread: with tracing
+            # enabled (`repro serve --trace`), the completed tree lands in the
+            # roots ring stamped with the bound request id, where the `trace`
+            # op can find it.
+            with tracing.span(f"server.{op}"):
+                return handler(self, params)
+        except BaseException as error:
+            failure = error
+            raise
         finally:
-            _OP_SECONDS.observe(time.perf_counter() - started, op=op)
+            elapsed = time.perf_counter() - started
+            _OP_SECONDS.observe(elapsed, op=op)
+            self._emit_dispatch(op, elapsed, failure)
             with self._lock:
                 self._active_ops -= 1
+
+    @staticmethod
+    def _emit_dispatch(op: str, elapsed: float, failure: Optional[BaseException]) -> None:
+        fields: dict = {"op": op, "seconds": elapsed, "outcome": "ok"}
+        if failure is not None:
+            fields["outcome"] = "error"
+            fields["error_kind"] = events.classify_error(failure)
+            fields["error_type"] = type(failure).__name__
+        events.emit("server.dispatch", **fields)
 
     def _op_hello(self, params: dict) -> dict:
         requested = int(params.get("protocol", PROTOCOL_VERSION))
@@ -323,6 +349,7 @@ class CertificationServer:
             )
         return {
             "protocol": PROTOCOL_VERSION,
+            "protocol_minor": PROTOCOL_MINOR,
             "schema_version": SCHEMA_VERSION,
             "server_version": repro.__version__,
             "pid": os.getpid(),
@@ -460,6 +487,30 @@ class CertificationServer:
             )
         return payload
 
+    def _op_trace(self, params: dict) -> dict:
+        """Fetch a stored span tree from the completed-roots ring by request id.
+
+        The remote half of ``repro trace REQUEST_ID``: the tree is retained
+        only if the server runs with span tracing enabled and the request was
+        recent enough to still be in the bounded ring.
+        """
+        request_id = str(params.get("request_id") or "")
+        if not request_id:
+            raise ValidationError("trace requests must carry a request_id")
+        root = tracing.find_root_by_request(request_id)
+        if root is not None:
+            return {"request_id": request_id, "trace": root.to_dict()}
+        if not tracing.spans_enabled():
+            raise ValidationError(
+                "span tracing is disabled on this server; restart it with "
+                "`repro serve --trace` (or REPRO_TELEMETRY_SPANS=1) to retain "
+                "request traces"
+            )
+        raise ValidationError(
+            f"no stored trace for request id {request_id!r} (traces are kept "
+            "in a bounded ring; only recent requests are retrievable)"
+        )
+
     _OPS = {
         "hello": _op_hello,
         "ping": _op_ping,
@@ -471,6 +522,7 @@ class CertificationServer:
         "cache_gc": _op_cache_gc,
         "stats": _op_stats,
         "metrics": _op_metrics,
+        "trace": _op_trace,
     }
 
     # ------------------------------------------------------------- streaming
@@ -482,13 +534,20 @@ class CertificationServer:
             self._active_ops += 1
         _OP_REQUESTS.inc(op="certify_stream")
         started = time.perf_counter()
+        failure: Optional[BaseException] = None
         try:
-            for index, result in enumerate(
-                engine.certify_stream(request, n_jobs=n_jobs)
-            ):
-                yield index, result
+            with tracing.span("server.certify_stream"):
+                for index, result in enumerate(
+                    engine.certify_stream(request, n_jobs=n_jobs)
+                ):
+                    yield index, result
+        except BaseException as error:
+            failure = error
+            raise
         finally:
-            _OP_SECONDS.observe(time.perf_counter() - started, op="certify_stream")
+            elapsed = time.perf_counter() - started
+            _OP_SECONDS.observe(elapsed, op="certify_stream")
+            self._emit_dispatch("certify_stream", elapsed, failure)
             with self._lock:
                 self._active_ops -= 1
 

@@ -1,15 +1,21 @@
-"""Observability for the certification stack: metrics, spans, and profiling.
+"""Observability for the certification stack: metrics, spans, events, profiling.
 
-Three cooperating pieces (see the per-module docstrings for design details):
+Four cooperating pieces (see the per-module docstrings for design details):
 
 * :mod:`repro.telemetry.metrics` — a process-wide :class:`MetricsRegistry`
   of thread-safe counters, gauges, and fixed-bucket histograms with labeled
   series, exportable as a JSON snapshot or Prometheus text exposition.
   Counters are always on (cheap enough for the warm path) unless the
   registry is disabled with :func:`set_enabled` or ``REPRO_TELEMETRY=0``.
+  Pool workers ship per-task delta snapshots back to the parent, which
+  folds them in with :meth:`MetricsRegistry.merge_snapshot`.
 * :mod:`repro.telemetry.tracing` — a nestable, thread-safe span tracer.
   Opt-in via :func:`enable_spans` or ``REPRO_TELEMETRY_SPANS=1``; traced
-  requests attach their tree to ``CertificationReport.runtime_stats["trace"]``.
+  requests attach their tree to ``CertificationReport.runtime_stats["trace"]``
+  and root spans carry the bound request id.
+* :mod:`repro.telemetry.events` — a request-correlated JSONL event log
+  (off by default; ``--log-json PATH`` / ``REPRO_LOG_JSON``) with slow
+  flagging and an error taxonomy.
 * :mod:`repro.telemetry.profiling` — ladder-stage × transformer-phase wall
   time attribution hooks used by the cold abstract-learner loops.
 
@@ -17,6 +23,7 @@ The daemon serves the registry through the versioned ``metrics`` protocol
 op; the CLI exposes it via ``repro metrics`` and ``--metrics-json PATH``.
 """
 
+from repro.telemetry import events
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -24,10 +31,12 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
     counter,
+    diff_snapshots,
     enabled,
     gauge,
     get_registry,
     histogram,
+    histogram_quantile,
     series_value,
     set_enabled,
 )
@@ -36,6 +45,7 @@ from repro.telemetry.tracing import (
     clear_completed,
     completed_roots,
     enable_spans,
+    find_root_by_request,
     find_span,
     span,
     spans_enabled,
@@ -51,12 +61,16 @@ __all__ = [
     "clear_completed",
     "completed_roots",
     "counter",
+    "diff_snapshots",
     "enable_spans",
     "enabled",
+    "events",
+    "find_root_by_request",
     "find_span",
     "gauge",
     "get_registry",
     "histogram",
+    "histogram_quantile",
     "series_value",
     "set_enabled",
     "span",

@@ -1,0 +1,170 @@
+"""Render metric snapshots as a live terminal dashboard (``repro top``).
+
+Pure functions from :meth:`MetricsRegistry.snapshot` dicts to text — no
+sockets, no timers, no terminal control — so the renderer is unit-testable
+and the CLI loop (connect, snapshot, clear screen, print, sleep) stays
+trivial.  Rates come from differencing two consecutive snapshots; latency
+quantiles come from the cumulative histogram buckets every snapshot carries
+(:func:`repro.telemetry.metrics.histogram_quantile`).
+
+The same module renders fetched span trees for ``repro trace REQUEST_ID``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple
+
+from repro.telemetry.metrics import histogram_quantile, series_value
+from repro.utils.tables import TextTable
+
+__all__ = ["render_dashboard", "render_trace"]
+
+
+def _family_series(snapshot: Mapping, name: str) -> List[Mapping]:
+    return list(snapshot.get(name, {}).get("series", []))
+
+
+def _counter_total(snapshot: Mapping, name: str) -> float:
+    return sum(series.get("value", 0.0) for series in _family_series(snapshot, name))
+
+
+def _rate(now: float, before: Optional[float], interval: Optional[float]) -> str:
+    if before is None or not interval or interval <= 0:
+        return "-"
+    return f"{max(0.0, now - before) / interval:.2f}/s"
+
+
+def _quantiles(series: Mapping) -> Tuple[str, str]:
+    p50 = histogram_quantile(series, 0.5)
+    p95 = histogram_quantile(series, 0.95)
+    fmt = lambda value: "-" if value is None else f"{value * 1000:.1f}ms"  # noqa: E731
+    return fmt(p50), fmt(p95)
+
+
+def _merged_histogram(snapshot: Mapping, name: str) -> Optional[Mapping]:
+    """All series of one histogram family folded into a single series dict."""
+    series = _family_series(snapshot, name)
+    if not series:
+        return None
+    merged: dict = {"count": 0, "sum": 0.0, "buckets": {}}
+    for entry in series:
+        merged["count"] += entry.get("count", 0)
+        merged["sum"] += entry.get("sum", 0.0)
+        for bound, cumulative in entry.get("buckets", {}).items():
+            merged["buckets"][bound] = merged["buckets"].get(bound, 0) + cumulative
+    return merged if merged["count"] else None
+
+
+def render_dashboard(
+    snapshot: Mapping,
+    previous: Optional[Mapping] = None,
+    *,
+    interval: Optional[float] = None,
+    source: str = "local",
+) -> str:
+    """One frame of ``repro top``: requests, cache, latency, workers."""
+    sections: List[str] = [f"repro top — {source}"]
+
+    # -- requests ---------------------------------------------------------
+    ops = _family_series(snapshot, "server_requests_total")
+    if ops:
+        table = TextTable(["op", "total", "rate", "p50", "p95"])
+        for entry in sorted(ops, key=lambda e: -e.get("value", 0.0)):
+            op = entry.get("labels", {}).get("op", "?")
+            total = entry.get("value", 0.0)
+            before = (
+                series_value(previous, "server_requests_total", op=op)
+                if previous is not None
+                else None
+            )
+            latency = next(
+                (
+                    s
+                    for s in _family_series(snapshot, "server_op_seconds")
+                    if s.get("labels", {}).get("op") == op
+                ),
+                None,
+            )
+            p50, p95 = _quantiles(latency) if latency else ("-", "-")
+            table.add_row([op, int(total), _rate(total, before, interval), p50, p95])
+        sections.append("requests\n" + table.render())
+
+    # -- cache ------------------------------------------------------------
+    lookups = _family_series(snapshot, "cache_lookups_total")
+    if lookups:
+        by_result = {
+            entry.get("labels", {}).get("result", "?"): entry.get("value", 0.0)
+            for entry in lookups
+        }
+        served = by_result.get("hit", 0.0) + by_result.get("monotone", 0.0)
+        total = served + by_result.get("miss", 0.0)
+        ratio = f"{served / total:.1%}" if total else "-"
+        table = TextTable(["lookups", "hit", "monotone", "miss", "hit ratio"])
+        table.add_row(
+            [
+                int(total),
+                int(by_result.get("hit", 0.0)),
+                int(by_result.get("monotone", 0.0)),
+                int(by_result.get("miss", 0.0)),
+                ratio,
+            ]
+        )
+        sections.append("cache\n" + table.render())
+
+    # -- certification latency -------------------------------------------
+    certify = _merged_histogram(snapshot, "certify_seconds")
+    learner = _counter_total(snapshot, "learner_invocations_total")
+    if certify or learner:
+        table = TextTable(["learner runs", "rate", "p50", "p95"])
+        before = (
+            _counter_total(previous, "learner_invocations_total")
+            if previous is not None
+            else None
+        )
+        p50, p95 = _quantiles(certify) if certify else ("-", "-")
+        table.add_row([int(learner), _rate(learner, before, interval), p50, p95])
+        sections.append("certification\n" + table.render())
+
+    # -- workers ----------------------------------------------------------
+    workers = _family_series(snapshot, "worker_task_seconds")
+    if workers:
+        utilization = {
+            entry.get("labels", {}).get("worker", "?"): entry.get("value", 0.0)
+            for entry in _family_series(snapshot, "worker_utilization")
+        }
+        table = TextTable(["worker", "tasks", "busy", "p50", "p95"])
+        for entry in sorted(workers, key=lambda e: e.get("labels", {}).get("worker", "")):
+            worker = entry.get("labels", {}).get("worker", "?")
+            p50, p95 = _quantiles(entry)
+            busy = utilization.get(worker)
+            table.add_row(
+                [
+                    worker,
+                    entry.get("count", 0),
+                    "-" if busy is None else f"{busy:.0%}",
+                    p50,
+                    p95,
+                ]
+            )
+        dispatch = _merged_histogram(snapshot, "dispatch_overhead_seconds")
+        lines = "workers\n" + table.render()
+        if dispatch:
+            p50, p95 = _quantiles(dispatch)
+            lines += f"\ndispatch overhead: p50 {p50}, p95 {p95}"
+        sections.append(lines)
+
+    if len(sections) == 1:
+        sections.append("(no activity recorded yet)")
+    return "\n\n".join(sections)
+
+
+def render_trace(tree: Mapping, indent: int = 0) -> str:
+    """A fetched span tree (``trace`` op payload) as an indented text tree."""
+    line = (
+        f"{'  ' * indent}{tree.get('name', '?'):<40s} "
+        f"{tree.get('duration_seconds', 0.0) * 1000.0:10.3f} ms"
+    )
+    lines = [line]
+    for child in tree.get("children", ()):
+        lines.append(render_trace(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""Request-correlated structured event log (JSON lines).
+
+Metrics aggregate; the event log *narrates*.  One certification request
+driven through ``repro --connect`` produces a handful of JSONL lines — one
+at the client, one at the server dispatch, one per scheduler batch, one per
+worker task — all carrying the same 16-hex-char **request id** minted where
+the request entered the system (the CLI or :class:`CertificationClient`).
+Grepping the log for that id reconstructs the request's path across
+processes, which no per-process metric snapshot can do.
+
+Every event is one JSON object per line::
+
+    {"ts": 1754550000.123, "event": "server.dispatch", "rid": "9f86d081884c7d65",
+     "pid": 4242, "op": "certify", "seconds": 0.41, "outcome": "ok"}
+
+Common fields: ``ts`` (``time.time()``), ``event`` (dotted source.action),
+``rid`` (request id, when one is bound), ``pid``.  Everything else is
+event-specific.  Two cross-cutting behaviours:
+
+* **Slow-request flagging** — events carrying a ``seconds`` field at or over
+  the threshold (``REPRO_LOG_SLOW_SECONDS``, default 1.0) gain
+  ``"slow": true``, so a one-line grep surfaces outliers.
+* **Error taxonomy** — :func:`classify_error` maps exceptions onto a small
+  closed vocabulary (``validation`` / ``protocol`` / ``timeout`` /
+  ``resource`` / ``io`` / ``internal``) emitted as ``error_kind``, so error
+  rates can be bucketed without parsing free-form messages.
+
+The log is **off by default**.  Enable it with :func:`configure` (the CLI's
+``--log-json PATH``) or the ``REPRO_LOG_JSON`` environment variable.
+:func:`configure` also exports the path back into ``REPRO_LOG_JSON`` so
+forked pool workers inherit the destination; writes are line-buffered
+appends, safe for multiple processes on POSIX.
+
+Request ids bind thread-locally (:func:`bind_request`), mirroring the span
+stacks in :mod:`repro.telemetry.tracing`; cross-process propagation is
+explicit — the service protocol carries the id in a frame's ``"rid"`` field
+and the engine hands it to pool workers inside each task payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Iterator, Optional, TextIO
+
+__all__ = [
+    "bind_request",
+    "classify_error",
+    "configure",
+    "configured_path",
+    "current_request_id",
+    "emit",
+    "new_request_id",
+    "slow_threshold_seconds",
+]
+
+_DEFAULT_SLOW_SECONDS = 1.0
+
+_lock = threading.Lock()
+_local = threading.local()
+_sink: Optional[TextIO] = None
+_sink_path: Optional[str] = None
+_env_checked = False
+
+
+def new_request_id() -> str:
+    """Mint a request id: 16 hex chars, unique enough for log correlation."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_request_id() -> Optional[str]:
+    """The request id bound to this thread, or None outside any request."""
+    return getattr(_local, "request_id", None)
+
+
+@contextmanager
+def bind_request(request_id: Optional[str]) -> Iterator[Optional[str]]:
+    """Bind ``request_id`` to this thread for the duration of the context.
+
+    Bindings nest (an inner bind shadows, then restores, the outer one) and
+    ``bind_request(None)`` is a no-op passthrough, so call sites can bind
+    unconditionally with whatever id they were (or were not) handed.
+    """
+    if request_id is None:
+        yield None
+        return
+    previous = getattr(_local, "request_id", None)
+    _local.request_id = request_id
+    try:
+        yield request_id
+    finally:
+        _local.request_id = previous
+
+
+def configure(path: Optional[str]) -> None:
+    """Open (or with ``None``, close) the JSONL sink at ``path``.
+
+    The path is exported to ``REPRO_LOG_JSON`` so processes forked after
+    this call — pool workers, a daemon's scheduler threads' pools — append
+    to the same file.
+    """
+    global _sink, _sink_path, _env_checked
+    with _lock:
+        if _sink is not None:
+            _sink.close()
+            _sink = None
+        _sink_path = path
+        _env_checked = True
+        if path is None:
+            os.environ.pop("REPRO_LOG_JSON", None)
+            return
+        os.environ["REPRO_LOG_JSON"] = path
+        _sink = open(path, "a", buffering=1, encoding="utf-8")
+
+
+def configured_path() -> Optional[str]:
+    """The active sink path (after lazy env pickup), or None when disabled."""
+    _maybe_configure_from_env()
+    return _sink_path
+
+
+def slow_threshold_seconds() -> float:
+    raw = os.environ.get("REPRO_LOG_SLOW_SECONDS", "")
+    try:
+        return float(raw) if raw else _DEFAULT_SLOW_SECONDS
+    except ValueError:
+        return _DEFAULT_SLOW_SECONDS
+
+
+def _maybe_configure_from_env() -> None:
+    # Lazy one-shot pickup of REPRO_LOG_JSON: forked workers inherit the env
+    # but not the parent's open file object, so the first emit() in a worker
+    # opens its own append handle.
+    global _sink, _sink_path, _env_checked
+    if _env_checked:
+        return
+    with _lock:
+        if _env_checked:
+            return
+        path = os.environ.get("REPRO_LOG_JSON")
+        if path:
+            try:
+                _sink = open(path, "a", buffering=1, encoding="utf-8")
+                _sink_path = path
+            except OSError:
+                _sink = None
+                _sink_path = None
+        _env_checked = True
+
+
+def emit(event: str, **fields: object) -> None:
+    """Append one event line; a silent no-op when no sink is configured.
+
+    ``rid`` defaults to the thread's bound request id; pass ``rid=...`` to
+    override (workers receive the id inside their task payload rather than
+    via a thread binding).  A ``seconds`` field at or above the slow
+    threshold stamps ``"slow": true``.
+    """
+    _maybe_configure_from_env()
+    sink = _sink
+    if sink is None:
+        return
+    record: dict = {"ts": time.time(), "event": event, "pid": os.getpid()}
+    rid = fields.pop("rid", None) or current_request_id()
+    if rid is not None:
+        record["rid"] = rid
+    record.update(fields)
+    seconds = record.get("seconds")
+    if isinstance(seconds, (int, float)) and seconds >= slow_threshold_seconds():
+        record["slow"] = True
+    line = json.dumps(record, default=str) + "\n"
+    with _lock:
+        try:
+            sink.write(line)
+        except (OSError, ValueError):  # pragma: no cover - sink went away
+            pass
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map an exception to the closed error vocabulary for ``error_kind``.
+
+    Matches on type *names* as well as types so service-layer errors
+    (``ValidationError``, ``ProtocolError``) and engine budget stops
+    (``DisjunctBudgetExceeded``) classify without importing their modules.
+    """
+    names = {cls.__name__ for cls in type(exc).__mro__}
+    # Protocol first: ProtocolError and JSONDecodeError subclass ValueError,
+    # so the validation bucket would otherwise shadow them.
+    if "ProtocolError" in names or isinstance(exc, (json.JSONDecodeError,)):
+        return "protocol"
+    if isinstance(exc, (ValueError, TypeError, KeyError)) or "ValidationError" in names:
+        return "validation"
+    if isinstance(exc, TimeoutError) or "Timeout" in type(exc).__name__:
+        return "timeout"
+    if "DisjunctBudgetExceeded" in names or isinstance(exc, (MemoryError, RecursionError)):
+        return "resource"
+    if isinstance(exc, (OSError, EOFError, ConnectionError)):
+        return "io"
+    return "internal"
+
+
+def _reset_for_tests() -> None:
+    """Close the sink and forget env pickup (test isolation helper)."""
+    global _sink, _sink_path, _env_checked
+    with _lock:
+        if _sink is not None:
+            _sink.close()
+        _sink = None
+        _sink_path = None
+        _env_checked = False
+    if hasattr(_local, "request_id"):
+        _local.request_id = None

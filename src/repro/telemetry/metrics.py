@@ -20,8 +20,13 @@ Two export formats are supported:
   format (version 0.0.4), so a scraper can poll the daemon directly.
 
 Everything here is standard library only and safe to import from pool
-workers; each process has its own registry (a worker's counters die with the
-worker — per-process attribution is a documented limitation).
+workers; each process has its own registry.  Worker registries do not die
+with the worker: pool workers ship a per-task **delta snapshot**
+(:func:`diff_snapshots`) back with each result, and the parent folds it into
+its own registry with :meth:`MetricsRegistry.merge_snapshot` — commutative
+(counters and histogram buckets add), idempotent per task id — so
+``n_jobs > 1`` batches attribute ``learner_phase_seconds`` and friends
+exactly like serial runs.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ import json
 import os
 import threading
 from bisect import bisect_left
+from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 __all__ = [
@@ -44,6 +50,9 @@ __all__ = [
     "histogram",
     "set_enabled",
     "enabled",
+    "diff_snapshots",
+    "histogram_quantile",
+    "series_value",
 ]
 
 LabelValues = Tuple[str, ...]
@@ -120,6 +129,9 @@ class _Metric:
     def _series_exposition(self, labelvalues: LabelValues, state: object) -> List[str]:
         raise NotImplementedError
 
+    def _merge_series(self, state: object, payload: Mapping) -> None:
+        raise NotImplementedError
+
     # -- shared API --------------------------------------------------------
     def _resolve(self, labels: Mapping[str, str]) -> LabelValues:
         if set(labels) != set(self.labelnames):
@@ -142,6 +154,10 @@ class _Metric:
             if not self.labelnames:
                 self._series[()] = self._new_series()
 
+    def _family_extra(self) -> dict:
+        """Extra family-level snapshot fields (histogram bucket bounds)."""
+        return {}
+
     def snapshot(self) -> dict:
         with self._lock:
             series = [
@@ -155,6 +171,7 @@ class _Metric:
             "type": self.kind,
             "help": self.help,
             "labelnames": list(self.labelnames),
+            **self._family_extra(),
             "series": series,
         }
 
@@ -208,6 +225,13 @@ class Counter(_Metric):
     def _series_exposition(self, labelvalues: LabelValues, state: _ScalarSeries) -> List[str]:
         labels = _format_labels(self.labelnames, labelvalues)
         return [f"{self.name}{labels} {_format_value(state.value)}"]
+
+    def _merge_series(self, state: _ScalarSeries, payload: Mapping) -> None:
+        amount = float(payload.get("value", 0.0))
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot merge a negative delta")
+        with state.lock:
+            state.value += amount
 
 
 class BoundCounter:
@@ -263,6 +287,13 @@ class Gauge(_Metric):
         labels = _format_labels(self.labelnames, labelvalues)
         return [f"{self.name}{labels} {_format_value(state.value)}"]
 
+    def _merge_series(self, state: _ScalarSeries, payload: Mapping) -> None:
+        # Gauges describe the *sender's* current level, not an increment:
+        # the merged value is last-writer-wins (deltas only ship changed
+        # gauges, so a quiet worker never clobbers a parent gauge).
+        with state.lock:
+            state.value = float(payload.get("value", 0.0))
+
 
 class _HistogramSeries:
     __slots__ = ("counts", "sum", "count", "lock")
@@ -308,6 +339,9 @@ class Histogram(_Metric):
             state.sum += value
             state.count += 1
 
+    def _family_extra(self) -> dict:
+        return {"buckets": list(self.buckets)}
+
     def _series_snapshot(self, state: _HistogramSeries) -> dict:
         cumulative = 0
         buckets = {}
@@ -316,6 +350,39 @@ class Histogram(_Metric):
             buckets[repr(bound)] = cumulative
         buckets["+Inf"] = state.count
         return {"count": state.count, "sum": state.sum, "buckets": buckets}
+
+    def _merge_series(self, state: _HistogramSeries, payload: Mapping) -> None:
+        """Fold one snapshot series into this one, bucket-wise.
+
+        The wire form carries *cumulative* bucket counts (the Prometheus
+        convention); cumulative counts of a delta are the deltas of the
+        cumulative counts, so un-cumulating and adding per bucket is exact.
+        """
+        incoming = payload.get("buckets", {})
+        expected = {repr(bound) for bound in self.buckets} | {"+Inf"}
+        if incoming and set(incoming) != expected:
+            raise ValueError(
+                f"histogram {self.name!r} cannot merge a snapshot with "
+                f"different bucket bounds"
+            )
+        count = int(payload.get("count", 0))
+        total = float(payload.get("sum", 0.0))
+        per_bucket = []
+        previous = 0
+        for bound in self.buckets:
+            cumulative = int(incoming.get(repr(bound), previous))
+            per_bucket.append(cumulative - previous)
+            previous = cumulative
+        per_bucket.append(count - previous)  # the +Inf bucket
+        if any(increment < 0 for increment in per_bucket) or count < 0:
+            raise ValueError(
+                f"histogram {self.name!r} cannot merge a negative delta"
+            )
+        with state.lock:
+            for index, increment in enumerate(per_bucket):
+                state.counts[index] += increment
+            state.sum += total
+            state.count += count
 
     def _series_exposition(
         self, labelvalues: LabelValues, state: _HistogramSeries
@@ -366,10 +433,15 @@ class MetricsRegistry:
     zero-telemetry baseline; disabled increments are a single attribute check.
     """
 
+    #: Bound on remembered merge task ids (idempotence window).  Far larger
+    #: than any in-flight pool batch; FIFO-evicted beyond that.
+    MERGED_TASKS_LIMIT = 8192
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._metrics: "Dict[str, _Metric]" = {}
         self._enabled = os.environ.get("REPRO_TELEMETRY", "1") != "0"
+        self._merged_tasks: "OrderedDict[str, None]" = OrderedDict()
 
     # -- registration ------------------------------------------------------
     def _register(self, cls: type, name: str, **kwargs: object) -> _Metric:
@@ -427,6 +499,52 @@ class MetricsRegistry:
         for metric in metrics:
             metric.clear()
 
+    # -- cross-process merge ------------------------------------------------
+    def merge_snapshot(
+        self, snapshot: Mapping[str, Mapping], task_id: Optional[str] = None
+    ) -> bool:
+        """Fold a (delta) snapshot from another process into this registry.
+
+        Families absent here are created from the snapshot's own ``type`` /
+        ``help`` / ``labelnames`` (and ``buckets`` for histograms), so a
+        worker can ship series the parent never registered.  Counters and
+        histograms *add* — merging is commutative across workers — while
+        gauges are last-writer-wins.  When ``task_id`` is given, a repeat
+        merge of the same id is a no-op (idempotence for at-least-once
+        delivery); the remembered-id window is bounded by
+        :attr:`MERGED_TASKS_LIMIT`.  Returns True when the snapshot was
+        applied, False when skipped (registry disabled or duplicate task).
+        """
+        if not self._enabled:
+            return False
+        if task_id is not None:
+            with self._lock:
+                if task_id in self._merged_tasks:
+                    return False
+                self._merged_tasks[task_id] = None
+                while len(self._merged_tasks) > self.MERGED_TASKS_LIMIT:
+                    self._merged_tasks.popitem(last=False)
+        for name, family in snapshot.items():
+            kind = family.get("type")
+            labelnames = tuple(family.get("labelnames", ()))
+            help_text = str(family.get("help", ""))
+            if kind == "counter":
+                metric: _Metric = self.counter(name, help=help_text, labelnames=labelnames)
+            elif kind == "gauge":
+                metric = self.gauge(name, help=help_text, labelnames=labelnames)
+            elif kind == "histogram":
+                buckets = tuple(family.get("buckets", ())) or DEFAULT_BUCKETS
+                metric = self.histogram(
+                    name, help=help_text, labelnames=labelnames, buckets=buckets
+                )
+            else:
+                raise ValueError(f"cannot merge metric {name!r} of type {kind!r}")
+            for series in family.get("series", []):
+                labels = series.get("labels", {})
+                labelvalues = tuple(str(labels[label]) for label in metric.labelnames)
+                metric._merge_series(metric._state(labelvalues), series)
+        return True
+
     # -- export ------------------------------------------------------------
     def snapshot(self) -> Dict[str, dict]:
         """A JSON-safe dict: ``{metric_name: {type, help, labelnames, series}}``."""
@@ -478,6 +596,109 @@ def set_enabled(enabled: bool) -> None:
 
 def enabled() -> bool:
     return _REGISTRY.enabled
+
+
+def diff_snapshots(
+    before: Mapping[str, Mapping], after: Mapping[str, Mapping]
+) -> Dict[str, dict]:
+    """The delta between two snapshots of the *same* registry.
+
+    This is the wire form a pool worker ships back with each task result:
+    snapshot at task start, snapshot at task end, diff.  Counters and
+    histograms subtract (only positive deltas are kept); gauges are included
+    only when their value changed, carrying the ``after`` level.  Families
+    and series with no activity between the two snapshots are dropped, so a
+    quiet task ships an empty dict.
+    """
+    delta: Dict[str, dict] = {}
+    for name, family in after.items():
+        kind = family.get("type")
+        base = before.get(name, {})
+        base_series = {
+            tuple(sorted(series.get("labels", {}).items())): series
+            for series in base.get("series", [])
+        }
+        changed = []
+        for series in family.get("series", []):
+            key = tuple(sorted(series.get("labels", {}).items()))
+            prior = base_series.get(key)
+            if kind == "counter":
+                increment = series.get("value", 0.0) - (
+                    prior.get("value", 0.0) if prior else 0.0
+                )
+                if increment > 0:
+                    changed.append({"labels": series.get("labels", {}), "value": increment})
+            elif kind == "gauge":
+                value = series.get("value", 0.0)
+                if prior is None or value != prior.get("value", 0.0):
+                    changed.append({"labels": series.get("labels", {}), "value": value})
+            elif kind == "histogram":
+                prior_count = prior.get("count", 0) if prior else 0
+                count = series.get("count", 0) - prior_count
+                if count <= 0:
+                    continue
+                prior_buckets = prior.get("buckets", {}) if prior else {}
+                # Cumulative counts of the delta are deltas of the
+                # cumulative counts, so bucket-wise subtraction is exact.
+                buckets = {
+                    bound: cumulative - prior_buckets.get(bound, 0)
+                    for bound, cumulative in series.get("buckets", {}).items()
+                }
+                changed.append(
+                    {
+                        "labels": series.get("labels", {}),
+                        "count": count,
+                        "sum": series.get("sum", 0.0)
+                        - (prior.get("sum", 0.0) if prior else 0.0),
+                        "buckets": buckets,
+                    }
+                )
+        if changed:
+            delta[name] = {
+                "type": kind,
+                "help": family.get("help", ""),
+                "labelnames": list(family.get("labelnames", ())),
+                **(
+                    {"buckets": list(family.get("buckets", ()))}
+                    if kind == "histogram" and family.get("buckets")
+                    else {}
+                ),
+                "series": changed,
+            }
+    return delta
+
+
+def histogram_quantile(series: Mapping, q: float) -> Optional[float]:
+    """Estimate the q-quantile of one snapshot histogram series.
+
+    Standard Prometheus-style estimate: find the bucket the target rank
+    falls in and interpolate linearly inside it.  Ranks landing in the
+    ``+Inf`` bucket clamp to the highest finite bound.  Returns None for an
+    empty series.
+    """
+    count = series.get("count", 0)
+    if count <= 0:
+        return None
+    buckets = series.get("buckets", {})
+    finite = sorted(
+        (float(bound), cumulative)
+        for bound, cumulative in buckets.items()
+        if bound != "+Inf"
+    )
+    if not finite:
+        return None
+    rank = q * count
+    previous_bound = 0.0
+    previous_cumulative = 0
+    for bound, cumulative in finite:
+        if cumulative >= rank:
+            in_bucket = cumulative - previous_cumulative
+            if in_bucket <= 0:
+                return bound
+            fraction = (rank - previous_cumulative) / in_bucket
+            return previous_bound + fraction * (bound - previous_bound)
+        previous_bound, previous_cumulative = bound, cumulative
+    return finite[-1][0]
 
 
 def series_value(

@@ -25,9 +25,15 @@ Design notes:
 * A span opened with no enclosing span becomes a *root*; finished roots are
   kept in a bounded process-wide deque (:func:`completed_roots`) so tests and
   diagnostics can observe spans stamped on worker threads they do not own.
-* Process-pool workers trace into their own process's deque; their spans are
-  not visible to the parent (documented limitation — use serial ``n_jobs=1``
-  runs for full traces, which is also where cold-path attribution matters).
+* Process-pool workers trace into their own process's deque; span *trees* are
+  not shipped to the parent (worker wall time still reaches the parent as
+  merged ``worker_task_seconds`` / ``learner_phase_seconds`` metrics — see
+  :meth:`repro.telemetry.metrics.MetricsRegistry.merge_snapshot`).  Use
+  serial ``n_jobs=1`` runs for full in-process trees.
+* Root spans are stamped with the thread's bound request id (see
+  :mod:`repro.telemetry.events`), so a daemon's completed-roots ring can be
+  searched by correlation id (:func:`find_root_by_request`, the ``trace``
+  protocol op behind ``repro trace REQUEST_ID``).
 * :meth:`SpanNode.to_dict` is JSON-safe, so the engine can attach a trace
   tree to ``CertificationReport.runtime_stats["trace"]``.
 """
@@ -41,6 +47,8 @@ from contextlib import contextmanager
 from time import perf_counter
 from typing import Deque, Iterator, List, Optional
 
+from repro.telemetry import events
+
 __all__ = [
     "SpanNode",
     "span",
@@ -49,6 +57,7 @@ __all__ = [
     "completed_roots",
     "clear_completed",
     "find_span",
+    "find_root_by_request",
 ]
 
 _MAX_COMPLETED_ROOTS = 64
@@ -62,23 +71,27 @@ _completed: Deque["SpanNode"] = deque(maxlen=_MAX_COMPLETED_ROOTS)
 class SpanNode:
     """One timed region; ``children`` are the spans opened while it was open."""
 
-    __slots__ = ("name", "duration", "children")
+    __slots__ = ("name", "duration", "children", "request_id")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.duration: float = 0.0
         self.children: List["SpanNode"] = []
+        self.request_id: Optional[str] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SpanNode({self.name!r}, {self.duration:.6f}s, {len(self.children)} children)"
 
     def to_dict(self) -> dict:
         """JSON-safe tree form (attached to ``runtime_stats['trace']``)."""
-        return {
+        tree = {
             "name": self.name,
             "duration_seconds": self.duration,
             "children": [child.to_dict() for child in self.children],
         }
+        if self.request_id is not None:
+            tree["request_id"] = self.request_id
+        return tree
 
     def walk(self) -> Iterator["SpanNode"]:
         yield self
@@ -137,6 +150,8 @@ def span(name: str) -> Iterator[Optional[SpanNode]]:
     parent = stack[-1] if stack else None
     if parent is not None:
         parent.children.append(node)
+    else:
+        node.request_id = events.current_request_id()
     stack.append(node)
     started = perf_counter()
     try:
@@ -167,4 +182,12 @@ def find_span(name: str) -> Optional[SpanNode]:
         for node in root.walk():
             if node.name == name:
                 return node
+    return None
+
+
+def find_root_by_request(request_id: str) -> Optional[SpanNode]:
+    """Search completed roots (newest first) for one stamped ``request_id``."""
+    for root in reversed(completed_roots()):
+        if root.request_id == request_id:
+            return root
     return None

@@ -273,3 +273,90 @@ class TestLifecycle:
     def test_wait_for_server_times_out(self, tmp_path):
         with pytest.raises(TimeoutError, match="no certification server"):
             wait_for_server(tmp_path / "nothing", timeout=0.3, interval=0.05)
+
+
+class TestRequestCorrelation:
+    """Protocol minor 1: the rid frame field and the trace op."""
+
+    def test_hello_reports_the_protocol_minor(self, client):
+        from repro.service.protocol import PROTOCOL_MINOR
+
+        assert client.server_info["protocol_minor"] == PROTOCOL_MINOR
+
+    def test_bound_request_id_travels_in_frames(self, client, tmp_path):
+        import json as json_module
+
+        from repro.telemetry import events
+
+        log = tmp_path / "events.jsonl"
+        events._reset_for_tests()
+        events.configure(str(log))
+        try:
+            with events.bind_request("0123456789abcdef"):
+                client.ping()
+        finally:
+            events.configure(None)
+            events._reset_for_tests()
+        records = [
+            json_module.loads(line) for line in log.read_text().splitlines()
+        ]
+        by_event = {record["event"]: record for record in records}
+        # Client-side timing event and server-side dispatch event both carry
+        # the id the client minted — the cross-process correlation contract.
+        assert by_event["client.request"]["rid"] == "0123456789abcdef"
+        assert by_event["server.dispatch"]["rid"] == "0123456789abcdef"
+        assert by_event["server.dispatch"]["op"] == "ping"
+        assert by_event["server.dispatch"]["outcome"] == "ok"
+
+    def test_unbound_requests_carry_no_rid(self, client, tmp_path):
+        import json as json_module
+
+        from repro.telemetry import events
+
+        log = tmp_path / "events.jsonl"
+        events._reset_for_tests()
+        events.configure(str(log))
+        try:
+            client.ping()
+        finally:
+            events.configure(None)
+            events._reset_for_tests()
+        records = [
+            json_module.loads(line) for line in log.read_text().splitlines()
+        ]
+        assert records
+        assert all("rid" not in record for record in records)
+
+    def test_trace_op_fetches_the_span_tree_by_request_id(self, client):
+        from repro.telemetry import events, tracing
+
+        tracing.enable_spans(True)
+        try:
+            with events.bind_request("feedfacefeedface"):
+                client.certify_batch(
+                    well_separated_dataset(), POINTS, RemovalPoisoningModel(1)
+                )
+            payload = client.trace("feedfacefeedface")
+        finally:
+            tracing.enable_spans(False)
+        assert payload["request_id"] == "feedfacefeedface"
+        tree = payload["trace"]
+        assert tree["request_id"] == "feedfacefeedface"
+        assert tree["duration_seconds"] >= 0
+        names = set()
+
+        def collect(node):
+            names.add(node["name"])
+            for child in node.get("children", ()):
+                collect(child)
+
+        collect(tree)
+        assert "server.certify" in names
+
+    def test_trace_without_tracing_enabled_reports_a_hint(self, client):
+        with pytest.raises(RemoteError, match="--trace"):
+            client.trace("0000000000000000")
+
+    def test_trace_requires_a_request_id(self, client):
+        with pytest.raises(RemoteError, match="request_id"):
+            client.trace("")

@@ -1,0 +1,94 @@
+"""Tests for the `repro top` frame renderer and the trace-tree renderer."""
+
+from repro.telemetry.dashboard import render_dashboard, render_trace
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _activity_snapshot():
+    registry = MetricsRegistry()
+    requests = registry.counter("server_requests_total", "Requests.", ("op",))
+    requests.inc(10, op="certify")
+    requests.inc(3, op="hello")
+    latency = registry.histogram(
+        "server_op_seconds", "Latency.", ("op",), buckets=(0.1, 1.0)
+    )
+    for _ in range(10):
+        latency.observe(0.05, op="certify")
+    lookups = registry.counter("cache_lookups_total", "Lookups.", ("result",))
+    lookups.inc(6, result="hit")
+    lookups.inc(1, result="monotone")
+    lookups.inc(3, result="miss")
+    registry.counter("learner_invocations_total", "Learner runs.").inc(3)
+    tasks = registry.histogram(
+        "worker_task_seconds", "Task time.", ("worker",), buckets=(0.1, 1.0)
+    )
+    tasks.observe(0.05, worker="101")
+    tasks.observe(0.2, worker="102")
+    registry.gauge("worker_utilization", "Busy.", ("worker",)).set(0.75, worker="101")
+    registry.histogram(
+        "dispatch_overhead_seconds", "Dispatch.", buckets=(0.01, 0.1)
+    ).observe(0.005)
+    return registry.snapshot()
+
+
+class TestRenderDashboard:
+    def test_empty_snapshot_renders_placeholder(self):
+        frame = render_dashboard({}, source="local")
+        assert "repro top — local" in frame
+        assert "no activity recorded" in frame
+
+    def test_sections_appear_with_activity(self):
+        frame = render_dashboard(_activity_snapshot())
+        assert "requests" in frame
+        assert "certify" in frame and "hello" in frame
+        assert "cache" in frame
+        assert "70.0%" in frame  # (6 hits + 1 monotone) / 10 lookups
+        assert "certification" in frame
+        assert "workers" in frame
+        assert "101" in frame and "102" in frame
+        assert "75%" in frame
+        assert "dispatch overhead" in frame
+
+    def test_rates_come_from_differencing(self):
+        snapshot = _activity_snapshot()
+        previous = _activity_snapshot()
+        for series in previous["server_requests_total"]["series"]:
+            if series["labels"]["op"] == "certify":
+                series["value"] = 4.0
+        frame = render_dashboard(snapshot, previous, interval=2.0)
+        assert "3.00/s" in frame  # (10 - 4) / 2s
+
+    def test_no_interval_means_no_rate(self):
+        frame = render_dashboard(_activity_snapshot())
+        assert "/s" not in frame
+
+    def test_quantiles_land_inside_bucket_bounds(self):
+        frame = render_dashboard(_activity_snapshot())
+        # 10 certify observations at 50ms in the (0, 100ms] bucket: both
+        # quantiles interpolate within it.
+        assert "ms" in frame
+
+
+class TestRenderTrace:
+    def test_single_node(self):
+        text = render_trace({"name": "server.certify", "duration_seconds": 0.5})
+        assert "server.certify" in text
+        assert "500.000 ms" in text
+
+    def test_children_are_indented(self):
+        tree = {
+            "name": "root",
+            "duration_seconds": 1.0,
+            "children": [
+                {
+                    "name": "child",
+                    "duration_seconds": 0.25,
+                    "children": [{"name": "leaf", "duration_seconds": 0.1}],
+                }
+            ],
+        }
+        lines = render_trace(tree).splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+        assert lines[2].startswith("    leaf")

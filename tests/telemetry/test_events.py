@@ -1,0 +1,172 @@
+"""Tests for the request-correlated structured event log."""
+
+import json
+
+import pytest
+
+from repro.telemetry import events
+
+
+@pytest.fixture(autouse=True)
+def clean_events(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG_JSON", raising=False)
+    monkeypatch.delenv("REPRO_LOG_SLOW_SECONDS", raising=False)
+    events._reset_for_tests()
+    yield
+    events._reset_for_tests()
+
+
+def _lines(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestRequestBinding:
+    def test_no_binding_outside_context(self):
+        assert events.current_request_id() is None
+
+    def test_bind_and_restore(self):
+        with events.bind_request("abc123"):
+            assert events.current_request_id() == "abc123"
+        assert events.current_request_id() is None
+
+    def test_bindings_nest(self):
+        with events.bind_request("outer"):
+            with events.bind_request("inner"):
+                assert events.current_request_id() == "inner"
+            assert events.current_request_id() == "outer"
+
+    def test_bind_none_is_passthrough(self):
+        with events.bind_request("outer"):
+            with events.bind_request(None):
+                assert events.current_request_id() == "outer"
+
+    def test_minted_ids_are_distinct_hex(self):
+        first, second = events.new_request_id(), events.new_request_id()
+        assert first != second
+        assert len(first) == 16
+        int(first, 16)  # raises if not hex
+
+
+class TestEmit:
+    def test_unconfigured_emit_is_a_noop(self, tmp_path):
+        events.emit("x.y", value=1)  # must not raise, must not create files
+        assert list(tmp_path.iterdir()) == []
+
+    def test_emit_writes_one_json_line(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        events.configure(str(log))
+        events.emit("server.dispatch", op="certify", seconds=0.25)
+        (record,) = _lines(log)
+        assert record["event"] == "server.dispatch"
+        assert record["op"] == "certify"
+        assert record["seconds"] == 0.25
+        assert "ts" in record and "pid" in record
+        assert "slow" not in record
+
+    def test_bound_request_id_is_stamped(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        events.configure(str(log))
+        with events.bind_request("feedc0de"):
+            events.emit("a.b")
+        events.emit("c.d")
+        first, second = _lines(log)
+        assert first["rid"] == "feedc0de"
+        assert "rid" not in second
+
+    def test_explicit_rid_overrides_binding(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        events.configure(str(log))
+        with events.bind_request("bound"):
+            events.emit("worker.task", rid="shipped")
+        (record,) = _lines(log)
+        assert record["rid"] == "shipped"
+
+    def test_slow_events_are_flagged(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_SLOW_SECONDS", "0.5")
+        log = tmp_path / "events.jsonl"
+        events.configure(str(log))
+        events.emit("fast.op", seconds=0.49)
+        events.emit("slow.op", seconds=0.5)
+        fast, slow = _lines(log)
+        assert "slow" not in fast
+        assert slow["slow"] is True
+
+    def test_unserializable_fields_degrade_to_str(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        events.configure(str(log))
+        events.emit("x.y", payload=object())
+        (record,) = _lines(log)
+        assert isinstance(record["payload"], str)
+
+
+class TestConfiguration:
+    def test_configure_exports_env_for_forked_workers(self, tmp_path, monkeypatch):
+        import os
+
+        log = tmp_path / "events.jsonl"
+        events.configure(str(log))
+        assert os.environ["REPRO_LOG_JSON"] == str(log)
+        events.configure(None)
+        assert "REPRO_LOG_JSON" not in os.environ
+
+    def test_env_variable_enables_the_sink_lazily(self, tmp_path, monkeypatch):
+        log = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_LOG_JSON", str(log))
+        events._reset_for_tests()
+        events.emit("from.env")
+        assert events.configured_path() == str(log)
+        (record,) = _lines(log)
+        assert record["event"] == "from.env"
+
+    def test_unwritable_env_path_disables_quietly(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_JSON", str(tmp_path / "no" / "such" / "dir" / "f"))
+        events._reset_for_tests()
+        events.emit("x.y")  # must not raise
+        assert events.configured_path() is None
+
+    def test_default_slow_threshold(self):
+        assert events.slow_threshold_seconds() == 1.0
+
+    def test_bogus_slow_threshold_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_SLOW_SECONDS", "not-a-number")
+        assert events.slow_threshold_seconds() == 1.0
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize(
+        "exc, kind",
+        [
+            (ValueError("bad"), "validation"),
+            (TypeError("bad"), "validation"),
+            (KeyError("missing"), "validation"),
+            (TimeoutError(), "timeout"),
+            (MemoryError(), "resource"),
+            (RecursionError(), "resource"),
+            (OSError("io"), "io"),
+            (ConnectionResetError(), "io"),
+            (EOFError(), "io"),
+            (RuntimeError("boom"), "internal"),
+        ],
+    )
+    def test_builtin_exceptions(self, exc, kind):
+        assert events.classify_error(exc) == kind
+
+    def test_service_errors_classify_by_name(self):
+        from repro.service.protocol import ProtocolError
+        from repro.service.server import ValidationError
+
+        # ProtocolError subclasses ValueError; the protocol bucket must win.
+        assert events.classify_error(ProtocolError("framing")) == "protocol"
+        assert events.classify_error(ValidationError("params")) == "validation"
+
+    def test_json_decode_errors_are_protocol(self):
+        try:
+            json.loads("{")
+        except json.JSONDecodeError as error:
+            assert events.classify_error(error) == "protocol"
+
+    def test_timeout_matches_by_name_too(self):
+        class CertificationTimeout(Exception):
+            pass
+
+        assert events.classify_error(CertificationTimeout()) == "timeout"

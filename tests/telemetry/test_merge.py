@@ -1,0 +1,239 @@
+"""Property tests for the cross-process snapshot merge plane.
+
+Pool workers ship :func:`diff_snapshots` deltas back with their results and
+the parent folds them in with :meth:`MetricsRegistry.merge_snapshot`.  The
+whole scheme rests on three algebraic properties — merging is commutative
+across worker deltas, idempotent per task id, and histograms add bucket-wise
+— so those are pinned with hypothesis rather than examples.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    diff_snapshots,
+    histogram_quantile,
+    series_value,
+)
+
+BUCKETS = (0.1, 1.0, 10.0)
+
+# A worker's contribution: counter increments, a gauge value, and a batch of
+# histogram observations, spread over two label values.
+deltas = st.fixed_dictionaries(
+    {
+        "hits": st.integers(min_value=0, max_value=50),
+        "misses": st.integers(min_value=0, max_value=50),
+        "gauge": st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        "observations": st.lists(
+            st.floats(min_value=0.0, max_value=20.0, allow_nan=False), max_size=12
+        ),
+    }
+)
+
+
+def _worker_delta(contribution):
+    """Build one worker's delta snapshot the way _pool_certify does."""
+    registry = MetricsRegistry()
+    baseline = registry.snapshot()
+    lookups = registry.counter("lookups_total", "Lookups.", ("result",))
+    lookups.inc(contribution["hits"], result="hit")
+    lookups.inc(contribution["misses"], result="miss")
+    registry.gauge("depth", "Depth.").set(contribution["gauge"])
+    hist = registry.histogram("dur_seconds", "Durations.", buckets=BUCKETS)
+    for value in contribution["observations"]:
+        hist.observe(value)
+    return diff_snapshots(baseline, registry.snapshot())
+
+
+def _merge_all(contributions, order):
+    parent = MetricsRegistry()
+    for task_id in order:
+        parent.merge_snapshot(_worker_delta(contributions[task_id]), task_id=str(task_id))
+    return parent.snapshot()
+
+
+class TestMergeProperties:
+    @given(st.lists(deltas, min_size=2, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_commutative(self, contributions):
+        forward = _merge_all(contributions, range(len(contributions)))
+        backward = _merge_all(contributions, reversed(range(len(contributions))))
+        # Counters and histograms add, so order cannot matter; the gauge is
+        # last-writer-wins, so compare everything except its value.  Float
+        # sums are only reorder-stable up to rounding, hence approx.
+        assert forward.keys() == backward.keys()
+        # Zero-contribution families are dropped from deltas, so they may be
+        # absent from both merged snapshots — compare via .get.
+        assert forward.get("lookups_total") == backward.get("lookups_total")
+        fwd_series = forward.get("dur_seconds", {}).get("series", [])
+        bwd_series = backward.get("dur_seconds", {}).get("series", [])
+        fwd = {s["labels"].get("op", ""): s for s in fwd_series}
+        bwd = {s["labels"].get("op", ""): s for s in bwd_series}
+        assert fwd.keys() == bwd.keys()
+        for key, entry in fwd.items():
+            assert entry["count"] == bwd[key]["count"]
+            assert entry["buckets"] == bwd[key]["buckets"]
+            assert entry["sum"] == pytest.approx(bwd[key]["sum"])
+
+    @given(deltas)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_idempotent_per_task_id(self, contribution):
+        delta = _worker_delta(contribution)
+        parent = MetricsRegistry()
+        assert parent.merge_snapshot(delta, task_id="t1") is True
+        once = parent.snapshot()
+        assert parent.merge_snapshot(delta, task_id="t1") is False
+        assert parent.snapshot() == once
+
+    @given(st.lists(deltas, min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_histograms_add_bucket_wise(self, contributions):
+        merged = _merge_all(contributions, range(len(contributions)))
+        observations = [
+            value for c in contributions for value in c["observations"]
+        ]
+        series = merged.get("dur_seconds", {}).get("series", [])
+        if not observations:
+            assert not series or series[0]["count"] == 0
+            return
+        (entry,) = series
+        assert entry["count"] == len(observations)
+        assert entry["sum"] == pytest.approx(sum(observations))
+        for bound in BUCKETS:
+            expected = sum(1 for value in observations if value <= bound)
+            assert entry["buckets"][str(bound)] == expected
+        assert entry["buckets"]["+Inf"] == len(observations)
+
+    @given(st.lists(deltas, min_size=1, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_counters_sum_across_workers(self, contributions):
+        merged = _merge_all(contributions, range(len(contributions)))
+        assert series_value(merged, "lookups_total", result="hit") == sum(
+            c["hits"] for c in contributions
+        )
+        assert series_value(merged, "lookups_total", result="miss") == sum(
+            c["misses"] for c in contributions
+        )
+
+
+class TestDiffSnapshots:
+    def test_merge_of_diff_reconstructs_the_after_state(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "Ops.", ("op",))
+        hist = registry.histogram("dur_seconds", "Durations.", buckets=BUCKETS)
+        counter.inc(3, op="a")
+        hist.observe(0.05)
+        before = registry.snapshot()
+        counter.inc(2, op="a")
+        counter.inc(1, op="b")
+        hist.observe(5.0)
+        after = registry.snapshot()
+
+        rebuilt = MetricsRegistry()
+        assert rebuilt.merge_snapshot(before)
+        assert rebuilt.merge_snapshot(diff_snapshots(before, after))
+        assert rebuilt.snapshot() == after
+
+    def test_unchanged_series_are_dropped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "Ops.", ("op",))
+        counter.inc(3, op="idle")
+        before = registry.snapshot()
+        counter.inc(1, op="busy")
+        delta = diff_snapshots(before, registry.snapshot())
+        labels = [s["labels"]["op"] for s in delta["ops_total"]["series"]]
+        assert labels == ["busy"]
+
+    def test_empty_delta_for_identical_snapshots(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", "Ops.").inc()
+        snap = registry.snapshot()
+        assert diff_snapshots(snap, snap) == {}
+
+
+class TestMergeValidation:
+    def test_unknown_metric_type_rejected(self):
+        parent = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot merge"):
+            parent.merge_snapshot({"x": {"type": "summary", "series": []}})
+
+    def test_negative_counter_delta_rejected(self):
+        parent = MetricsRegistry()
+        bad = {
+            "x_total": {
+                "type": "counter",
+                "help": "",
+                "labelnames": [],
+                "series": [{"labels": {}, "value": -1.0}],
+            }
+        }
+        with pytest.raises(ValueError):
+            parent.merge_snapshot(bad)
+
+    def test_mismatched_histogram_buckets_rejected(self):
+        worker = MetricsRegistry()
+        base = worker.snapshot()
+        worker.histogram("dur_seconds", "D.", buckets=(0.5, 2.0)).observe(0.1)
+        delta = diff_snapshots(base, worker.snapshot())
+        parent = MetricsRegistry()
+        parent.histogram("dur_seconds", "D.", buckets=BUCKETS).observe(0.1)
+        with pytest.raises(ValueError, match="bucket"):
+            parent.merge_snapshot(delta)
+
+    def test_disabled_registry_refuses_merges(self):
+        parent = MetricsRegistry()
+        parent.set_enabled(False)
+        assert parent.merge_snapshot({"x_total": {"type": "counter", "series": []}}) is False
+
+    def test_merged_task_ids_are_bounded(self):
+        parent = MetricsRegistry()
+        for index in range(parent.MERGED_TASKS_LIMIT + 10):
+            parent.merge_snapshot({}, task_id=f"t{index}")
+        assert len(parent._merged_tasks) == parent.MERGED_TASKS_LIMIT
+        # The oldest ids were evicted, so re-merging them is allowed again.
+        assert parent.merge_snapshot({}, task_id="t0") is True
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_a_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("dur_seconds", "D.", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.5, 1.5):
+            hist.observe(value)
+        (series,) = registry.snapshot()["dur_seconds"]["series"]
+        # Ranks beyond the first bucket land in (1.0, 2.0].
+        assert 1.0 <= histogram_quantile(series, 0.9) <= 2.0
+
+    def test_inf_rank_clamps_to_highest_finite_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("dur_seconds", "D.", buckets=(1.0,))
+        hist.observe(100.0)
+        (series,) = registry.snapshot()["dur_seconds"]["series"]
+        assert histogram_quantile(series, 0.99) == 1.0
+
+    def test_empty_series_has_no_quantile(self):
+        registry = MetricsRegistry()
+        registry.histogram("dur_seconds", "D.", buckets=(1.0,))
+        snapshot = registry.snapshot()["dur_seconds"]["series"]
+        assert not snapshot or histogram_quantile(snapshot[0], 0.5) is None
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_is_bounded_by_observed_bucket_span(self, values, q):
+        registry = MetricsRegistry()
+        hist = registry.histogram("dur_seconds", "D.", buckets=BUCKETS)
+        for value in values:
+            hist.observe(value)
+        (series,) = registry.snapshot()["dur_seconds"]["series"]
+        estimate = histogram_quantile(series, q)
+        assert estimate is not None
+        assert 0.0 <= estimate <= BUCKETS[-1]

@@ -146,6 +146,31 @@ class TestRegistry:
         assert "dur_seconds_sum 0.5" in text
         assert "dur_seconds_count 1" in text
 
+    def test_prometheus_escapes_label_values(self, registry):
+        # The exposition format requires backslash, quote, and newline
+        # escapes inside label values — in that order, so the backslash
+        # introduced by escaping a quote is not itself re-escaped.
+        counter = registry.counter("paths_total", "Paths.", ("path",))
+        counter.inc(path='a\\b"c\nd')
+        text = registry.to_prometheus()
+        assert 'paths_total{path="a\\\\b\\"c\\nd"} 1' in text
+        # Each sample still occupies exactly one physical line.
+        sample_lines = [l for l in text.splitlines() if l.startswith("paths_total{")]
+        assert len(sample_lines) == 1
+
+    def test_prometheus_escapes_each_character_independently(self, registry):
+        cases = {
+            "back\\slash": 'back\\\\slash',
+            'quo"te': 'quo\\"te',
+            "new\nline": "new\\nline",
+        }
+        counter = registry.counter("vals_total", "Vals.", ("v",))
+        for raw in cases:
+            counter.inc(v=raw)
+        text = registry.to_prometheus()
+        for escaped in cases.values():
+            assert f'vals_total{{v="{escaped}"}} 1' in text
+
     def test_series_value_missing_returns_zero(self, registry):
         snap = registry.snapshot()
         assert series_value(snap, "never_registered_total") == 0.0

@@ -110,3 +110,68 @@ class TestRuntimeWiring:
         # The sqlite histogram saw at least the lookups and the stores.
         assert _delta(before_cold, after_warm, "cache_sqlite_seconds", op="lookup") >= 4
         assert _delta(before_cold, after_cold, "cache_sqlite_seconds", op="store") >= 2
+
+
+class TestWorkerShipping:
+    """Pool workers ship metric deltas home; the parent merges them."""
+
+    def _pooled_report(self, registry, log_path=None):
+        from tests.conftest import well_separated_dataset
+
+        engine = CertificationEngine(max_depth=1, domain="box")
+        dataset = well_separated_dataset()
+        points = [[0.5], [11.0], [5.0], [1.2]]
+        before = registry.snapshot()
+        report = engine.verify(
+            CertificationRequest(dataset, points, 1), n_jobs=2
+        )
+        return before, registry.snapshot(), report
+
+    def test_pooled_verify_merges_worker_series(self, registry):
+        before, after, report = self._pooled_report(registry)
+        assert report.total == 4
+        # learner_phase_seconds is recorded inside the workers; seeing it
+        # move in the parent proves the delta shipping + merge round trip.
+        phase_moved = sum(
+            series["count"]
+            for series in after.get("learner_phase_seconds", {}).get("series", [])
+        ) - sum(
+            series["count"]
+            for series in before.get("learner_phase_seconds", {}).get("series", [])
+        )
+        assert phase_moved > 0
+        assert _delta(before, after, "learner_invocations_total") == 4
+
+    def test_pooled_verify_records_dispatch_and_task_series(self, registry):
+        before, after, report = self._pooled_report(registry)
+        dispatch = after.get("dispatch_overhead_seconds", {}).get("series", [])
+        assert dispatch and dispatch[0]["count"] >= 4
+        workers = after.get("worker_task_seconds", {}).get("series", [])
+        assert sum(series["count"] for series in workers) >= 4
+        utilization = after.get("worker_utilization", {}).get("series", [])
+        assert utilization
+        assert all(0.0 <= series["value"] <= 1.0 for series in utilization)
+
+    def test_worker_task_events_carry_the_bound_request_id(self, registry, tmp_path):
+        from repro.telemetry import events
+
+        log = tmp_path / "events.jsonl"
+        events._reset_for_tests()
+        events.configure(str(log))
+        try:
+            with events.bind_request("cafe0123cafe0123"):
+                self._pooled_report(registry)
+        finally:
+            events.configure(None)
+            events._reset_for_tests()
+        import json as json_module
+
+        records = [
+            json_module.loads(line) for line in log.read_text().splitlines()
+        ]
+        tasks = [r for r in records if r["event"] == "worker.task"]
+        assert len(tasks) >= 4
+        assert {r["rid"] for r in tasks} == {"cafe0123cafe0123"}
+        assert {r["pid"] for r in tasks} - {records[0]["pid"]}, (
+            "worker.task events must come from pool worker processes"
+        )

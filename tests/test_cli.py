@@ -316,3 +316,85 @@ class TestSweepCommand:
         ]
         header = csv_path.read_text().splitlines()[0]
         assert header == "index,n_remove,n_flip,probes"
+
+
+class TestObservabilityCommands:
+    """`repro top`, `repro trace`, `--log-json`, and request-id minting."""
+
+    def test_top_parser_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.connect is None
+        assert args.interval == 2.0
+        assert args.iterations == 0
+
+    def test_top_renders_one_local_frame(self, capsys):
+        assert main(["top", "--iterations", "1", "--no-clear"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+
+    def test_trace_misses_locally_with_a_hint(self, capsys):
+        assert main(["trace", "0123456789abcdef"]) == 2
+        err = capsys.readouterr().err
+        assert "0123456789abcdef" in err
+        assert "--connect" in err
+
+    def test_log_json_emits_correlated_events_and_prints_the_id(
+        self, capsys, tmp_path
+    ):
+        import json as json_module
+
+        from repro.telemetry import events
+
+        log = tmp_path / "events.jsonl"
+        events._reset_for_tests()
+        try:
+            code = main(
+                ["verify", "iris", "--point", "0", "--n", "1", "--depth", "1",
+                 "--scale", "0.3", "--log-json", str(log)]
+            )
+        finally:
+            events.configure(None)
+            events._reset_for_tests()
+        assert code in (0, 1)  # 0 = certified, 1 = inconclusive
+        err = capsys.readouterr().err
+        assert "[request id " in err
+        rid = err.split("[request id ")[1].split("]")[0]
+        records = [
+            json_module.loads(line) for line in log.read_text().splitlines()
+        ]
+        assert {r["event"] for r in records} >= {"cli.command", "cli.exit"}
+        assert {r.get("rid") for r in records} == {rid}
+
+    def test_top_and_trace_against_a_live_daemon(self, capsys, tmp_path):
+        from repro.service import CertificationServer, wait_for_server
+        from repro.telemetry import events, tracing
+
+        server = CertificationServer(tmp_path / "s", cache_dir=tmp_path / "cache")
+        tracing.enable_spans(True)
+        try:
+            with server:
+                wait_for_server(server.socket_path, timeout=30)
+                connect = ["--connect", str(server.socket_path)]
+                log = tmp_path / "events.jsonl"
+                assert main(
+                    ["certify", "iris", "--model", "removal", "--n", "1",
+                     "--points", "1", "--depth", "1", "--scale", "0.3",
+                     "--quiet", "--log-json", str(log), *connect]
+                ) == 0
+                err = capsys.readouterr().err
+                rid = err.split("[request id ")[1].split("]")[0]
+
+                assert main(["top", "--iterations", "1", "--no-clear", *connect]) == 0
+                top_out = capsys.readouterr().out
+                assert "certify" in top_out
+
+                assert main(["trace", rid, *connect]) == 0
+                trace_out = capsys.readouterr().out
+                assert "server.certify" in trace_out
+
+                assert main(["trace", "ffffffffffffffff", *connect]) == 2
+                assert "ffffffffffffffff" in capsys.readouterr().err
+        finally:
+            tracing.enable_spans(False)
+            events.configure(None)
+            events._reset_for_tests()
