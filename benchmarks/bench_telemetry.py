@@ -42,7 +42,7 @@ BATCH_POINTS = 64
 POOLED_POINTS = 16
 REPETITIONS = 9
 MAX_COUNTER_OVERHEAD = 0.05
-MIN_ATTRIBUTED_FRACTION = 0.8
+MIN_ATTRIBUTED_FRACTION = 0.95
 MAX_MERGE_FRACTION = 0.05
 
 
@@ -112,7 +112,7 @@ def bench_warm_overhead(cache_dir: Path) -> dict:
 
 
 def bench_trace_coverage() -> dict:
-    """A traced cold run must attribute >=80% of its wall time to spans."""
+    """A traced cold run must attribute >=95% of its wall time to spans."""
     dataset = _dataset()
     request = _request(dataset)
     engine = CertificationEngine(max_depth=1, domain="box")
@@ -129,7 +129,9 @@ def bench_trace_coverage() -> dict:
         return min(1.0, children / node["duration_seconds"])
 
     root_fraction = covered(trace)
-    per_point = [covered(child) for child in trace["children"]]
+    # Per-point coverage only makes sense for the point-delivery spans; the
+    # batch-level leaves (plan build, scheduler dispatch) have no children.
+    per_point = [covered(child) for child in trace["children"] if child["children"]]
     return {
         "root_span": trace["name"],
         "root_seconds": trace["duration_seconds"],

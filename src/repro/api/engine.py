@@ -60,7 +60,7 @@ from repro.poisoning.models import (
     PerturbationModel,
     resolve_model_classes,
 )
-from repro.runtime.fingerprint import fingerprint_dataset
+from repro.runtime.fingerprint import fingerprint_dataset, point_digest
 from repro.runtime.shm import SharedDatasetHandle
 from repro.telemetry import events, metrics, tracing
 from repro.telemetry import profiling
@@ -152,6 +152,23 @@ _WORKER_MERGE_SECONDS = metrics.histogram(
     "worker_merge_seconds",
     "Parent-side merge cost per worker metric delta.",
 )
+#: Filter steps of Box-domain runs, by how they were served: ``reused`` steps
+#: replayed a warm trace from a prior budget probe of the same (point,
+#: family) by pure budget arithmetic; ``replayed`` steps ran the real
+#: split/join kernels (first probe, or a step whose abstract decisions
+#: changed with the budget).
+_TRACE_WARMSTART = metrics.counter(
+    "trace_warmstart_total",
+    "Box-learner filter steps served from a warm ladder trace (result=reused) "
+    "versus computed by the split/join kernels (result=replayed).",
+    labelnames=("result",),
+)
+_TRACE_REUSED = _TRACE_WARMSTART.labels(result="reused")
+_TRACE_REPLAYED = _TRACE_WARMSTART.labels(result="replayed")
+
+#: Engine-level bound on retained ladder traces (cleared wholesale on
+#: overflow, like the split-plan caches).
+_TRACE_CACHE_SIZE = 512
 
 
 @dataclass(frozen=True)
@@ -223,6 +240,15 @@ class CertificationEngine:
     _scheduler: Optional[CertificationScheduler] = field(
         init=False, repr=False, default=None
     )
+    # Warm-start ladder traces, keyed (dataset fingerprint, point digest,
+    # family).  Plain dict under the GIL: values are immutable LadderTrace
+    # objects and a lost race merely recomputes one filter step.
+    _trace_cache: dict = field(init=False, repr=False, default_factory=dict)
+    # Per-thread (steps, reused) accumulators consumed by the runtime/search
+    # layers for `trace_reuse_fraction` reporting.
+    _trace_local: threading.local = field(
+        init=False, repr=False, default_factory=threading.local
+    )
 
     def __post_init__(self) -> None:
         if self.domain not in DOMAINS:
@@ -255,12 +281,16 @@ class CertificationEngine:
         state["runtime"] = None
         state["_scheduler"] = None
         state["_plan_lock"] = None
+        state["_trace_cache"] = {}
+        state["_trace_local"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._plan_cache = OrderedDict()
         self._plan_lock = threading.Lock()
+        self._trace_cache = {}
+        self._trace_local = threading.local()
 
     @property
     def scheduler(self) -> CertificationScheduler:
@@ -413,9 +443,20 @@ class CertificationEngine:
             kind="shared" if shared_handle is not None else "inline",
         )
         request_id = events.current_request_id()
+        # Chunked dispatch: one pool task per *group* of rows, not per row.
+        # Per-row tasks made the pool slower than serial on fast workloads —
+        # each task pays pickling, queue latency, and a metrics snapshot diff,
+        # which for sub-100ms certifications outweighed the certification
+        # itself.  ~4 chunks per worker keeps the pool load-balanced against
+        # stragglers while amortizing the per-task overhead.
+        chunk = max(1, -(-len(rows) // (4 * workers)))
         tasks = [
-            _WorkerTask(row=row, submitted_at=time.time(), request_id=request_id)
-            for row in rows
+            _WorkerTask(
+                rows=rows[start : start + chunk],
+                submitted_at=time.time(),
+                request_id=request_id,
+            )
+            for start in range(0, len(rows), chunk)
         ]
         registry = metrics.get_registry()
         busy_seconds: dict = {}
@@ -428,7 +469,6 @@ class CertificationEngine:
                 initargs=(self, payload, model),
             ) as executor:
                 for envelope in executor.map(_pool_certify, tasks):
-                    yielded += 1
                     merge_started = time.perf_counter()
                     if envelope.metrics_delta:
                         registry.merge_snapshot(
@@ -442,7 +482,8 @@ class CertificationEngine:
                     busy_seconds[envelope.worker] = (
                         busy_seconds.get(envelope.worker, 0.0) + envelope.task_seconds
                     )
-                    yield envelope.result
+                    yield from envelope.results
+                    yielded += len(envelope.results)
             wall = time.perf_counter() - pool_started
             if wall > 0:
                 for worker, seconds in busy_seconds.items():
@@ -562,6 +603,12 @@ class CertificationEngine:
             if plan is not None:
                 self._plan_cache.move_to_end(key)
                 return plan
+        with profiling.phase("plan"):
+            return self._build_plan(dataset, model, key)
+
+    def _build_plan(
+        self, dataset: Dataset, model: PerturbationModel, key: tuple
+    ) -> _RequestPlan:
         budget = model.resolve_budget(len(dataset))
         amount = model.nominal_amount(len(dataset))
         log10_datasets = model.log10_num_neighbors(len(dataset))
@@ -618,8 +665,13 @@ class CertificationEngine:
             trainset = plan.removal_trainset
             domains = _DOMAIN_LADDERS["removal"][self.domain]
         family = "flip" if plan.flip_trainset is not None else "removal"
+        # Warm-start key for the Box rungs: budget-independent on purpose, so
+        # the next probe of the same (dataset, point, family) at budget n+1
+        # (or the next (r, f) staircase step) finds this probe's trace.
+        trace_key = (fingerprint_dataset(dataset), point_digest(x), family)
         with tracing.span("engine.certify_one"):
-            predicted = int(self._trace_learner.predict(dataset, x))
+            with profiling.phase("concrete_predict"):
+                predicted = int(self._trace_learner.predict(dataset, x))
             watch = Stopwatch().start()
             budget = (
                 TimeBudget(self.timeout_seconds)
@@ -629,7 +681,9 @@ class CertificationEngine:
             last_result: Optional[VerificationResult] = None
             with MemoryTracker() as memory:
                 for domain in domains:
-                    outcome = self._run_domain(domain, trainset, x, budget)
+                    outcome = self._run_domain(
+                        domain, trainset, x, budget, trace_key=trace_key
+                    )
                     result = self._build_result(
                         outcome,
                         domain=domain,
@@ -663,16 +717,27 @@ class CertificationEngine:
         trainset: Union[AbstractTrainingSet, "FlipAbstractTrainingSet"],
         x: Sequence[float],
         budget: TimeBudget,
+        *,
+        trace_key: Optional[tuple] = None,
     ) -> "_DomainOutcome":
         """Run one rung of the domain ladder; same learners for every family."""
-        learner = (
-            self._disjunctive_learner
-            if domain in ("disjuncts", FLIP_DISJUNCTS_DOMAIN)
-            else self._box_learner
-        )
+        is_box = domain not in ("disjuncts", FLIP_DISJUNCTS_DOMAIN)
+        learner = self._box_learner if is_box else self._disjunctive_learner
         try:
             with profiling.ladder_stage(domain), tracing.span(f"ladder.{domain}"):
-                run = learner.run(trainset, x, time_budget=budget)
+                if is_box:
+                    warm = (
+                        self._trace_cache.get(trace_key)
+                        if trace_key is not None
+                        else None
+                    )
+                    run = learner.run(
+                        trainset, x, time_budget=budget, warm_trace=warm
+                    )
+                    if trace_key is not None:
+                        self._record_trace(trace_key, run)
+                else:
+                    run = learner.run(trainset, x, time_budget=budget)
         except TimeoutExceeded as error:
             return _DomainOutcome(run=None, failure=VerificationStatus.TIMEOUT, message=str(error))
         except (DisjunctBudgetExceeded, MemoryError) as error:
@@ -682,6 +747,36 @@ class CertificationEngine:
                 message=str(error),
             )
         return _DomainOutcome(run=run, failure=None, message="")
+
+    def _record_trace(self, trace_key: tuple, run: AbstractRunResult) -> None:
+        """Retain a Box run's trace and account its warm-start effectiveness."""
+        if run.trace is not None:
+            if len(self._trace_cache) >= _TRACE_CACHE_SIZE:
+                self._trace_cache.clear()
+            self._trace_cache[trace_key] = run.trace
+        reused = run.trace_reused
+        computed = run.trace_steps - reused
+        if reused:
+            _TRACE_REUSED.inc(reused)
+        if computed:
+            _TRACE_REPLAYED.inc(computed)
+        local = self._trace_local
+        local.steps = getattr(local, "steps", 0) + run.trace_steps
+        local.reused = getattr(local, "reused", 0) + reused
+
+    def consume_trace_stats(self) -> Tuple[int, int]:
+        """``(filter_steps, warm_reused)`` accumulated on this thread; resets.
+
+        The runtime's batch stats and the search-protocol results read their
+        ``trace_reuse_fraction`` from this delta, so concurrent threads on a
+        shared engine cannot attribute each other's steps to their operation.
+        """
+        local = self._trace_local
+        steps = int(getattr(local, "steps", 0))
+        reused = int(getattr(local, "reused", 0))
+        local.steps = 0
+        local.reused = 0
+        return steps, reused
 
     def _build_result(
         self,
@@ -753,22 +848,23 @@ _POOL_STATE: dict = {}
 
 @dataclass(frozen=True)
 class _WorkerTask:
-    """One pool task: the row plus its submit timestamp and request id.
+    """One pool task: a chunk of rows plus its submit timestamp and request id.
 
     ``submitted_at`` is ``time.time()`` (wall clock — ``perf_counter`` is not
     comparable across processes) so the worker can report dispatch overhead.
     """
 
-    row: np.ndarray
+    rows: Sequence[np.ndarray]
     submitted_at: float
     request_id: Optional[str]
 
 
 @dataclass(frozen=True)
 class _WorkerEnvelope:
-    """A worker's reply: the verdict plus the telemetry to merge parent-side."""
+    """A worker's reply: the chunk's verdicts plus the telemetry to merge
+    parent-side."""
 
-    result: VerificationResult
+    results: Sequence[VerificationResult]
     task_id: str
     worker: str
     task_seconds: float
@@ -803,9 +899,12 @@ def _pool_certify(task: _WorkerTask) -> _WorkerEnvelope:
     started = time.time()
     dispatch_seconds = max(0.0, started - task.submitted_at)
     task_started = time.perf_counter()
-    result = state["engine"]._certify_one(
-        state["dataset"], task.row, state["model"], state["plan"]
-    )
+    results = [
+        state["engine"]._certify_one(
+            state["dataset"], row, state["model"], state["plan"]
+        )
+        for row in task.rows
+    ]
     task_seconds = time.perf_counter() - task_started
     worker = str(os.getpid())
     state["task_counter"] += 1
@@ -813,6 +912,7 @@ def _pool_certify(task: _WorkerTask) -> _WorkerEnvelope:
     after = metrics.get_registry().snapshot()
     delta = metrics.diff_snapshots(state["baseline"], after)
     state["baseline"] = after
+    statuses = {r.status.value for r in results}
     events.emit(
         "worker.task",
         rid=task.request_id,
@@ -820,10 +920,11 @@ def _pool_certify(task: _WorkerTask) -> _WorkerEnvelope:
         task_id=task_id,
         seconds=task_seconds,
         dispatch_seconds=dispatch_seconds,
-        status=result.status.value,
+        points=len(results),
+        status=statuses.pop() if len(statuses) == 1 else "mixed",
     )
     return _WorkerEnvelope(
-        result=result,
+        results=results,
         task_id=task_id,
         worker=worker,
         task_seconds=task_seconds,

@@ -214,12 +214,13 @@ class CertificationScheduler:
         overlap behaves exactly as before this layer existed.
         """
         engine = self._engine
-        fp = fingerprint_dataset(dataset)
-        family, budget = model_cache_key(model, len(dataset))
-        engine_key = engine_cache_key(engine)
-        keys: List[InflightKey] = [
-            (fp, point_digest(row), family, budget, engine_key) for row in rows
-        ]
+        with tracing.span("scheduler.dispatch"):
+            fp = fingerprint_dataset(dataset)
+            family, budget = model_cache_key(model, len(dataset))
+            engine_key = engine_cache_key(engine)
+            keys: List[InflightKey] = [
+                (fp, point_digest(row), family, budget, engine_key) for row in rows
+            ]
         owned_indices: List[int] = []
         owned_futures: Dict[InflightKey, "Future[VerificationResult]"] = {}
         leases: Dict[int, "Future[VerificationResult]"] = {}
@@ -274,17 +275,18 @@ class CertificationScheduler:
             for index in range(len(rows)):
                 lease = leases.get(index)
                 if lease is None:
-                    try:
-                        result = next(computed)
-                    except StopIteration:
-                        # The batch machinery truncated the stream (a
-                        # runtime's max_new_points budget ran out); end this
-                        # stream the same way — un-computed futures are
-                        # released as abandoned below.
-                        return
-                    future = owned_futures.get(keys[index])
-                    if future is not None and not future.done():
-                        future.set_result(result)
+                    with tracing.span("scheduler.point"):
+                        try:
+                            result = next(computed)
+                        except StopIteration:
+                            # The batch machinery truncated the stream (a
+                            # runtime's max_new_points budget ran out); end
+                            # this stream the same way — un-computed futures
+                            # are released as abandoned below.
+                            return
+                        future = owned_futures.get(keys[index])
+                        if future is not None and not future.done():
+                            future.set_result(result)
                     yield result
                     continue
                 wait_started = Stopwatch().start()

@@ -1,0 +1,371 @@
+"""Per-dataset split-table plans: presorted feature orders, per-node tables.
+
+``feature_split_table`` re-argsorts each feature column at every tree node of
+every probe.  A :class:`SplitTablePlan` amortizes that work per *dataset*: one
+global stable sort per feature when the plan is built, after which the table
+for any node (an index subset along a predicate path) is derived by filtering
+the presorted order with a boolean mask — O(N) per feature instead of
+O(N log N), and byte-identical to the direct construction because a stable
+global sort restricted to a subset *is* the stable sort of that subset
+(node index arrays are ascending, and candidate boundaries only sit between
+distinct values anyway).
+
+Two properties make the plan widely shareable (ISSUE 8, layer 2):
+
+* ``split_down`` keeps indices that depend only on the predicate path, never
+  on the poisoning budget — so node tables are reused verbatim across the
+  budget probes of a sweep or Pareto staircase;
+* tables depend only on ``(X, y, indices)``, not on the threat family — so
+  the removal, flip, and composite transformers over the same dataset all hit
+  the same cache entries.
+
+Plans are memoized per dataset *instance* as a hidden attribute on the frozen
+dataclass (the ``fingerprint_dataset`` trick), so the hot-path lookup is one
+dict probe; ``clear_plans`` strips them for cold benchmarks.  Cache
+effectiveness is observable as ``split_table_cache_total{result}``.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.predicates import SymbolicThresholdPredicate, ThresholdPredicate
+from repro.core.splitter import FeatureSplitTable, table_from_sorted
+from repro.telemetry import metrics, profiling
+
+#: Per-plan bound on distinct node tables kept alive (LRU evicted beyond it).
+NODE_TABLE_CACHE_SIZE = 256
+
+#: Per-plan bound on cached split-down index results.  Entries are small (one
+#: child index array each) but numerous: the disjunctive learner splits every
+#: live disjunct by every candidate predicate, so a single exhausting probe
+#: can produce tens of thousands of distinct (indices, predicate, branch)
+#: keys — the cap must comfortably hold one probe's worth.
+SPLIT_CACHE_SIZE = 32768
+
+#: Per-plan bound on memoized ``bestSplit#`` outcomes (keyed by node + budget).
+BEST_SPLIT_CACHE_SIZE = 4096
+
+_SPLIT_TABLE_CACHE = metrics.counter(
+    "split_table_cache_total",
+    "Per-node split-table derivations served from a SplitTablePlan cache "
+    "(result=hit) versus built by filtering the presorted order (result=miss).",
+    labelnames=("result",),
+)
+
+
+class NodeTables:
+    """Per-feature split tables of one node, plus stacked score inputs.
+
+    ``stacked`` lazily concatenates the threshold candidates of *every*
+    feature so the abstract scorers can bound all of a node's candidates in
+    one vectorized kernel call instead of one per feature;
+    ``offsets[f]:offsets[f+1]`` recovers feature ``f``'s slice in candidate
+    order.  Callers that score categorical features differently (the removal
+    transformer's equality-pool path) simply ignore those slices.
+    """
+
+    __slots__ = ("tables", "_stacked")
+
+    def __init__(self, tables: Tuple[FeatureSplitTable, ...]) -> None:
+        self.tables = tables
+        self._stacked: Optional[StackedCandidates] = None
+
+    def __getitem__(self, feature: int) -> FeatureSplitTable:
+        return self.tables[feature]
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    @property
+    def stacked(self) -> Optional["StackedCandidates"]:
+        """Concatenated threshold candidates, or ``None`` when there are none."""
+        stacked = self._stacked
+        if stacked is None:
+            counts = [table.n_candidates for table in self.tables]
+            offsets = np.zeros(len(self.tables) + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            total = int(offsets[-1])
+            if total == 0:
+                return None
+            pieces = [table for table in self.tables if table.n_candidates]
+            stacked = StackedCandidates(
+                offsets=offsets,
+                left_sizes=np.concatenate([p.left_sizes for p in pieces]),
+                left_class_counts=np.concatenate(
+                    [p.left_class_counts for p in pieces]
+                ),
+                total_size=pieces[0].total_size,
+                total_class_counts=pieces[0].total_class_counts,
+            )
+            self._stacked = stacked
+        return stacked
+
+
+@dataclass(frozen=True)
+class StackedCandidates:
+    """All threshold candidates of one node, concatenated in feature order."""
+
+    offsets: np.ndarray  # (n_features + 1,) candidate-range starts per feature
+    left_sizes: np.ndarray  # (c,)
+    left_class_counts: np.ndarray  # (c, k)
+    total_size: int
+    total_class_counts: np.ndarray  # (k,)
+
+    @property
+    def right_sizes(self) -> np.ndarray:
+        return self.total_size - self.left_sizes
+
+    @property
+    def right_class_counts(self) -> np.ndarray:
+        return self.total_class_counts[np.newaxis, :] - self.left_class_counts
+
+    def feature_slice(self, feature: int) -> slice:
+        return slice(int(self.offsets[feature]), int(self.offsets[feature + 1]))
+
+
+class SplitTablePlan:
+    """Presorted per-feature orders for one dataset plus node-level caches.
+
+    The per-node caches are plain dicts read and written without locks: every
+    individual dict operation is atomic under the GIL, entries are immutable
+    once stored, and a lost race merely recomputes a value.  Eviction empties
+    a cache wholesale when it overflows its cap — refilling is cheap relative
+    to tracking recency on the hot path.
+    """
+
+    __slots__ = (
+        "dataset",
+        "_sorted_values",
+        "_sorted_labels",
+        "_orders",
+        "_columns",
+        "_node_cache",
+        "_split_cache",
+        "_best_split_cache",
+        "__weakref__",
+    )
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        X = dataset.X
+        y = dataset.y
+        orders = []
+        sorted_values = []
+        sorted_labels = []
+        columns = []
+        for feature in range(X.shape[1]):
+            column = np.ascontiguousarray(X[:, feature])
+            columns.append(column)
+            order = np.argsort(column, kind="stable")
+            orders.append(order)
+            sorted_values.append(column[order])
+            sorted_labels.append(y[order])
+        self._orders: Tuple[np.ndarray, ...] = tuple(orders)
+        self._sorted_values: Tuple[np.ndarray, ...] = tuple(sorted_values)
+        self._sorted_labels: Tuple[np.ndarray, ...] = tuple(sorted_labels)
+        self._columns: Tuple[np.ndarray, ...] = tuple(columns)
+        self._node_cache: Dict[bytes, NodeTables] = {}
+        self._split_cache: Dict[tuple, tuple] = {}
+        self._best_split_cache: Dict[tuple, object] = {}
+
+    def node_tables(self, indices: np.ndarray) -> NodeTables:
+        """All per-feature split tables of the node selecting ``indices``.
+
+        ``indices`` must be the sorted/unique index array of an abstract
+        element over this plan's dataset (the invariant every
+        ``AbstractTrainingSet`` / ``FlipAbstractTrainingSet`` maintains).
+        """
+        key = indices.tobytes()
+        cached = self._node_cache.get(key)
+        if cached is not None:
+            _SPLIT_TABLE_CACHE.inc(result="hit")
+            return cached
+        _SPLIT_TABLE_CACHE.inc(result="miss")
+        with profiling.phase("split_table"):
+            tables = NodeTables(self._build_node_tables(indices))
+        if len(self._node_cache) >= NODE_TABLE_CACHE_SIZE:
+            self._node_cache.clear()
+        self._node_cache[key] = tables
+        return tables
+
+    def _build_node_tables(
+        self, indices: np.ndarray
+    ) -> Tuple[FeatureSplitTable, ...]:
+        n_classes = self.dataset.n_classes
+        mask = np.zeros(len(self.dataset), dtype=bool)
+        mask[indices] = True
+        tables = []
+        for feature, order in enumerate(self._orders):
+            keep = mask[order]
+            tables.append(
+                table_from_sorted(
+                    self._sorted_values[feature][keep],
+                    self._sorted_labels[feature][keep],
+                    feature,
+                    n_classes,
+                )
+            )
+        return tuple(tables)
+
+    # ------------------------------------------------------ split-down cache
+    # ``split_down`` keeps the subset of ``indices`` selected by a predicate
+    # branch — a function of (indices, predicate, branch) only, never of the
+    # poisoning budgets.  Budget probes and the disjunctive learner's many
+    # same-rows/different-budget disjuncts therefore share these results
+    # verbatim; the caller re-derives budgets from the returned counts.
+
+    def symbolic_split(
+        self, indices: np.ndarray, feature: int, low: float, high: float, branch: bool
+    ) -> Tuple[np.ndarray, int, int]:
+        """Rows surviving ``x_f <= [low, high)`` (or its negation).
+
+        Returns ``(loose_indices, tight_count, loose_count)`` where the tight
+        side (``x <= low`` resp. ``x >= high``) is a subset of the loose side
+        (``x < high`` resp. ``x > low``) because ``low < high``.
+        """
+        key = (indices.tobytes(), feature, low, high, branch)
+        cached = self._split_cache.get(key)
+        if cached is not None:
+            return cached
+        values = self._columns[feature][indices]
+        if branch:
+            tight = values <= low
+            loose = values < high
+        else:
+            tight = values >= high
+            loose = values > low
+        result = (
+            indices[loose],
+            int(np.count_nonzero(tight)),
+            int(np.count_nonzero(loose)),
+        )
+        result[0].setflags(write=False)
+        if len(self._split_cache) >= SPLIT_CACHE_SIZE:
+            self._split_cache.clear()
+        self._split_cache[key] = result
+        return result
+
+    def threshold_split(
+        self, indices: np.ndarray, feature: int, threshold: float, branch: bool
+    ) -> np.ndarray:
+        """Rows surviving ``x_f <= threshold`` (or its negation)."""
+        key = (indices.tobytes(), feature, threshold, branch)
+        cached = self._split_cache.get(key)
+        if cached is not None:
+            return cached[0]
+        mask = self._columns[feature][indices] <= threshold
+        if not branch:
+            mask = ~mask
+        kept = indices[mask]
+        kept.setflags(write=False)
+        if len(self._split_cache) >= SPLIT_CACHE_SIZE:
+            self._split_cache.clear()
+        self._split_cache[key] = (kept,)
+        return kept
+
+    # ---------------------------------------------------- bestSplit# memoing
+    # The abstract predicate sets returned by bestSplit# are immutable and
+    # fully determined by (node indices, budgets, cprob method); the Box and
+    # disjunctive learners re-pose the same query for same-rows disjuncts and
+    # across ladder rungs of one certification.
+
+    def cached_best_split(self, key: tuple) -> Optional[object]:
+        return self._best_split_cache.get(key)
+
+    def store_best_split(self, key: tuple, value: object) -> None:
+        if len(self._best_split_cache) >= BEST_SPLIT_CACHE_SIZE:
+            self._best_split_cache.clear()
+        self._best_split_cache[key] = value
+
+
+# The plan of a dataset is memoized as a (non-field) attribute on the frozen
+# dataclass instance itself — the same trick ``fingerprint_dataset`` uses.
+# An attribute probe is an order of magnitude cheaper than a locked registry
+# lookup, and ``plan_for`` sits on the hottest path there is (every
+# ``split_down`` of every disjunct).  ``_PLANNED`` weakly tracks the datasets
+# carrying a plan so ``clear_plans`` can strip them for cold benchmarks.
+
+_PLAN_ATTR = "_split_plan"
+_PLANNED: Dict[int, "weakref.ref[Dataset]"] = {}
+_PLANS_LOCK = threading.Lock()
+
+
+def plan_for(dataset: Dataset) -> SplitTablePlan:
+    """The (lazily built) :class:`SplitTablePlan` of ``dataset``."""
+    plan = dataset.__dict__.get(_PLAN_ATTR)
+    if plan is not None:
+        return plan
+    with _PLANS_LOCK:
+        plan = dataset.__dict__.get(_PLAN_ATTR)
+        if plan is None:
+            plan = SplitTablePlan(dataset)
+            object.__setattr__(dataset, _PLAN_ATTR, plan)
+            key = id(dataset)
+            _PLANNED[key] = weakref.ref(
+                dataset, lambda _ref, _key=key: _PLANNED.pop(_key, None)
+            )
+    return plan
+
+
+def node_tables(dataset: Dataset, indices: np.ndarray) -> NodeTables:
+    """Convenience: ``plan_for(dataset).node_tables(indices)``."""
+    return plan_for(dataset).node_tables(indices)
+
+
+def clear_plans() -> None:
+    """Drop every live plan (used by cold-path benchmarks)."""
+    with _PLANS_LOCK:
+        for ref in list(_PLANNED.values()):
+            dataset = ref()
+            if dataset is not None:
+                dataset.__dict__.pop(_PLAN_ATTR, None)
+        _PLANNED.clear()
+    _SYMBOLIC_PREDICATES.clear()
+    _THRESHOLD_PREDICATES.clear()
+
+
+# --------------------------------------------------------------------------
+# Predicate interning
+#
+# Threshold predicates are pure value objects; the abstract learners
+# re-materialize the same (feature, bounds) predicates at every node of every
+# probe.  Interning them cuts the allocation churn and makes the identity
+# fast path of dict lookups (per-run point_satisfies memos, predicate-set
+# comparisons) effective.  Keys are value-based, so sharing across datasets
+# is sound.
+
+PREDICATE_INTERN_SIZE = 65536
+
+_SYMBOLIC_PREDICATES: Dict[tuple, SymbolicThresholdPredicate] = {}
+_THRESHOLD_PREDICATES: Dict[tuple, ThresholdPredicate] = {}
+
+
+def symbolic_predicate(feature: int, low: float, high: float) -> SymbolicThresholdPredicate:
+    """Interned ``x_feature <= [low, high)`` predicate."""
+    key = (feature, low, high)
+    predicate = _SYMBOLIC_PREDICATES.get(key)
+    if predicate is None:
+        predicate = SymbolicThresholdPredicate(feature, low, high)
+        if len(_SYMBOLIC_PREDICATES) >= PREDICATE_INTERN_SIZE:
+            _SYMBOLIC_PREDICATES.clear()
+        _SYMBOLIC_PREDICATES[key] = predicate
+    return predicate
+
+
+def threshold_predicate(feature: int, threshold: float) -> ThresholdPredicate:
+    """Interned ``x_feature <= threshold`` predicate."""
+    key = (feature, threshold)
+    predicate = _THRESHOLD_PREDICATES.get(key)
+    if predicate is None:
+        predicate = ThresholdPredicate(feature, threshold)
+        if len(_THRESHOLD_PREDICATES) >= PREDICATE_INTERN_SIZE:
+            _THRESHOLD_PREDICATES.clear()
+        _THRESHOLD_PREDICATES[key] = predicate
+    return predicate

@@ -92,26 +92,30 @@ def _feature_split_table(
     values = np.asarray(X)[:, feature]
     labels = np.asarray(y)
     order = np.argsort(values, kind="stable")
-    sorted_values = values[order]
-    sorted_labels = labels[order]
-    total = int(sorted_values.shape[0])
-    total_counts = np.bincount(labels, minlength=n_classes).astype(np.int64)
+    return table_from_sorted(values[order], labels[order], feature, n_classes)
 
-    if total <= 1:
-        empty = np.empty(0)
-        return FeatureSplitTable(
-            feature=feature,
-            lower_values=empty,
-            upper_values=empty,
-            thresholds=empty,
-            left_sizes=np.empty(0, dtype=np.int64),
-            left_class_counts=np.empty((0, n_classes), dtype=np.int64),
-            total_size=total,
-            total_class_counts=total_counts,
-        )
+
+def table_from_sorted(
+    sorted_values: np.ndarray,
+    sorted_labels: np.ndarray,
+    feature: int,
+    n_classes: int,
+) -> FeatureSplitTable:
+    """Build a :class:`FeatureSplitTable` from one feature's value-sorted rows.
+
+    This is the shared tail of :func:`feature_split_table` and the per-node
+    derivation in :mod:`repro.core.split_plan` (which obtains the sorted rows
+    by filtering a presorted global order instead of re-sorting).
+    """
+    total = int(sorted_values.shape[0])
+    total_counts = np.bincount(sorted_labels, minlength=n_classes).astype(np.int64)
 
     # Boundary positions: index i such that sorted_values[i-1] < sorted_values[i].
-    change = np.nonzero(np.diff(sorted_values) > 0)[0] + 1
+    change = (
+        np.nonzero(np.diff(sorted_values) > 0)[0] + 1
+        if total > 1
+        else np.empty(0, dtype=np.int64)
+    )
     if change.size == 0:
         empty = np.empty(0)
         return FeatureSplitTable(

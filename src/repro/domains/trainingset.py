@@ -25,6 +25,7 @@ from typing import Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro.core import split_plan
 from repro.core.dataset import Dataset
 from repro.core.predicates import (
     Predicate,
@@ -69,6 +70,25 @@ class AbstractTrainingSet:
     def full(cls, dataset: Dataset, n: int) -> "AbstractTrainingSet":
         """The initial abstraction ``α(Δn(T)) = ⟨T, n⟩`` over the whole dataset."""
         return cls(dataset, np.arange(len(dataset), dtype=np.int64), n)
+
+    @classmethod
+    def _trusted(
+        cls, dataset: Dataset, indices: np.ndarray, n: int
+    ) -> "AbstractTrainingSet":
+        """Construct without re-validating ``indices``.
+
+        Only for transformer-internal constructions whose index arrays are
+        sorted, unique, in-range int64 *by construction* (masked subsets of an
+        already-valid element, or ``flatnonzero`` of a base-sized mask).  The
+        public constructor's ``check_index_array`` — an ``np.unique`` per
+        element — dominated the cold path before this fast path existed.
+        """
+        obj = object.__new__(cls)
+        size = int(indices.size)
+        object.__setattr__(obj, "dataset", dataset)
+        object.__setattr__(obj, "indices", indices)
+        object.__setattr__(obj, "n", n if n <= size else size)
+        return obj
 
     @classmethod
     def from_indices(
@@ -170,13 +190,18 @@ class AbstractTrainingSet:
         ``⟨T1, n1⟩ ⊔ ⟨T2, n2⟩ = ⟨T1 ∪ T2, max(|T1 \\ T2| + n2, |T2 \\ T1| + n1)⟩``
         """
         self._require_same_base(other)
-        union = np.union1d(self.indices, other.indices)
-        only_self = self.size - np.intersect1d(
-            self.indices, other.indices, assume_unique=True
-        ).size
-        only_other = other.size - (self.size - only_self)
+        # One boolean mask over the base dataset replaces union1d/intersect1d:
+        # membership counting and the (sorted, unique) union are then O(N)
+        # with no sorting, which matters because every filter# step joins.
+        mask = np.zeros(len(self.dataset), dtype=bool)
+        mask[self.indices] = True
+        common = int(np.count_nonzero(mask[other.indices]))
+        mask[other.indices] = True
+        union = np.flatnonzero(mask)
+        only_self = self.size - common
+        only_other = other.size - common
         budget = max(only_self + other.n, only_other + self.n)
-        return AbstractTrainingSet(self.dataset, union, budget)
+        return AbstractTrainingSet._trusted(self.dataset, union, budget)
 
     def meet(self, other: "AbstractTrainingSet") -> Optional["AbstractTrainingSet"]:
         """The meet of footnote 4; returns ``None`` for bottom (infeasible)."""
@@ -206,14 +231,15 @@ class AbstractTrainingSet:
         if isinstance(predicate, SymbolicThresholdPredicate):
             return self.split_down_symbolic(predicate, branch)
         if isinstance(predicate, ThresholdPredicate):
-            column = self.dataset.X[self.indices, predicate.feature]
-            mask = column <= predicate.threshold
+            kept = split_plan.plan_for(self.dataset).threshold_split(
+                self.indices, predicate.feature, predicate.threshold, branch
+            )
         else:
             mask = predicate.evaluate_matrix(self.features)
-        if not branch:
-            mask = ~mask
-        kept = self.indices[mask]
-        return AbstractTrainingSet(self.dataset, kept, min(self.n, int(kept.size)))
+            if not branch:
+                mask = ~mask
+            kept = self.indices[mask]
+        return AbstractTrainingSet._trusted(self.dataset, kept, self.n)
 
     def split_down_symbolic(
         self, predicate: SymbolicThresholdPredicate, branch: bool
@@ -222,26 +248,29 @@ class AbstractTrainingSet:
 
         The positive branch is the join of filtering with the two concrete
         extremes ``x <= a`` and ``x < b``; the negative branch joins
-        ``x >= b`` and ``x > a``.
+        ``x >= b`` and ``x > a``.  Because ``a < b``, the tight side is always
+        a *subset* of the loose side, so the join degenerates: the row set is
+        the loose side and the budget follows from Definition 4.1 with
+        ``|tight \\ loose| = 0`` — pure integer arithmetic, no set operations.
         """
-        values = self.dataset.X[self.indices, predicate.feature]
-        if branch:
-            tight = values <= predicate.low
-            loose = values < predicate.high
-        else:
-            tight = values >= predicate.high
-            loose = values > predicate.low
-        tight_set = AbstractTrainingSet(
-            self.dataset,
-            self.indices[tight],
-            min(self.n, int(tight.sum())),
+        piece, _, _ = self._split_down_symbolic_counts(predicate, branch)
+        return piece
+
+    def _split_down_symbolic_counts(
+        self, predicate: SymbolicThresholdPredicate, branch: bool
+    ) -> Tuple["AbstractTrainingSet", int, int]:
+        """Symbolic split plus its ``(tight, loose)`` sizes (for filter traces).
+
+        The budget formula below is exactly the tight⊔loose join the docstring
+        of :meth:`split_down_symbolic` describes, specialized to tight ⊆ loose:
+        ``n' = min(l, max(min(n, l), (l - t) + min(n, t)))``.
+        """
+        loose_indices, t, l = split_plan.plan_for(self.dataset).symbolic_split(
+            self.indices, predicate.feature, predicate.low, predicate.high, branch
         )
-        loose_set = AbstractTrainingSet(
-            self.dataset,
-            self.indices[loose],
-            min(self.n, int(loose.sum())),
-        )
-        return tight_set.join(loose_set)
+        budget = max(min(self.n, l), (l - t) + min(self.n, t))
+        piece = AbstractTrainingSet._trusted(self.dataset, loose_indices, budget)
+        return piece, t, l
 
     def restrict_pure(self, class_index: int) -> Optional["AbstractTrainingSet"]:
         """``pure(⟨T, n⟩, i)`` of §4.7; ``None`` when the restriction is ⊥."""
@@ -249,7 +278,7 @@ class AbstractTrainingSet:
         removed = self.size - int(mask.sum())
         if removed > self.n:
             return None
-        return AbstractTrainingSet(
+        return AbstractTrainingSet._trusted(
             self.dataset, self.indices[mask], self.n - removed
         )
 

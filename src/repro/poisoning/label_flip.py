@@ -40,7 +40,7 @@ from repro.core.predicates import (
     ThresholdPredicate,
     point_satisfies,
 )
-from repro.core.splitter import feature_split_table
+from repro.core import split_plan
 from repro.core.trace_learner import TraceLearner
 from repro.domains.interval import Interval, dominating_component, join_interval_vectors, mul_bounds
 from repro.domains.predicate_set import AbstractPredicateSet
@@ -77,6 +77,24 @@ class FlipAbstractTrainingSet:
     def full(cls, dataset: Dataset, removals: int, flips: int) -> "FlipAbstractTrainingSet":
         return cls(dataset, np.arange(len(dataset), dtype=np.int64), removals, flips)
 
+    @classmethod
+    def _trusted(
+        cls, dataset: Dataset, indices: np.ndarray, removals: int, flips: int
+    ) -> "FlipAbstractTrainingSet":
+        """Construct without re-validating ``indices``.
+
+        Same contract as :meth:`AbstractTrainingSet._trusted`: callers must
+        pass index arrays that are sorted, unique, and in-range by
+        construction; both budgets are clamped to the element size here.
+        """
+        obj = object.__new__(cls)
+        size = int(indices.size)
+        object.__setattr__(obj, "dataset", dataset)
+        object.__setattr__(obj, "indices", indices)
+        object.__setattr__(obj, "removals", removals if removals <= size else size)
+        object.__setattr__(obj, "flips", flips if flips <= size else size)
+        return obj
+
     # ----------------------------------------------------------------- basics
     @property
     def size(self) -> int:
@@ -97,12 +115,17 @@ class FlipAbstractTrainingSet:
     def join(self, other: "FlipAbstractTrainingSet") -> "FlipAbstractTrainingSet":
         """Sound join: rows follow Definition 4.1, flip budgets take the max."""
         self._require_same_base(other)
-        union = np.union1d(self.indices, other.indices)
-        common = np.intersect1d(self.indices, other.indices, assume_unique=True).size
+        # Mask-based set arithmetic, mirroring AbstractTrainingSet.join: one
+        # O(N) pass instead of union1d/intersect1d sorts.
+        mask = np.zeros(len(self.dataset), dtype=bool)
+        mask[self.indices] = True
+        common = int(np.count_nonzero(mask[other.indices]))
+        mask[other.indices] = True
+        union = np.flatnonzero(mask)
         only_self = self.size - common
         only_other = other.size - common
         removals = max(only_self + other.removals, only_other + self.removals)
-        return FlipAbstractTrainingSet(
+        return FlipAbstractTrainingSet._trusted(
             self.dataset, union, removals, max(self.flips, other.flips)
         )
 
@@ -110,29 +133,43 @@ class FlipAbstractTrainingSet:
     def split_down(self, predicate: Predicate, branch: bool) -> "FlipAbstractTrainingSet":
         """Filter by a predicate; label flips never move elements across the split."""
         if isinstance(predicate, SymbolicThresholdPredicate):
-            values = self.dataset.X[self.indices, predicate.feature]
-            if branch:
-                tight = values <= predicate.low
-                loose = values < predicate.high
-            else:
-                tight = values >= predicate.high
-                loose = values > predicate.low
-            tight_set = FlipAbstractTrainingSet(
-                self.dataset, self.indices[tight], self.removals, self.flips
-            )
-            loose_set = FlipAbstractTrainingSet(
-                self.dataset, self.indices[loose], self.removals, self.flips
-            )
-            return tight_set.join(loose_set)
+            piece, _, _ = self._split_down_symbolic_counts(predicate, branch)
+            return piece
         if isinstance(predicate, ThresholdPredicate):
-            column = self.dataset.X[self.indices, predicate.feature]
-            mask = column <= predicate.threshold
+            kept = split_plan.plan_for(self.dataset).threshold_split(
+                self.indices, predicate.feature, predicate.threshold, branch
+            )
         else:
             mask = predicate.evaluate_matrix(self.dataset.X[self.indices])
-        if not branch:
-            mask = ~mask
-        kept = self.indices[mask]
-        return FlipAbstractTrainingSet(self.dataset, kept, self.removals, self.flips)
+            if not branch:
+                mask = ~mask
+            kept = self.indices[mask]
+        return FlipAbstractTrainingSet._trusted(
+            self.dataset, kept, self.removals, self.flips
+        )
+
+    def _split_down_symbolic_counts(
+        self, predicate: SymbolicThresholdPredicate, branch: bool
+    ) -> Tuple["FlipAbstractTrainingSet", int, int]:
+        """Symbolic split plus its ``(tight, loose)`` sizes (for filter traces).
+
+        The tight side (``x <= a`` resp. ``x >= b``) is a subset of the loose
+        side (``x < b`` resp. ``x > a``) because ``a < b``, so the tight⊔loose
+        join degenerates to the loose row set with
+        ``r' = min(l, max(min(r, l), (l - t) + min(r, t)))`` and
+        ``f' = min(f, l)`` — no set operations needed.
+        """
+        loose_indices, t, l = split_plan.plan_for(self.dataset).symbolic_split(
+            self.indices, predicate.feature, predicate.low, predicate.high, branch
+        )
+        removals = max(min(self.removals, l), (l - t) + min(self.removals, t))
+        return (
+            FlipAbstractTrainingSet._trusted(
+                self.dataset, loose_indices, removals, self.flips
+            ),
+            t,
+            l,
+        )
 
     def class_probability_intervals(self, method: str = "optimal") -> Tuple[Interval, ...]:
         """``cprob#`` for the combined model.
@@ -272,6 +309,49 @@ def _flip_side_score_bounds(
     return mul_bounds(remaining, sizes, gini_lower, gini_upper)
 
 
+def _flip_side_score_bounds_batch(
+    sizes: np.ndarray,
+    class_counts: np.ndarray,
+    removals: int,
+    flip_allocations: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`_flip_side_score_bounds` over a vector of flip budgets.
+
+    Evaluates the per-side bounds for every candidate *and* every flip
+    allocation at once: ``sizes`` has shape ``(c,)``, ``class_counts`` shape
+    ``(c, k)``, ``flip_allocations`` shape ``(a,)``; the result arrays have
+    shape ``(c, a)``.  The arithmetic is the same as the scalar kernel, just
+    broadcast over a ``(c, a, k)`` cube.
+    """
+    sizes = sizes.astype(np.float64)
+    counts = class_counts.astype(np.float64)
+    side_removals = np.minimum(float(removals), sizes)  # (c,)
+    side_flips = np.minimum(
+        flip_allocations.astype(np.float64)[None, :], sizes[:, None]
+    )  # (c, a)
+    remaining = sizes - side_removals  # (c,)
+
+    positive = remaining > 0
+    safe_remaining = np.where(positive, remaining, 1.0)[:, None, None]  # (c, 1, 1)
+    budget = (side_removals[:, None] + side_flips)[:, :, None]  # (c, a, 1)
+    cube_counts = counts[:, None, :]  # (c, 1, k)
+    lower_pos = np.maximum(0.0, cube_counts - budget) / safe_remaining
+    upper_pos = (
+        np.minimum(cube_counts + side_flips[:, :, None], remaining[:, None, None])
+        / safe_remaining
+    )
+    mask = positive[:, None, None]
+    lower = np.where(mask, np.minimum(lower_pos, 1.0), 0.0)
+    upper = np.where(mask, np.minimum(upper_pos, 1.0), 1.0)
+
+    term_lower, term_upper = mul_bounds(lower, upper, 1.0 - upper, 1.0 - lower)
+    gini_lower = term_lower.sum(axis=2)  # (c, a)
+    gini_upper = term_upper.sum(axis=2)
+    return mul_bounds(
+        remaining[:, None], sizes[:, None], gini_lower, gini_upper
+    )
+
+
 def _flip_split_score_bounds(
     left_sizes: np.ndarray,
     left_class_counts: np.ndarray,
@@ -286,13 +366,41 @@ def _flip_split_score_bounds(
     *and tight* bound ranges over the allocations ``f_l + f_r ≤ f`` rather
     than granting the full flip budget to both sides at once (which
     double-counts every flip and was the pre-fix behavior).  The per-side
-    bounds of :func:`_flip_side_score_bounds` widen monotonically in the flip
-    budget, so the extremes over ``f_l + f_r ≤ f`` are attained on the
-    boundary ``f_l + f_r = f``: enumerate its ``f + 1`` allocations and take
-    the componentwise envelope.  The removal budget is *not* allocated — each
-    side keeps the full ``r`` — because removal already over-approximates
-    per-side independently in the removal-only transformer, and the
-    double-counting this PR fixes is specifically the flip one.
+    bounds widen monotonically in the flip budget, so the extremes over
+    ``f_l + f_r ≤ f`` are attained on the boundary ``f_l + f_r = f``: the
+    batched kernel evaluates all ``f + 1`` boundary allocations as one
+    ``(n_candidates, f + 1, n_classes)`` broadcast (left side gets
+    ``f_l = 0..f``, right side the reversed vector) and the envelope is a
+    min/max over the allocation axis.  The removal budget is *not* allocated
+    — each side keeps the full ``r`` — because removal already
+    over-approximates per-side independently in the removal-only transformer.
+    :func:`_flip_split_score_bounds_reference` retains the allocation-at-a-
+    time evaluation as the property-test oracle.
+    """
+    allocations = np.arange(flips + 1, dtype=np.int64)
+    left_lower, left_upper = _flip_side_score_bounds_batch(
+        left_sizes, left_class_counts, removals, allocations
+    )
+    right_lower, right_upper = _flip_side_score_bounds_batch(
+        right_sizes, right_class_counts, removals, allocations[::-1]
+    )
+    score_lower = (left_lower + right_lower).min(axis=1)
+    score_upper = (left_upper + right_upper).max(axis=1)
+    return score_lower, score_upper
+
+
+def _flip_split_score_bounds_reference(
+    left_sizes: np.ndarray,
+    left_class_counts: np.ndarray,
+    right_sizes: np.ndarray,
+    right_class_counts: np.ndarray,
+    removals: int,
+    flips: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Allocation-at-a-time mirror of :func:`_flip_split_score_bounds`.
+
+    Retained as the property-test oracle for the batched kernel: one flip
+    allocation per loop iteration through the scalar-budget side kernel.
     """
     score_lower: Optional[np.ndarray] = None
     score_upper: Optional[np.ndarray] = None
@@ -326,56 +434,88 @@ def flip_best_split_abstract(
     """
     if trainset.size == 0:
         return [], True
-    X = trainset.dataset.X[trainset.indices]
-    y = trainset.labels
+    plan = split_plan.plan_for(trainset.dataset)
     removals = trainset.removals
     flips = trainset.flips
+    cache_key = (trainset.indices.tobytes(), removals, flips)
+    cached = plan.cached_best_split(cache_key)
+    if cached is not None:
+        return cached
+    tables = plan.node_tables(trainset.indices)
 
-    candidates: List[Predicate] = []
-    lower_bounds: List[float] = []
-    upper_bounds: List[float] = []
-    universal_flags: List[bool] = []
+    def materialize(feature: int, kind: FeatureKind, table, positions) -> List[Predicate]:
+        if kind is FeatureKind.REAL:
+            return [
+                split_plan.symbolic_predicate(
+                    feature,
+                    float(table.lower_values[int(i)]),
+                    float(table.upper_values[int(i)]),
+                )
+                for i in positions
+            ]
+        return [
+            split_plan.threshold_predicate(feature, float(table.thresholds[int(i)]))
+            for i in positions
+        ]
 
-    for feature, kind in enumerate(trainset.dataset.feature_kinds):
-        table = feature_split_table(X, y, feature, trainset.dataset.n_classes)
-        if table.n_candidates == 0:
-            continue
-        score_lower, score_upper = _flip_split_score_bounds(
-            table.left_sizes,
-            table.left_class_counts,
-            table.right_sizes,
-            table.right_class_counts,
+    stacked = tables.stacked
+    groups = []
+    if stacked is not None:
+        # One (n_candidates, flips + 1, n_classes) batch over every threshold
+        # candidate of every feature; per-feature groups slice the result.
+        all_lower, all_upper = _flip_split_score_bounds(
+            stacked.left_sizes,
+            stacked.left_class_counts,
+            stacked.right_sizes,
+            stacked.right_class_counts,
             removals,
             flips,
         )
-        universal = (table.left_sizes > removals) & (table.right_sizes > removals)
-        for position in range(table.n_candidates):
-            if kind is FeatureKind.REAL:
-                predicate: Predicate = SymbolicThresholdPredicate(
+        all_universal = (stacked.left_sizes > removals) & (
+            stacked.right_sizes > removals
+        )
+        for feature, kind in enumerate(trainset.dataset.feature_kinds):
+            part = stacked.feature_slice(feature)
+            if part.stop == part.start:
+                continue
+            groups.append(
+                (
                     feature,
-                    float(table.lower_values[position]),
-                    float(table.upper_values[position]),
+                    kind,
+                    tables[feature],
+                    all_lower[part],
+                    all_upper[part],
+                    all_universal[part],
                 )
-            else:
-                predicate = ThresholdPredicate(feature, float(table.thresholds[position]))
-            candidates.append(predicate)
-            lower_bounds.append(float(score_lower[position]))
-            upper_bounds.append(float(score_upper[position]))
-            universal_flags.append(bool(universal[position]))
+            )
 
-    if not candidates:
-        return [], True
-    if not any(universal_flags):
-        return candidates, True
-    lub = min(
-        upper for upper, is_universal in zip(upper_bounds, universal_flags) if is_universal
-    )
-    selected = [
-        predicate
-        for predicate, lower in zip(candidates, lower_bounds)
-        if lower <= lub + 1e-9
-    ]
-    return selected, False
+    if not groups:
+        result: Tuple[List[Predicate], bool] = ([], True)
+    elif not any(bool(universal.any()) for *_, universal in groups):
+        # Φ∀ = ∅: every existentially non-trivial candidate, plus ⋄.
+        result = (
+            [
+                predicate
+                for feature, kind, table, *_ in groups
+                for predicate in materialize(
+                    feature, kind, table, range(table.n_candidates)
+                )
+            ],
+            True,
+        )
+    else:
+        lub = min(
+            float(score_upper[universal].min())
+            for *_, score_upper, universal in groups
+            if universal.any()
+        )
+        selected: List[Predicate] = []
+        for feature, kind, table, score_lower, _, _ in groups:
+            positions = np.nonzero(score_lower <= lub + 1e-9)[0]
+            selected.extend(materialize(feature, kind, table, positions))
+        result = (selected, False)
+    plan.store_best_split(cache_key, result)
+    return result
 
 
 def flip_filter_abstract(

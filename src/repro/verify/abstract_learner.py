@@ -28,11 +28,11 @@ from repro.domains.predicate_set import AbstractPredicateSet
 from repro.domains.trainingset import AbstractTrainingSet
 from repro.telemetry import profiling
 from repro.utils.timing import TimeBudget
+from repro.verify.trace import LadderTrace, TraceStep, filter_abstract_traced
 from repro.verify.transformers import (
     best_split_abstract,
     cprob_intervals,
     entropy_is_definitely_zero,
-    filter_abstract,
     pure_exit_vector,
 )
 
@@ -56,12 +56,22 @@ class AbstractRunResult:
         Number of loop iterations actually interpreted.
     max_disjuncts:
         Peak number of simultaneously live disjuncts (1 for the Box domain).
+    trace:
+        The :class:`~repro.verify.trace.LadderTrace` of this run's filter
+        steps (Box runs only) — the warm-start input for the next budget
+        probe of the same (point, family).
+    trace_steps / trace_reused:
+        How many filter steps the run executed, and how many of those were
+        served by replaying a warm trace instead of the split/join kernels.
     """
 
     class_intervals: Tuple[Interval, ...]
     exit_count: int
     iterations: int
     max_disjuncts: int = 1
+    trace: Optional[LadderTrace] = field(default=None, repr=False, compare=False)
+    trace_steps: int = 0
+    trace_reused: int = 0
 
     @property
     def robust_class(self) -> Optional[int]:
@@ -100,6 +110,7 @@ class BoxAbstractLearner:
         x: Sequence[float],
         *,
         time_budget: Optional[TimeBudget] = None,
+        warm_trace: Optional[LadderTrace] = None,
     ) -> AbstractRunResult:
         """Abstractly interpret ``DTrace(T', x)`` for every ``T' ∈ γ(⟨T, n⟩)``.
 
@@ -107,13 +118,25 @@ class BoxAbstractLearner:
         the classification of an exit is all the learner needs, and the flip
         domain's pure exits only exist as interval vectors (see
         :func:`~repro.verify.transformers.pure_exit_vector`).
+
+        ``warm_trace`` is the :class:`~repro.verify.trace.LadderTrace` of a
+        prior run on the same (dataset, point, family) at a different budget.
+        Each filter step whose abstract decisions are unchanged — same entry
+        row set, same ``bestSplit#`` outcome — is replayed from the trace by
+        pure budget arithmetic instead of re-running the split/join kernels;
+        the first divergent step falls back to the real ``filter#`` (and
+        every exit/score computation always runs at the current budget), so
+        the result is identical to a cold run by construction.
         """
         budget = time_budget or TimeBudget.unlimited()
         exits: List[Tuple[Interval, ...]] = []
         state = trainset
         iterations = 0
+        steps: List[TraceStep] = []
+        trace_steps = 0
+        trace_reused = 0
 
-        for _ in range(self.max_depth):
+        for depth in range(self.max_depth):
             if state is None:
                 break
             budget.check()
@@ -143,7 +166,19 @@ class BoxAbstractLearner:
                 break
 
             # --- T <- filter#(T, Ψ, x) -----------------------------------------
-            state = filter_abstract(state, predicates, x)
+            trace_steps += 1
+            warm_step = (
+                warm_trace.step_at(depth) if warm_trace is not None else None
+            )
+            if warm_step is not None and warm_step.matches(
+                state, predicates.predicates
+            ):
+                state = warm_step.apply(state)
+                trace_reused += 1
+                steps.append(warm_step)
+            else:
+                state, step = filter_abstract_traced(state, predicates, x)
+                steps.append(step)
 
         if state is not None:
             with profiling.phase("cprob_exit"):
@@ -155,6 +190,9 @@ class BoxAbstractLearner:
             exit_count=len(exits),
             iterations=iterations,
             max_disjuncts=1,
+            trace=LadderTrace(tuple(steps)),
+            trace_steps=trace_steps,
+            trace_reused=trace_reused,
         )
 
     def _join_exit_intervals(

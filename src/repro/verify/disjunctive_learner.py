@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.predicates import point_satisfies
 from repro.domains.interval import Interval, dominating_component, join_interval_vectors
 from repro.domains.trainingset import AbstractTrainingSet
+from repro.telemetry import profiling
 from repro.utils.timing import TimeBudget
 from repro.verify.abstract_learner import AbstractRunResult
 from repro.verify.transformers import (
@@ -86,6 +87,10 @@ class DisjunctiveAbstractLearner:
     ) -> DisjunctiveRunResult:
         budget = time_budget or TimeBudget.unlimited()
         live: List[AbstractTrainingSet] = [trainset]
+        # point_satisfies(predicate, x) is a pure function of the (interned)
+        # predicate for this run's fixed x — memoize it across the thousands
+        # of disjuncts that re-test the same candidates.
+        verdict_cache: dict = {}
         # Exits are kept as classification vectors, not states: that is all
         # the join needs, and the flip domain's pure exits have no state form
         # (see transformers.pure_exit_vector).
@@ -111,29 +116,38 @@ class DisjunctiveAbstractLearner:
                     state, method=self.cprob_method, predicate_pool=self.predicate_pool
                 )
                 if predicates.includes_null:
-                    exit_vectors.append(cprob_intervals(state, self.cprob_method))
-                for predicate in predicates.without_null():
-                    verdict = point_satisfies(predicate, x)
-                    branches = []
-                    if verdict.possibly_true:
-                        branches.append(True)
-                    if verdict.possibly_false:
-                        branches.append(False)
-                    for branch in branches:
-                        child = state.split_down(predicate, branch)
-                        if child.size == 0:
-                            # The branch is infeasible for every concretization
-                            # (only possible for the uncertain side of a
-                            # symbolic predicate); drop it.
-                            continue
-                        next_live.append(child)
+                    with profiling.phase("cprob_exit"):
+                        exit_vectors.append(
+                            cprob_intervals(state, self.cprob_method)
+                        )
+                with profiling.phase("disjunct_split"):
+                    for predicate in predicates.without_null():
+                        branches = verdict_cache.get(predicate)
+                        if branches is None:
+                            verdict = point_satisfies(predicate, x)
+                            branches = []
+                            if verdict.possibly_true:
+                                branches.append(True)
+                            if verdict.possibly_false:
+                                branches.append(False)
+                            verdict_cache[predicate] = branches
+                        for branch in branches:
+                            child = state.split_down(predicate, branch)
+                            if child.size == 0:
+                                # The branch is infeasible for every
+                                # concretization (only possible for the
+                                # uncertain side of a symbolic predicate);
+                                # drop it.
+                                continue
+                            next_live.append(child)
                 self._check_budget(len(next_live) + len(exit_vectors))
             live = next_live
             peak_disjuncts = max(peak_disjuncts, len(live) + len(exit_vectors))
 
-        exit_vectors.extend(
-            cprob_intervals(state, self.cprob_method) for state in live
-        )
+        with profiling.phase("cprob_exit"):
+            exit_vectors.extend(
+                cprob_intervals(state, self.cprob_method) for state in live
+            )
         self._check_budget(len(exit_vectors))
 
         n_classes = trainset.dataset.n_classes

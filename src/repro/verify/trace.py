@@ -1,0 +1,219 @@
+"""Domain-ladder traces: warm-starting ``filter#`` across budget probes.
+
+A budget search (the §6.1 doubling/binary search, or one staircase step of a
+Pareto frontier) re-certifies the *same* test point against the *same*
+dataset at a sequence of nearby budgets.  The abstract learner's per-step row
+sets are budget-independent — ``split_down`` keeps indices that depend only
+on the predicate path, and the filter join unions them — so when two probes
+make the same abstract decisions (same node row set, same ``bestSplit#``
+outcome), their filtered states differ **only in the budget component**, and
+that component is pure integer arithmetic over sizes recorded the first time.
+
+This module captures exactly that: :func:`filter_abstract_traced` performs a
+normal ``filter#`` while recording one :class:`TraceStep` — the entry row
+set, the predicate set, the resulting row set, and a :class:`FilterReplay`
+holding the piece/join sizes.  A later probe whose state matches the step
+(:meth:`TraceStep.matches`) skips the split/join array work entirely and
+rebuilds the filtered element via :meth:`TraceStep.apply`, replaying the
+budget formulas of ``split_down`` / ``join`` on the stored sizes.  The
+formulas below are transcriptions of (and must stay in lockstep with):
+
+* ``AbstractTrainingSet._split_down_symbolic_counts`` / ``split_down`` /
+  ``join`` for removal elements ``⟨T, n⟩``;
+* ``FlipAbstractTrainingSet._split_down_symbolic_counts`` / ``split_down`` /
+  ``join`` for flip/composite elements ``⟨T, r, f⟩``
+
+so a warm-started probe is behavior-identical to a cold one by construction
+(asserted by the staircase property tests in
+``tests/verify/test_vectorized_kernels.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.predicates import Predicate, SymbolicThresholdPredicate
+from repro.telemetry import profiling
+
+
+@dataclass(frozen=True)
+class ReplayPiece:
+    """One ``split_down`` piece of a filter: its sizes, not its rows.
+
+    ``kind`` is ``"s"`` for a symbolic split (``size`` is the loose count
+    ``l``, ``tight`` the tight count ``t``) and ``"c"`` for a concrete one
+    (``size`` is the surviving row count; ``tight`` is unused).
+    """
+
+    kind: str
+    size: int
+    tight: int = 0
+
+    def removal_budget(self, n: int) -> int:
+        if self.kind == "c":
+            return n if n <= self.size else self.size
+        t, l = self.tight, self.size
+        return max(min(n, l), (l - t) + min(n, t))
+
+    def flip_budgets(self, removals: int, flips: int) -> Tuple[int, int]:
+        if self.kind == "c":
+            s = self.size
+            return (min(removals, s), min(flips, s))
+        t, l = self.tight, self.size
+        r = max(min(removals, l), (l - t) + min(removals, t))
+        return (min(r, l), min(flips, l))
+
+
+@dataclass(frozen=True)
+class JoinStat:
+    """Sizes of one fold step of the filter join (Definition 4.1).
+
+    ``common`` is recoverable as ``prev + piece - union``, so only the three
+    sizes are stored.
+    """
+
+    prev_size: int
+    piece_size: int
+    union_size: int
+
+
+@dataclass(frozen=True)
+class FilterReplay:
+    """Budget replay data of one ``filter#`` application.
+
+    ``pieces`` are the non-empty split pieces in fold order; ``joins`` has one
+    entry per fold step (``len(pieces) - 1``).  Replaying runs the exact
+    budget arithmetic the real transformers ran, on the stored sizes.
+    """
+
+    pieces: Tuple[ReplayPiece, ...]
+    joins: Tuple[JoinStat, ...]
+
+    def replay_removal(self, n: int) -> int:
+        """The filtered element's budget for an incoming budget ``n``."""
+        pieces = self.pieces
+        budget = pieces[0].removal_budget(n)
+        size = pieces[0].size
+        for piece, stat in zip(pieces[1:], self.joins):
+            other = piece.removal_budget(n)
+            common = stat.prev_size + stat.piece_size - stat.union_size
+            raw = max(
+                (stat.prev_size - common) + other,
+                (stat.piece_size - common) + budget,
+            )
+            budget = raw if raw <= stat.union_size else stat.union_size
+            size = stat.union_size
+        return budget if budget <= size else size
+
+    def replay_flip(self, removals: int, flips: int) -> Tuple[int, int]:
+        """The filtered element's ``(r, f)`` for incoming budgets."""
+        pieces = self.pieces
+        r, f = pieces[0].flip_budgets(removals, flips)
+        size = pieces[0].size
+        for piece, stat in zip(pieces[1:], self.joins):
+            pr, pf = piece.flip_budgets(removals, flips)
+            common = stat.prev_size + stat.piece_size - stat.union_size
+            raw = max(
+                (stat.prev_size - common) + pr,
+                (stat.piece_size - common) + r,
+            )
+            r = min(stat.union_size, raw)
+            f = min(stat.union_size, max(f, pf))
+            size = stat.union_size
+        return (min(r, size), min(f, size))
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One learner iteration's filter, keyed by its abstract decisions.
+
+    A step from a prior probe warm-starts the current one iff the entry row
+    set and the chosen predicate set are identical (:meth:`matches`) — then
+    the filtered row set is ``next_indices`` verbatim and only the budget is
+    replayed.  ``next_indices is None`` records a bottom filter result.
+    """
+
+    indices_key: bytes
+    predicates: Tuple[Predicate, ...]
+    next_indices: Optional[np.ndarray]
+    replay: Optional[FilterReplay]
+
+    def matches(self, state, predicates: Tuple[Predicate, ...]) -> bool:
+        return (
+            state.indices.tobytes() == self.indices_key
+            and self.predicates == predicates
+        )
+
+    def apply(self, state):
+        """The filtered element at ``state``'s budget(s); ``None`` = bottom."""
+        if self.next_indices is None:
+            return None
+        assert self.replay is not None
+        flips = getattr(state, "flips", None)
+        if flips is not None:
+            r, f = self.replay.replay_flip(state.removals, flips)
+            return type(state)._trusted(state.dataset, self.next_indices, r, f)
+        n = self.replay.replay_removal(state.n)
+        return type(state)._trusted(state.dataset, self.next_indices, n)
+
+
+@dataclass(frozen=True)
+class LadderTrace:
+    """The per-(point, family) filter trace of one Box-domain learner run."""
+
+    steps: Tuple[TraceStep, ...]
+
+    def step_at(self, depth: int) -> Optional[TraceStep]:
+        if depth < len(self.steps):
+            return self.steps[depth]
+        return None
+
+
+def filter_abstract_traced(trainset, predicates, x: Sequence[float]):
+    """``filter#`` exactly as :func:`repro.verify.transformers.filter_abstract`,
+    additionally recording the :class:`TraceStep` that lets a later probe
+    replay this application at a different budget.
+
+    Returns ``(filtered_state_or_None, TraceStep)``.
+    """
+    with profiling.phase("filter"):
+        satisfied, falsified = predicates.partition_for_point(x)
+        pieces: List = []
+        replay_pieces: List[ReplayPiece] = []
+
+        def split(predicate: Predicate, branch: bool) -> None:
+            if isinstance(predicate, SymbolicThresholdPredicate):
+                piece, t, l = trainset._split_down_symbolic_counts(predicate, branch)
+                if piece.size > 0:
+                    pieces.append(piece)
+                    replay_pieces.append(ReplayPiece("s", l, t))
+            else:
+                piece = trainset.split_down(predicate, branch)
+                if piece.size > 0:
+                    pieces.append(piece)
+                    replay_pieces.append(ReplayPiece("c", piece.size))
+
+        for predicate in satisfied:
+            split(predicate, True)
+        for predicate in falsified:
+            split(predicate, False)
+
+        indices_key = trainset.indices.tobytes()
+        if not pieces:
+            return None, TraceStep(indices_key, predicates.predicates, None, None)
+        result = pieces[0]
+        joins: List[JoinStat] = []
+        for piece in pieces[1:]:
+            prev_size = result.size
+            result = result.join(piece)
+            joins.append(JoinStat(prev_size, piece.size, result.size))
+        step = TraceStep(
+            indices_key,
+            predicates.predicates,
+            result.indices,
+            FilterReplay(tuple(replay_pieces), tuple(joins)),
+        )
+        return result, step

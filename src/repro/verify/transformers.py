@@ -43,7 +43,8 @@ from repro.core.predicates import (
     SymbolicThresholdPredicate,
     ThresholdPredicate,
 )
-from repro.core.splitter import feature_split_table
+from repro.core import split_plan
+from repro.core.splitter import FeatureSplitTable
 from repro.domains.interval import Interval, mul_bounds
 from repro.domains.predicate_set import AbstractPredicateSet
 from repro.domains.trainingset import AbstractTrainingSet
@@ -216,12 +217,44 @@ def filter_abstract(
 
 @dataclass
 class _ScoredCandidates:
-    """Scored candidate predicates of one feature (vectorized bounds)."""
+    """Scored candidate predicates of one feature (vectorized bounds).
 
-    predicates: List[Predicate]
+    Predicate objects are materialized lazily: the common selection path only
+    instantiates the (typically few) candidates that survive the ``lub``
+    comparison, while the score arrays cover every candidate position.  The
+    generic pool/categorical paths pre-materialize and set ``predicates``.
+    """
+
     score_lower: np.ndarray
     score_upper: np.ndarray
     universal: np.ndarray  # boolean mask: non-trivial for every concretization
+    predicates: Optional[List[Predicate]] = None  # eager (pool path) predicates
+    feature: int = -1
+    kind: Optional[FeatureKind] = None
+    table: Optional[FeatureSplitTable] = None
+
+    def materialize(self, positions: Sequence[int]) -> List[Predicate]:
+        """Predicate objects at ``positions``, preserving candidate order."""
+        if self.predicates is not None:
+            return [self.predicates[int(i)] for i in positions]
+        table = self.table
+        assert table is not None
+        if self.kind is FeatureKind.REAL:
+            return [
+                split_plan.symbolic_predicate(
+                    self.feature,
+                    float(table.lower_values[int(i)]),
+                    float(table.upper_values[int(i)]),
+                )
+                for i in positions
+            ]
+        return [
+            split_plan.threshold_predicate(self.feature, float(table.thresholds[int(i)]))
+            for i in positions
+        ]
+
+    def materialize_all(self) -> List[Predicate]:
+        return self.materialize(range(int(self.score_lower.shape[0])))
 
 
 def _side_probability_bounds(
@@ -281,13 +314,51 @@ def _side_score_bounds(
     return mul_bounds(size_lower, size_upper, gini_lower, gini_upper)
 
 
+def _side_score_bounds_reference(
+    sizes: np.ndarray, class_counts: np.ndarray, budget: int, method: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Scalar per-candidate mirror of :func:`_side_score_bounds`.
+
+    Retained as the property-test oracle for the vectorized kernel: one
+    candidate at a time, in plain :class:`Interval` arithmetic.
+    """
+    lower = np.empty(int(sizes.shape[0]))
+    upper = np.empty(int(sizes.shape[0]))
+    for i in range(int(sizes.shape[0])):
+        size = int(sizes[i])
+        n = min(budget, size)
+        m = size - n
+        if m <= 0:
+            probs = [Interval.unit() for _ in range(class_counts.shape[1])]
+        elif method == "optimal":
+            probs = [
+                Interval(max(0, int(c) - n) / m, min(int(c), m) / m)
+                for c in class_counts[i]
+            ]
+        else:
+            denominator = Interval(float(m), float(size))
+            probs = [
+                Interval(float(max(0, int(c) - n)), float(int(c))).divide(denominator)
+                for c in class_counts[i]
+            ]
+        gini = Interval.zero()
+        one = Interval.point(1.0)
+        for p in probs:
+            gini = gini + p * (one - p)
+        score = Interval(float(m), float(size)) * gini
+        lower[i] = score.lo
+        upper[i] = score.hi
+    return lower, upper
+
+
 def _scored_threshold_candidates(
-    trainset: AbstractTrainingSet, feature: int, kind: FeatureKind, method: str
+    trainset: AbstractTrainingSet,
+    feature: int,
+    kind: FeatureKind,
+    method: str,
+    table: FeatureSplitTable,
 ) -> Optional[_ScoredCandidates]:
     """Score every threshold candidate of one (real or boolean) feature."""
-    X = trainset.features
-    y = trainset.labels
-    table = feature_split_table(X, y, feature, trainset.dataset.n_classes)
     if table.n_candidates == 0:
         return None
     budget = trainset.n
@@ -302,18 +373,13 @@ def _scored_threshold_candidates(
     score_upper = left_upper + right_upper
     universal = (table.left_sizes > budget) & (table.right_sizes > budget)
 
-    predicates: List[Predicate] = []
-    if kind is FeatureKind.REAL:
-        for a, b in zip(table.lower_values, table.upper_values):
-            predicates.append(SymbolicThresholdPredicate(feature, float(a), float(b)))
-    else:
-        for threshold in table.thresholds:
-            predicates.append(ThresholdPredicate(feature, float(threshold)))
     return _ScoredCandidates(
-        predicates=predicates,
         score_lower=score_lower,
         score_upper=score_upper,
         universal=universal,
+        feature=feature,
+        kind=kind,
+        table=table,
     )
 
 
@@ -387,38 +453,82 @@ def _best_split_abstract(
     if trainset.size == 0:
         return AbstractPredicateSet.of((), includes_null=True)
 
+    plan = None
+    cache_key = None
+    if predicate_pool is None:
+        # bestSplit# is a pure function of (node rows, budget, method); the
+        # learners re-pose the same query for same-rows disjuncts and across
+        # ladder rungs, so memoize the immutable result on the plan.
+        plan = split_plan.plan_for(trainset.dataset)
+        cache_key = (trainset.indices.tobytes(), trainset.n, method)
+        cached = plan.cached_best_split(cache_key)
+        if cached is not None:
+            return cached
+
     groups: List[_ScoredCandidates] = []
     if predicate_pool is not None:
         scored = _scored_pool_candidates(trainset, predicate_pool, method)
         if scored is not None:
             groups.append(scored)
     else:
+        tables = plan.node_tables(trainset.indices)
+        stacked = tables.stacked
+        stacked_scores = None
+        if stacked is not None:
+            # Bound every threshold candidate of every feature in one batch
+            # kernel call; the per-feature groups below are O(1) slices of it.
+            budget = trainset.n
+            left_lower, left_upper = _side_score_bounds(
+                stacked.left_sizes, stacked.left_class_counts, budget, method
+            )
+            right_lower, right_upper = _side_score_bounds(
+                stacked.right_sizes, stacked.right_class_counts, budget, method
+            )
+            stacked_scores = (
+                left_lower + right_lower,
+                left_upper + right_upper,
+                (stacked.left_sizes > budget) & (stacked.right_sizes > budget),
+            )
         for feature, kind in enumerate(trainset.dataset.feature_kinds):
             if kind is FeatureKind.CATEGORICAL:
                 scored = _scored_categorical_candidates(trainset, feature, method)
             else:
-                scored = _scored_threshold_candidates(trainset, feature, kind, method)
+                part = stacked.feature_slice(feature) if stacked is not None else None
+                if (
+                    stacked_scores is None
+                    or part is None
+                    or part.stop == part.start
+                ):
+                    continue
+                scored = _ScoredCandidates(
+                    score_lower=stacked_scores[0][part],
+                    score_upper=stacked_scores[1][part],
+                    universal=stacked_scores[2][part],
+                    feature=feature,
+                    kind=kind,
+                    table=tables[feature],
+                )
             if scored is not None:
                 groups.append(scored)
 
     if not groups:
         # Φ∃ is empty: every predicate is trivial on every concretization.
-        return AbstractPredicateSet.of((), includes_null=True)
-
-    any_universal = any(bool(group.universal.any()) for group in groups)
-    if not any_universal:
+        result = AbstractPredicateSet.of((), includes_null=True)
+    elif not any(bool(group.universal.any()) for group in groups):
         # Φ∀ = ∅: return all existentially non-trivial predicates plus ⋄.
-        predicates = [p for group in groups for p in group.predicates]
-        return AbstractPredicateSet.of(predicates, includes_null=True)
-
-    lub = min(
-        float(group.score_upper[group.universal].min())
-        for group in groups
-        if group.universal.any()
-    )
-    selected: List[Predicate] = []
-    for group in groups:
-        mask = group.score_lower <= lub + SCORE_TOLERANCE
-        for index in np.nonzero(mask)[0]:
-            selected.append(group.predicates[int(index)])
-    return AbstractPredicateSet.of(selected, includes_null=False)
+        predicates = [p for group in groups for p in group.materialize_all()]
+        result = AbstractPredicateSet.of(predicates, includes_null=True)
+    else:
+        lub = min(
+            float(group.score_upper[group.universal].min())
+            for group in groups
+            if group.universal.any()
+        )
+        selected: List[Predicate] = []
+        for group in groups:
+            mask = group.score_lower <= lub + SCORE_TOLERANCE
+            selected.extend(group.materialize(np.nonzero(mask)[0]))
+        result = AbstractPredicateSet.of(selected, includes_null=False)
+    if plan is not None and cache_key is not None:
+        plan.store_best_split(cache_key, result)
+    return result

@@ -1,0 +1,231 @@
+"""Property tests pinning the vectorized kernels to their scalar references.
+
+The batch interval kernels of the cold-path core (`_side_score_bounds` in
+:mod:`repro.verify.transformers`, `_flip_split_score_bounds` in
+:mod:`repro.poisoning.label_flip`) each retain a candidate-at-a-time mirror
+written in plain :class:`~repro.domains.interval.Interval` arithmetic.  These
+tests drive both through Hypothesis-generated candidate tables and require
+bitwise-tolerant agreement, so any future vectorization change that drifts
+from the defined transformer semantics fails here before it can weaken a
+soundness bound.
+
+The warm-start layer gets the same treatment: a replayed
+:class:`~repro.verify.trace.TraceStep` must reproduce the real ``filter#``
+kernel exactly at *every* budget (the replay is pure budget arithmetic over
+the recorded piece/join structure), and an engine that warm-starts across a
+budget ladder must report verdicts identical to fresh cold runs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import CertificationEngine
+from repro.domains.trainingset import AbstractTrainingSet
+from repro.poisoning.label_flip import (
+    FlipAbstractTrainingSet,
+    _flip_split_score_bounds,
+    _flip_split_score_bounds_reference,
+)
+from repro.poisoning.models import CompositePoisoningModel, RemovalPoisoningModel
+from repro.verify.trace import filter_abstract_traced
+from repro.verify.transformers import (
+    _side_score_bounds,
+    _side_score_bounds_reference,
+    best_split_abstract,
+)
+from tests.conftest import random_small_dataset, random_test_point
+
+TOL = 1e-9
+
+
+@st.composite
+def candidate_tables(draw, max_candidates: int = 6, max_classes: int = 3):
+    """Random per-candidate (sizes, class_counts) arrays with counts ≤ size."""
+    n_candidates = draw(st.integers(min_value=1, max_value=max_candidates))
+    n_classes = draw(st.integers(min_value=2, max_value=max_classes))
+    sizes = []
+    counts = []
+    for _ in range(n_candidates):
+        row = [
+            draw(st.integers(min_value=0, max_value=5)) for _ in range(n_classes)
+        ]
+        counts.append(row)
+        sizes.append(sum(row))
+    return np.asarray(sizes, dtype=np.int64), np.asarray(counts, dtype=np.int64)
+
+
+class TestSideScoreBounds:
+    """Vectorized removal-side score kernel vs the Interval-arithmetic mirror."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        candidate_tables(),
+        st.integers(min_value=0, max_value=6),
+        st.sampled_from(["optimal", "box"]),
+    )
+    def test_matches_reference(self, table, budget, method):
+        sizes, counts = table
+        lower, upper = _side_score_bounds(sizes, counts, budget, method)
+        ref_lower, ref_upper = _side_score_bounds_reference(
+            sizes, counts, budget, method
+        )
+        np.testing.assert_allclose(lower, ref_lower, atol=TOL)
+        np.testing.assert_allclose(upper, ref_upper, atol=TOL)
+
+    @settings(max_examples=60, deadline=None)
+    @given(candidate_tables(), st.integers(min_value=0, max_value=6))
+    def test_bounds_are_ordered(self, table, budget):
+        sizes, counts = table
+        lower, upper = _side_score_bounds(sizes, counts, budget, "optimal")
+        assert np.all(lower <= upper + TOL)
+
+
+class TestFlipSplitScoreBounds:
+    """Batched flip-allocation kernel vs the allocation-at-a-time mirror."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        candidate_tables(),
+        candidate_tables(),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_matches_reference(self, left, right, removals, flips):
+        left_sizes, left_counts = left
+        right_sizes, right_counts = right
+        # Both sides of a split have the same candidate axis; trim to the
+        # shorter of the two draws.
+        n = min(left_sizes.shape[0], right_sizes.shape[0])
+        k = min(left_counts.shape[1], right_counts.shape[1])
+        args = (
+            left_sizes[:n],
+            left_counts[:n, :k],
+            right_sizes[:n],
+            right_counts[:n, :k],
+            removals,
+            flips,
+        )
+        lower, upper = _flip_split_score_bounds(*args)
+        ref_lower, ref_upper = _flip_split_score_bounds_reference(*args)
+        np.testing.assert_allclose(lower, ref_lower, atol=TOL)
+        np.testing.assert_allclose(upper, ref_upper, atol=TOL)
+
+
+def _removal_state(dataset, budget):
+    return AbstractTrainingSet.from_indices(
+        dataset, np.arange(len(dataset)), budget
+    )
+
+
+def _flip_state(dataset, removals, flips):
+    return FlipAbstractTrainingSet(
+        dataset, np.arange(len(dataset)), removals, flips
+    )
+
+
+class TestTraceReplayMatchesFilter:
+    """A recorded TraceStep replays ``filter#`` exactly at every other budget.
+
+    The replay never re-runs the split/join kernels — it is pure budget
+    arithmetic over the recorded piece structure — so agreement here is the
+    soundness argument for warm-started probes.
+    """
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_removal_replay_all_budgets(self, seed):
+        rng = np.random.default_rng(seed)
+        dataset = random_small_dataset(rng)
+        x = random_test_point(rng, dataset)
+        state = _removal_state(dataset, int(rng.integers(0, 4)))
+        predicates = best_split_abstract(state, method="optimal")
+        predicates = predicates.without_null()
+        if not predicates.has_concrete_choices:
+            pytest.skip("bestSplit# returned only ⋄ for this draw")
+        _, step = filter_abstract_traced(state, predicates, x)
+        for budget in range(0, 7):
+            probe = _removal_state(dataset, budget)
+            assert step.matches(probe, predicates.predicates)
+            replayed = step.apply(probe)
+            expected, _ = filter_abstract_traced(probe, predicates, x)
+            if expected is None:
+                assert replayed is None
+            else:
+                assert replayed is not None
+                np.testing.assert_array_equal(replayed.indices, expected.indices)
+                assert replayed.n == expected.n
+
+    @pytest.mark.parametrize("seed", range(12, 24))
+    def test_flip_replay_all_budget_pairs(self, seed):
+        rng = np.random.default_rng(seed)
+        dataset = random_small_dataset(rng)
+        x = random_test_point(rng, dataset)
+        state = _flip_state(dataset, int(rng.integers(0, 3)), int(rng.integers(0, 3)))
+        predicates = best_split_abstract(state, method="optimal")
+        predicates = predicates.without_null()
+        if not predicates.has_concrete_choices:
+            pytest.skip("bestSplit# returned only ⋄ for this draw")
+        _, step = filter_abstract_traced(state, predicates, x)
+        for removals in range(0, 4):
+            for flips in range(0, 4):
+                probe = _flip_state(dataset, removals, flips)
+                assert step.matches(probe, predicates.predicates)
+                replayed = step.apply(probe)
+                expected, _ = filter_abstract_traced(probe, predicates, x)
+                if expected is None:
+                    assert replayed is None
+                else:
+                    assert replayed is not None
+                    np.testing.assert_array_equal(
+                        replayed.indices, expected.indices
+                    )
+                    assert replayed.removals == expected.removals
+                    assert replayed.flips == expected.flips
+
+
+def _verdict(result):
+    return (
+        result.status,
+        result.certified_class,
+        tuple((i.lo, i.hi) for i in result.class_intervals),
+    )
+
+
+class TestWarmStartVerdictIdentity:
+    """Warm-started staircase probes report identical verdicts to cold runs.
+
+    One engine walks the whole ladder (its trace cache warm-starts every probe
+    after the first); the oracle certifies each budget on a fresh engine with
+    an empty trace cache.  Status, certified class, and the class intervals
+    must agree exactly — warm-starting is an optimization, never a semantic
+    change.
+    """
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_removal_budget_ladder(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        dataset = random_small_dataset(rng)
+        x = random_test_point(rng, dataset)
+        warm_engine = CertificationEngine(max_depth=2, domain="either")
+        for budget in range(0, 6):
+            model = RemovalPoisoningModel(budget)
+            warm = warm_engine.certify_point(dataset, x, model)
+            cold = CertificationEngine(max_depth=2, domain="either").certify_point(
+                dataset, x, model
+            )
+            assert _verdict(warm) == _verdict(cold), f"budget={budget}"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_composite_staircase(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        dataset = random_small_dataset(rng)
+        x = random_test_point(rng, dataset)
+        warm_engine = CertificationEngine(max_depth=2, domain="either")
+        for removals in range(0, 3):
+            for flips in range(0, 3):
+                model = CompositePoisoningModel(removals, flips)
+                warm = warm_engine.certify_point(dataset, x, model)
+                cold = CertificationEngine(
+                    max_depth=2, domain="either"
+                ).certify_point(dataset, x, model)
+                assert _verdict(warm) == _verdict(cold), f"(r,f)=({removals},{flips})"
