@@ -1,0 +1,43 @@
+"""Project-invariant static analysis for the repro codebase.
+
+``repro.analysis`` turns the invariants this project keeps re-auditing by
+hand — lock discipline on shared runtimes, the abstract/concrete soundness
+boundary, telemetry cardinality, wire/cache schema agreement, and the closed
+error taxonomy — into mechanical AST checks with file:line findings, inline
+``# repro: ignore[rule]`` suppressions, and a committed baseline for
+grandfathered findings.
+
+Entry points:
+
+- :func:`repro.analysis.core.run_analysis` — programmatic runner.
+- ``repro analyze`` — the CLI front end (see :mod:`repro.cli`).
+"""
+
+from repro.analysis.core import (
+    AnalysisReport,
+    Finding,
+    Project,
+    SourceModule,
+    all_rules,
+    load_baseline,
+    register,
+    rule_names,
+    run_analysis,
+    write_baseline,
+)
+
+# Importing the rules package registers every built-in rule.
+from repro.analysis import rules as _rules  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Project",
+    "SourceModule",
+    "all_rules",
+    "load_baseline",
+    "register",
+    "rule_names",
+    "run_analysis",
+    "write_baseline",
+]

@@ -1,0 +1,371 @@
+"""Framework for project-invariant static analysis.
+
+The pieces, from the bottom up:
+
+- :class:`SourceModule` — one parsed file: source text, AST, a parent map
+  (``ast`` has no parent pointers), and the set of suppressed lines.
+- :class:`Project` — a lazily-loaded view of the repository; rules ask it
+  for modules by repo-relative path or iterate everything under the
+  scanned roots.
+- :class:`Finding` — one diagnostic with a stable fingerprint so baselines
+  survive unrelated line drift.
+- the rule registry (:func:`register` / :func:`all_rules`) — rules are
+  plain classes with ``name``, ``description`` and ``check(project)``.
+- baselines (:func:`load_baseline` / :func:`write_baseline`) — committed
+  JSON grandfathering known findings; anything not baselined fails CI.
+- :func:`run_analysis` — ties it together and returns an
+  :class:`AnalysisReport`.
+
+Suppressions: a finding is silenced when its line — or an immediately
+preceding comment-only line — carries ``# repro: ignore`` (every rule) or
+``# repro: ignore[rule-a, rule-b]`` (listed rules only).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Project",
+    "SourceModule",
+    "all_rules",
+    "load_baseline",
+    "register",
+    "rule_names",
+    "run_analysis",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[(?P<rules>[^\]]*)\])?")
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+# --------------------------------------------------------------------- findings
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: which rule fired, where, and how to fix it."""
+
+    rule: str
+    path: str  # repo-relative POSIX path
+    line: int
+    message: str
+    hint: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def _fingerprint(finding: Finding, ordinal: int) -> str:
+    """Stable identity for baseline matching.
+
+    Deliberately excludes the line number so unrelated edits above a
+    grandfathered finding do not invalidate the baseline; the ordinal
+    disambiguates repeated identical messages within one file.
+    """
+
+    raw = f"{finding.rule}|{finding.path}|{finding.message}|{ordinal}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprint_findings(findings: Sequence[Finding]) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its fingerprint (ordinal-aware)."""
+
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out: List[Tuple[Finding, str]] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.message)
+        ordinal = seen.get(key, 0)
+        seen[key] = ordinal + 1
+        out.append((finding, _fingerprint(finding, ordinal)))
+    return out
+
+
+# ---------------------------------------------------------------- source model
+class SourceModule:
+    """A parsed source file plus the indexes rules need."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._suppressions = self._parse_suppressions()
+
+    # -- structure -------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    # -- suppressions ----------------------------------------------------
+    def _parse_suppressions(self) -> Dict[int, Optional[Set[str]]]:
+        """Map line number -> suppressed rule names (None = all rules)."""
+
+        table: Dict[int, Optional[Set[str]]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            rules_blob = match.group("rules")
+            if rules_blob is None:
+                table[lineno] = None
+            else:
+                names = {part.strip() for part in rules_blob.split(",") if part.strip()}
+                table[lineno] = names or None
+        return table
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        for candidate in (line, line - 1):
+            if candidate not in self._suppressions:
+                continue
+            if candidate == line - 1:
+                # A preceding-line suppression must be a comment-only line;
+                # otherwise it belongs to that line's own code.
+                text = self.lines[candidate - 1] if candidate - 1 < len(self.lines) else ""
+                if not _COMMENT_ONLY_RE.match(text):
+                    continue
+            rules = self._suppressions[candidate]
+            if rules is None or rule in rules:
+                return True
+        return False
+
+
+class Project:
+    """Lazy view of the repository rooted at *root*.
+
+    ``paths`` are the scan roots (repo-relative); :meth:`iter_modules`
+    walks them.  Rules may additionally :meth:`load` any file under the
+    repo root (e.g. a test module referenced by a kernel registry) even
+    when it is outside the scan roots.
+    """
+
+    def __init__(self, root: Path, paths: Sequence[str] = ("src",)) -> None:
+        self.root = Path(root)
+        self.paths = tuple(paths)
+        self._modules: Dict[str, Optional[SourceModule]] = {}
+        self.parse_errors: List[Finding] = []
+
+    def load(self, relpath: str) -> Optional[SourceModule]:
+        relpath = Path(relpath).as_posix()
+        if relpath in self._modules:
+            return self._modules[relpath]
+        full = self.root / relpath
+        module: Optional[SourceModule] = None
+        if full.is_file():
+            try:
+                module = SourceModule(relpath, full.read_text(encoding="utf-8"))
+            except SyntaxError as error:
+                self.parse_errors.append(
+                    Finding(
+                        rule="parse-error",
+                        path=relpath,
+                        line=error.lineno or 1,
+                        message=f"could not parse module: {error.msg}",
+                    )
+                )
+        self._modules[relpath] = module
+        return module
+
+    def iter_modules(self) -> Iterator[SourceModule]:
+        for rel in self._scan_files():
+            module = self.load(rel)
+            if module is not None:
+                yield module
+
+    def _scan_files(self) -> List[str]:
+        files: List[str] = []
+        for base in self.paths:
+            full = self.root / base
+            if full.is_file() and full.suffix == ".py":
+                files.append(Path(base).as_posix())
+            elif full.is_dir():
+                for path in sorted(full.rglob("*.py")):
+                    if "__pycache__" in path.parts:
+                        continue
+                    files.append(path.relative_to(self.root).as_posix())
+        return files
+
+    def find_module(self, suffix: str) -> Optional[SourceModule]:
+        """Load the first scanned file whose path ends with *suffix*."""
+
+        suffix = Path(suffix).as_posix()
+        for rel in self._scan_files():
+            if rel == suffix or rel.endswith("/" + suffix):
+                return self.load(rel)
+        return None
+
+
+# -------------------------------------------------------------------- registry
+REGISTRY: Dict[str, Type] = {}
+
+
+def register(rule_cls: Type) -> Type:
+    """Class decorator adding a rule to the global registry."""
+
+    name = getattr(rule_cls, "name", None)
+    if not name:
+        raise ValueError(f"rule class {rule_cls!r} has no name")
+    REGISTRY[name] = rule_cls
+    return rule_cls
+
+
+def rule_names() -> List[str]:
+    return sorted(REGISTRY)
+
+
+def all_rules(names: Optional[Sequence[str]] = None) -> List[object]:
+    """Instantiate the selected rules (all registered rules by default)."""
+
+    selected = rule_names() if names is None else list(names)
+    instances = []
+    for name in selected:
+        if name not in REGISTRY:
+            known = ", ".join(rule_names())
+            raise KeyError(f"unknown rule {name!r} (known rules: {known})")
+        instances.append(REGISTRY[name]())
+    return instances
+
+
+# -------------------------------------------------------------------- baseline
+def load_baseline(path: Path) -> Dict[str, Dict[str, object]]:
+    """Load a baseline file; returns ``{fingerprint: entry}``."""
+
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in {path}"
+        )
+    entries: Dict[str, Dict[str, object]] = {}
+    for entry in payload.get("findings", []):
+        entries[str(entry["fingerprint"])] = dict(entry)
+    return entries
+
+
+def write_baseline(
+    path: Path,
+    findings: Sequence[Finding],
+    justification: str = "grandfathered by --write-baseline",
+) -> None:
+    pairs = fingerprint_findings(findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "justification": justification,
+            }
+            for finding, fingerprint in pairs
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------------------- runner
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    new_findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    stale_baseline: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_findings
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.new_findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": self.suppressed_count,
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+
+def run_analysis(
+    root: Path,
+    paths: Sequence[str] = ("src",),
+    rules: Optional[Sequence[object]] = None,
+    baseline: Optional[Dict[str, Dict[str, object]]] = None,
+) -> AnalysisReport:
+    """Run *rules* over the project and classify findings against *baseline*."""
+
+    project = Project(Path(root), paths)
+    instances = list(rules) if rules is not None else all_rules()
+
+    # Eagerly parse every scanned file so syntax errors surface as findings
+    # even when no rule happens to visit the broken module.
+    for _ in project.iter_modules():
+        pass
+
+    report = AnalysisReport()
+    raw: List[Finding] = []
+    for rule in instances:
+        raw.extend(rule.check(project))
+    raw.extend(project.parse_errors)
+    raw.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    kept: List[Finding] = []
+    for finding in raw:
+        module = project.load(finding.path)
+        if module is not None and module.is_suppressed(finding.line, finding.rule):
+            report.suppressed_count += 1
+            continue
+        kept.append(finding)
+    report.findings = kept
+
+    baseline = baseline or {}
+    used: Set[str] = set()
+    for finding, fingerprint in fingerprint_findings(kept):
+        if fingerprint in baseline:
+            used.add(fingerprint)
+            report.baselined.append(finding)
+        else:
+            report.new_findings.append(finding)
+    report.stale_baseline = sorted(set(baseline) - used)
+    return report

@@ -1,0 +1,17 @@
+"""Built-in analysis rules; importing this package registers them all."""
+
+from repro.analysis.rules import (  # noqa: F401  (imports register the rules)
+    exception_taxonomy,
+    lock_discipline,
+    metric_hygiene,
+    schema_drift,
+    soundness,
+)
+
+__all__ = [
+    "exception_taxonomy",
+    "lock_discipline",
+    "metric_hygiene",
+    "schema_drift",
+    "soundness",
+]

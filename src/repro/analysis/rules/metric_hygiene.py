@@ -1,0 +1,191 @@
+"""metric-hygiene: bounded-cardinality, greppable telemetry series.
+
+Two checks:
+
+1. **Definition sites.**  Calls that create series — ``counter(...)``,
+   ``gauge(...)``, ``histogram(...)`` (module-level API or on a registry
+   object) — must pass a *literal* snake_case name and, when present, a
+   *literal* tuple/list of snake_case label keys.  A computed name or key
+   set cannot be grepped, documented, or aggregated across processes.
+
+2. **Call sites.**  Label *values* passed to ``.inc()/.dec()/.set()/
+   .observe()`` on a metric handle must not be f-strings, string
+   concatenations, or call expressions: each is a one-way ticket to
+   unbounded series cardinality (request ids, paths, timestamps...).
+   Plain variables are allowed — boundedness of a variable is not
+   syntactically decidable.
+
+``telemetry/metrics.py`` itself is exempt: ``merge_snapshot`` re-creates
+series from wire names by design.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Sequence, Tuple
+
+from repro.analysis.core import Finding, Project, SourceModule, register
+
+RULE_NAME = "metric-hygiene"
+
+SNAKE_CASE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+FACTORY_NAMES = frozenset({"counter", "gauge", "histogram"})
+RECORD_METHODS = frozenset({"inc", "dec", "set", "observe"})
+# Kwargs on record calls that are values, not labels.
+NON_LABEL_KWARGS = frozenset({"amount", "value"})
+# Receivers whose names mark them as registries.
+_REGISTRY_HINT = re.compile(r"(registry|metrics)", re.IGNORECASE)
+# Metric handles are module-level UPPER_CASE constants in this codebase.
+_HANDLE_NAME = re.compile(r"^_?[A-Z][A-Z0-9_]*$")
+
+DEFAULT_EXEMPT: Tuple[str, ...] = ("repro/telemetry/metrics.py",)
+
+_DYNAMIC_VALUE_TYPES = (ast.JoinedStr, ast.BinOp, ast.Call)
+
+
+def _imports_factories(module: SourceModule) -> bool:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if "telemetry" in node.module and any(
+                alias.name in FACTORY_NAMES for alias in node.names
+            ):
+                return True
+    return False
+
+
+def _is_factory_call(node: ast.Call, bare_names_active: bool) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return bare_names_active and func.id in FACTORY_NAMES
+    if isinstance(func, ast.Attribute) and func.attr in FACTORY_NAMES:
+        receiver = func.value
+        terminal = None
+        if isinstance(receiver, ast.Name):
+            terminal = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            terminal = receiver.attr
+        elif isinstance(receiver, ast.Call):
+            # e.g. get_registry().counter(...)
+            inner = receiver.func
+            terminal = inner.attr if isinstance(inner, ast.Attribute) else (
+                inner.id if isinstance(inner, ast.Name) else None
+            )
+        return terminal is not None and bool(_REGISTRY_HINT.search(terminal))
+    return False
+
+
+@register
+class MetricHygieneRule:
+    name = RULE_NAME
+    description = (
+        "series created with literal snake_case names and label keys; no "
+        "dynamic label values at record sites"
+    )
+
+    def __init__(self, exempt: Sequence[str] = DEFAULT_EXEMPT) -> None:
+        self.exempt = tuple(exempt)
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.iter_modules():
+            if any(suffix in module.path for suffix in self.exempt):
+                continue
+            bare_names_active = _imports_factories(module)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _is_factory_call(node, bare_names_active):
+                    yield from self._check_definition(module, node)
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in RECORD_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and _HANDLE_NAME.match(node.func.value.id)
+                ):
+                    yield from self._check_record_site(module, node)
+
+    # -- definition sites ------------------------------------------------
+    def _check_definition(self, module: SourceModule, node: ast.Call) -> Iterator[Finding]:
+        name_arg: ast.AST | None = None
+        if node.args:
+            name_arg = node.args[0]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "name":
+                    name_arg = kw.value
+        if name_arg is None:
+            return
+        if not (isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)):
+            yield Finding(
+                rule=self.name,
+                path=module.path,
+                line=node.lineno,
+                message="metric created with a non-literal name",
+                hint="pass a literal snake_case string so series are greppable",
+            )
+        elif not SNAKE_CASE.match(name_arg.value):
+            yield Finding(
+                rule=self.name,
+                path=module.path,
+                line=node.lineno,
+                message=f"metric name {name_arg.value!r} is not snake_case",
+                hint="rename to ^[a-z][a-z0-9_]*$",
+            )
+        for kw in node.keywords:
+            if kw.arg != "labelnames":
+                continue
+            yield from self._check_labelnames(module, kw.value)
+
+    def _check_labelnames(self, module: SourceModule, value: ast.AST) -> Iterator[Finding]:
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            yield Finding(
+                rule=self.name,
+                path=module.path,
+                line=value.lineno,
+                message="labelnames is not a literal tuple/list",
+                hint="declare the fixed label keys inline at the definition site",
+            )
+            return
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=element.lineno,
+                    message="label key is not a string literal",
+                    hint="label keys are part of the schema; spell them out",
+                )
+            elif not SNAKE_CASE.match(element.value):
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=element.lineno,
+                    message=f"label key {element.value!r} is not snake_case",
+                    hint="rename to ^[a-z][a-z0-9_]*$",
+                )
+
+    # -- record sites ----------------------------------------------------
+    def _check_record_site(self, module: SourceModule, node: ast.Call) -> Iterator[Finding]:
+        for kw in node.keywords:
+            if kw.arg is None or kw.arg in NON_LABEL_KWARGS:
+                continue
+            if isinstance(kw.value, _DYNAMIC_VALUE_TYPES):
+                kind = {
+                    ast.JoinedStr: "an f-string",
+                    ast.BinOp: "a computed expression",
+                    ast.Call: "a call expression",
+                }[type(kw.value)]
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=node.lineno,
+                    message=(
+                        f"label value for `{kw.arg}` is {kind} — unbounded "
+                        "series cardinality"
+                    ),
+                    hint=(
+                        "bind the value to a variable drawn from a closed "
+                        "vocabulary, or drop the label"
+                    ),
+                )

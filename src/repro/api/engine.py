@@ -295,11 +295,15 @@ class CertificationEngine:
     @property
     def scheduler(self) -> CertificationScheduler:
         """The in-flight coalescing scheduler guarding this engine's batches."""
-        if self._scheduler is None:
+        # Double-checked fast path: reading the reference is atomic, and a
+        # stale None only sends us into the locked slow path below.
+        scheduler = self._scheduler  # repro: ignore[lock-discipline]
+        if scheduler is None:
             with self._plan_lock:
                 if self._scheduler is None:
                     self._scheduler = CertificationScheduler(self)
-        return self._scheduler
+                scheduler = self._scheduler
+        return scheduler
 
     # ----------------------------------------------------------------- public
     def verify(

@@ -11,7 +11,7 @@ abstract domain, budgets, and parallelism to use when solving it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence, Union
 
 import numpy as np

@@ -187,6 +187,11 @@ class CertificationScheduler:
         self._executor: Optional[ThreadPoolExecutor] = None
         self.stats = SchedulerStats()
 
+    def stats_snapshot(self) -> dict:
+        """A consistent copy of the coalescing counters, taken under the lock."""
+        with self._lock:
+            return self.stats.snapshot()
+
     # -------------------------------------------------------------- streaming
     def stream(
         self, request: CertificationRequest, *, n_jobs: int = 1

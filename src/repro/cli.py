@@ -55,7 +55,7 @@ import os
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.api import CertificationEngine, CertificationReport, CertificationRequest
 from repro.datasets.registry import dataset_summaries, list_datasets, load_dataset
@@ -333,6 +333,32 @@ def build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("kind", choices=("domains", "cprob"))
     ablation.add_argument("--dataset", default="mnist17-binary", choices=list_datasets())
     _add_experiment_arguments(ablation)
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="run the project-invariant static analysis (repro.analysis)",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    analyze.add_argument(
+        "--rule", action="append", default=None, metavar="NAME",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    analyze.add_argument("--format", choices=("text", "json"), default="text")
+    analyze.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline JSON of grandfathered findings "
+        "(default: analysis_baseline.json when it exists)",
+    )
+    analyze.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file to cover every current finding",
+    )
+    analyze.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
 
     return parser
 
@@ -709,7 +735,7 @@ def _run_scalar_sweep(
             ["trace reuse",
              f"{trace_reused}/{trace_steps} ({trace_reused / trace_steps:.1%})"]
         )
-    stats = runtime.stats.snapshot() if runtime is not None else None
+    stats = runtime.stats_snapshot() if runtime is not None else None
     if stats is not None:
         table.add_row(["learner invocations", stats["learner_invocations"]])
     elif client is not None and outcomes:
@@ -798,7 +824,7 @@ def _run_frontier_sweep(
                 f"({entry['probes']} probe(s))"
             )
 
-    stats = runtime.stats.snapshot() if runtime is not None else None
+    stats = runtime.stats_snapshot() if runtime is not None else None
     report = CertificationReport(
         results=[],
         model_description=description,
@@ -1034,6 +1060,67 @@ def _command_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_analyze(args: argparse.Namespace) -> int:
+    # Deferred import: the analyzer is pure stdlib but pulls in every rule
+    # module, which no other command needs.
+    from repro.analysis import (
+        all_rules,
+        load_baseline,
+        run_analysis,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    try:
+        rules = all_rules(args.rule)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    root = Path.cwd()
+    baseline_path = args.baseline
+    if baseline_path is None and (root / "analysis_baseline.json").is_file():
+        baseline_path = str(root / "analysis_baseline.json")
+    baseline = {}
+    if baseline_path is not None and not args.write_baseline:
+        try:
+            baseline = load_baseline(Path(baseline_path))
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot load baseline {baseline_path}: {error}", file=sys.stderr)
+            return 2
+
+    report = run_analysis(root, paths=args.paths, rules=rules, baseline=baseline)
+
+    if args.write_baseline:
+        target = Path(baseline_path or "analysis_baseline.json")
+        write_baseline(target, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {target}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.new_findings:
+            print(f"{finding.location()}: [{finding.rule}] {finding.message}")
+            if finding.hint:
+                print(f"    hint: {finding.hint}")
+        summary = (
+            f"{len(report.new_findings)} finding(s), "
+            f"{len(report.baselined)} baselined, "
+            f"{report.suppressed_count} suppressed"
+        )
+        if report.stale_baseline:
+            summary += f", {len(report.stale_baseline)} stale baseline entr(y/ies)"
+        print(summary)
+        for stale in report.stale_baseline:
+            print(f"    stale baseline fingerprint: {stale}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "datasets": _command_datasets,
     "verify": _command_verify,
@@ -1048,6 +1135,7 @@ _COMMANDS = {
     "figure6": _command_figure6,
     "figure": _command_figure,
     "ablation": _command_ablation,
+    "analyze": _command_analyze,
 }
 
 

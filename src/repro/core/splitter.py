@@ -19,7 +19,7 @@ budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -209,6 +209,22 @@ def _score_table(table: FeatureSplitTable, impurity: str) -> np.ndarray:
     else:
         for i in range(table.n_candidates):
             scores[i] = split_score(left_counts[i], right_counts[i], impurity=impurity)
+    return scores
+
+
+def _score_table_reference(table: FeatureSplitTable, impurity: str) -> np.ndarray:
+    """Scalar oracle for :func:`_score_table`: one ``split_score`` per candidate.
+
+    Kept deliberately loop-per-candidate so the vectorized gini arithmetic
+    above has an independently-derived mirror; the parity property test in
+    ``tests/core/test_splitter_oracle.py`` holds them together (registered in
+    the ``soundness-boundary`` kernel registry).
+    """
+    scores = np.empty(table.n_candidates)
+    for i in range(table.n_candidates):
+        scores[i] = split_score(
+            table.left_class_counts[i], table.right_class_counts[i], impurity=impurity
+        )
     return scores
 
 

@@ -65,6 +65,14 @@ class Interval:
         """Strict dominance: every value of ``self`` exceeds every value of ``other``."""
         return self.lo > other.hi
 
+    def upper_at_most(self, bound: float) -> bool:
+        """Whether *every* concretization is ``<= bound`` (sound "definitely")."""
+        return self.hi <= bound
+
+    def lower_at_least(self, bound: float) -> bool:
+        """Whether *every* concretization is ``>= bound`` (sound "definitely")."""
+        return self.lo >= bound
+
     # ------------------------------------------------------------ structure
     @property
     def width(self) -> float:

@@ -12,7 +12,7 @@ want to spend the compute.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 #: Poisoning amounts forming the x-axes of the paper's figures (Figure 6–11).
 DEFAULT_POISONING_AMOUNTS: Dict[str, Tuple[int, ...]] = {

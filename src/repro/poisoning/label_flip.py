@@ -214,7 +214,7 @@ class FlipAbstractTrainingSet:
         return total
 
     def entropy_definitely_zero(self) -> bool:
-        return self.gini_interval().hi <= 0.0
+        return self.gini_interval().upper_at_most(0.0)
 
     def pure_is_feasible(self) -> bool:
         """Whether some concretization is single-class (for the ``ent = 0`` exit)."""

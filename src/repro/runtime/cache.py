@@ -214,7 +214,7 @@ class CertificationCache:
     def close(self) -> None:
         with self._lock:
             if self._connection is not None:
-                self._flush_touches()
+                self._flush_touches_locked()
                 self._connection.commit()
                 self._connection.close()
                 self._connection = None
@@ -279,7 +279,7 @@ class CertificationCache:
                 base + (removals, flips),
             ).fetchone()
             if row is not None:
-                return self._hit(base, row, kind="exact")
+                return self._hit_locked(base, row, kind="exact")
             if not monotone:
                 return None
             # Robust at a dominating budget (both components ≥) ⇒ robust here.
@@ -290,7 +290,7 @@ class CertificationCache:
                 base + (VerificationStatus.ROBUST.value, removals, flips),
             ).fetchone()
             if row is not None:
-                return self._hit(base, row, kind="monotone")
+                return self._hit_locked(base, row, kind="monotone")
             # Unknown at a dominated budget (both components ≤) ⇒ still unknown here.
             row = self._db.execute(
                 "SELECT payload, budget, budget_f FROM verdicts WHERE dataset_fp=? AND "
@@ -299,14 +299,17 @@ class CertificationCache:
                 base + (VerificationStatus.UNKNOWN.value, removals, flips),
             ).fetchone()
             if row is not None:
-                return self._hit(base, row, kind="monotone")
+                return self._hit_locked(base, row, kind="monotone")
             return None
 
-    def _hit(self, base: Tuple[str, str, str, str], row, *, kind: str) -> CacheHit:
-        """Build a hit and refresh the stored row's recency stamp (chunked)."""
+    def _hit_locked(self, base: Tuple[str, str, str, str], row, *, kind: str) -> CacheHit:
+        """Build a hit and refresh the stored row's recency stamp (chunked).
+
+        The ``_locked`` suffix is a contract: the caller holds ``self._lock``.
+        """
         self._touches[base + (int(row[1]), int(row[2]))] = time.time()
         if len(self._touches) >= _TOUCH_CHUNK:
-            self._flush_touches()
+            self._flush_touches_locked()
             self._db.commit()
         return CacheHit(
             result=VerificationResult.from_dict(json.loads(row[0])),
@@ -314,7 +317,7 @@ class CertificationCache:
             stored_budget=_stored_budget(row[1], row[2]),
         )
 
-    def _flush_touches(self) -> None:
+    def _flush_touches_locked(self) -> None:
         """Write buffered recency stamps (caller holds the lock, commits)."""
         if not self._touches:
             return
@@ -377,7 +380,7 @@ class CertificationCache:
         started = time.perf_counter()
         with self._lock:
             if self._connection is not None:
-                self._flush_touches()
+                self._flush_touches_locked()
                 self._connection.commit()
         _SQLITE_COMMIT.observe(time.perf_counter() - started)
 
@@ -497,7 +500,7 @@ class CertificationCache:
         started = time.perf_counter()
         with self._lock:
             db = self._db
-            self._flush_touches()
+            self._flush_touches_locked()
             now = time.time()
             # Recency stamps come from the wall clock, which can step
             # backwards (NTP corrections, VM migrations).  A row stamped

@@ -750,6 +750,16 @@ class CertificationRuntime:
             self.stats.deduplicated += count
         _DEDUPLICATED.inc(count)
 
+    def stats_snapshot(self) -> dict:
+        """A consistent copy of the lifetime counters, taken under the lock.
+
+        External readers (the service's ``stats`` op, the CLI summary lines)
+        must come through here instead of reaching into ``self.stats`` so
+        they never observe a batch's counters mid-update.
+        """
+        with self._stats_lock:
+            return self.stats.snapshot()
+
     def __getstate__(self) -> dict:
         # Runtimes never travel to pool workers (the engine drops its
         # reference when pickled), but stay safe if someone pickles one:

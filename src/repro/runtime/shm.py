@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.core.dataset import Dataset, FeatureKind
 from repro.runtime.fingerprint import fingerprint_dataset
+from repro.telemetry import events
 
 
 #: Whether this process runs a *private* resource tracker (decided once, at
@@ -62,8 +63,15 @@ def _tracker_is_private() -> bool:
             from multiprocessing import resource_tracker
 
             _PRIVATE_TRACKER = resource_tracker._resource_tracker._fd is None
-        except Exception:
+        except (ImportError, AttributeError) as error:
+            # The probe reaches into CPython internals (`_resource_tracker._fd`);
+            # on an interpreter without them, assume the shared tracker.
             _PRIVATE_TRACKER = False
+            events.emit(
+                "shm_tracker_probe_failed",
+                error_kind=events.classify_error(error),
+                error=repr(error),
+            )
     return _PRIVATE_TRACKER
 
 
@@ -75,8 +83,16 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
             from multiprocessing import resource_tracker
 
             resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
-        except Exception:
-            pass
+        except (ImportError, AttributeError, KeyError, OSError) as error:
+            # Failing to unregister means this process's tracker will unlink
+            # the publisher's segment at exit — survivable (the publisher
+            # re-publishes) but worth an event instead of a silent pass.
+            events.emit(
+                "shm_tracker_unregister_failed",
+                segment=name,
+                error_kind=events.classify_error(error),
+                error=repr(error),
+            )
     return shm
 
 

@@ -430,7 +430,7 @@ class CertificationServer:
         cache = self.runtime.cache
         return {
             "cache": None if cache is None else cache.stats(),
-            "runtime": self.runtime.stats.snapshot(),
+            "runtime": self.runtime.stats_snapshot(),
         }
 
     def _op_cache_gc(self, params: dict) -> dict:
@@ -455,15 +455,17 @@ class CertificationServer:
             engines = [
                 {
                     "config": dict(key),
-                    "scheduler": engine.scheduler.stats.snapshot(),
+                    "scheduler": engine.scheduler.stats_snapshot(),
                 }
                 for key, engine in self._engines.items()
             ]
+            requests_served = self.requests_served
+            datasets_resident = len(self._datasets)
         return {
             "uptime_seconds": time.monotonic() - self._started_at,
-            "requests_served": self.requests_served,
-            "datasets_resident": len(self._datasets),
-            "runtime": self.runtime.stats.snapshot(),
+            "requests_served": requests_served,
+            "datasets_resident": datasets_resident,
+            "runtime": self.runtime.stats_snapshot(),
             "engines": engines,
             "metrics": metrics.get_registry().snapshot(),
         }

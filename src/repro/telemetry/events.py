@@ -120,7 +120,9 @@ def configure(path: Optional[str]) -> None:
 def configured_path() -> Optional[str]:
     """The active sink path (after lazy env pickup), or None when disabled."""
     _maybe_configure_from_env()
-    return _sink_path
+    # Snapshot read of an atomic reference; a racing configure() just means
+    # the caller sees the path from one side of the switch.
+    return _sink_path  # repro: ignore[lock-discipline]
 
 
 def slow_threshold_seconds() -> float:
@@ -136,7 +138,9 @@ def _maybe_configure_from_env() -> None:
     # but not the parent's open file object, so the first emit() in a worker
     # opens its own append handle.
     global _sink, _sink_path, _env_checked
-    if _env_checked:
+    # Double-checked fast path: a stale False only sends us into the locked
+    # slow path, which re-tests under _lock.
+    if _env_checked:  # repro: ignore[lock-discipline]
         return
     with _lock:
         if _env_checked:
@@ -161,7 +165,9 @@ def emit(event: str, **fields: object) -> None:
     threshold stamps ``"slow": true``.
     """
     _maybe_configure_from_env()
-    sink = _sink
+    # Snapshot the sink reference once so a concurrent configure(None) cannot
+    # null it mid-emit; the write itself re-synchronizes on _lock below.
+    sink = _sink  # repro: ignore[lock-discipline]
     if sink is None:
         return
     record: dict = {"ts": time.time(), "event": event, "pid": os.getpid()}

@@ -142,7 +142,9 @@ class _Metric:
         return tuple(str(labels[name]) for name in self.labelnames)
 
     def _state(self, labelvalues: LabelValues) -> object:
-        state = self._series.get(labelvalues)
+        # Double-checked fast path on the hot record() route: a missed racing
+        # insert falls through to the locked setdefault.
+        state = self._series.get(labelvalues)  # repro: ignore[lock-discipline]
         if state is None:
             with self._lock:
                 state = self._series.setdefault(labelvalues, self._new_series())
@@ -212,7 +214,9 @@ class Counter(_Metric):
             state.value += amount
 
     def value(self, **labels: str) -> float:
-        state = self._series.get(self._resolve(labels))
+        # Unlocked read of one series' float: tests and dashboards tolerate a
+        # snapshot racing a concurrent inc.
+        state = self._series.get(self._resolve(labels))  # repro: ignore[lock-discipline]
         return 0.0 if state is None else state.value
 
     def total(self) -> float:
@@ -277,7 +281,8 @@ class Gauge(_Metric):
         self.inc(-amount, **labels)
 
     def value(self, **labels: str) -> float:
-        state = self._series.get(self._resolve(labels))
+        # Same snapshot-read tolerance as Counter.value above.
+        state = self._series.get(self._resolve(labels))  # repro: ignore[lock-discipline]
         return 0.0 if state is None else state.value
 
     def _series_snapshot(self, state: _ScalarSeries) -> dict:

@@ -60,18 +60,17 @@ def current_stage() -> str:
 @contextmanager
 def phase(name: str) -> Iterator[None]:
     """Time one transformer phase under the current ladder stage."""
+    stage = current_stage()  # closed vocabulary: ladder rung names or "none"
     if tracing.spans_enabled():
         with tracing.span(f"transformer.{name}"):
             started = perf_counter()
             try:
                 yield
             finally:
-                PHASE_SECONDS.observe(
-                    perf_counter() - started, stage=current_stage(), phase=name
-                )
+                PHASE_SECONDS.observe(perf_counter() - started, stage=stage, phase=name)
         return
     started = perf_counter()
     try:
         yield
     finally:
-        PHASE_SECONDS.observe(perf_counter() - started, stage=current_stage(), phase=name)
+        PHASE_SECONDS.observe(perf_counter() - started, stage=stage, phase=name)

@@ -40,8 +40,6 @@ from repro.core.dataset import FeatureKind
 from repro.core.predicates import (
     EqualityPredicate,
     Predicate,
-    SymbolicThresholdPredicate,
-    ThresholdPredicate,
 )
 from repro.core import split_plan
 from repro.core.splitter import FeatureSplitTable
@@ -173,7 +171,7 @@ def entropy_is_definitely_zero(
     trainset: AbstractTrainingSet, method: str = "optimal"
 ) -> bool:
     """Whether every concretization has zero impurity (else-branch infeasible)."""
-    return gini_interval(trainset, method).hi <= 0.0
+    return gini_interval(trainset, method).upper_at_most(0.0)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,160 @@
+"""Framework-level tests: suppressions, fingerprints, baselines, the runner."""
+
+import ast
+
+import pytest
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    SourceModule,
+    all_rules,
+    fingerprint_findings,
+    load_baseline,
+    rule_names,
+    run_analysis,
+    write_baseline,
+)
+
+
+class AlwaysFireRule:
+    """Test double: one finding per line containing the token FIRE."""
+
+    name = "always-fire"
+    description = "fires on every line containing FIRE"
+
+    def check(self, project):
+        for module in project.iter_modules():
+            for lineno, text in enumerate(module.lines, start=1):
+                if "FIRE" in text:
+                    yield Finding(
+                        rule=self.name, path=module.path, line=lineno, message="boom"
+                    )
+
+
+def _write(root, relpath, text):
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        module = SourceModule("m.py", "x = 1  # repro: ignore\n")
+        assert module.is_suppressed(1, "any-rule")
+
+    def test_rule_scoped_suppression(self):
+        module = SourceModule("m.py", "x = 1  # repro: ignore[lock-discipline]\n")
+        assert module.is_suppressed(1, "lock-discipline")
+        assert not module.is_suppressed(1, "schema-drift")
+
+    def test_preceding_comment_line_suppression(self):
+        source = "# repro: ignore[metric-hygiene]\nx = 1\n"
+        module = SourceModule("m.py", source)
+        assert module.is_suppressed(2, "metric-hygiene")
+
+    def test_preceding_code_line_does_not_suppress(self):
+        source = "y = 0  # repro: ignore\nx = 1\n"
+        module = SourceModule("m.py", source)
+        assert module.is_suppressed(1, "whatever")
+        assert not module.is_suppressed(2, "whatever")
+
+    def test_multiple_rules_in_one_marker(self):
+        module = SourceModule("m.py", "x = 1  # repro: ignore[a, b]\n")
+        assert module.is_suppressed(1, "a")
+        assert module.is_suppressed(1, "b")
+        assert not module.is_suppressed(1, "c")
+
+
+class TestFingerprints:
+    def test_identical_findings_get_distinct_ordinals(self):
+        findings = [
+            Finding("r", "p.py", 3, "dup"),
+            Finding("r", "p.py", 9, "dup"),
+        ]
+        pairs = fingerprint_findings(findings)
+        assert pairs[0][1] != pairs[1][1]
+
+    def test_fingerprint_survives_line_drift(self):
+        before = fingerprint_findings([Finding("r", "p.py", 3, "msg")])[0][1]
+        after = fingerprint_findings([Finding("r", "p.py", 77, "msg")])[0][1]
+        assert before == after
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        _write(tmp_path, "src/mod.py", "value = 1  # FIRE\n")
+        rule = AlwaysFireRule()
+        first = run_analysis(tmp_path, paths=("src",), rules=[rule])
+        assert len(first.new_findings) == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, first.findings, justification="test")
+        baseline = load_baseline(baseline_path)
+        assert len(baseline) == 1
+
+        second = run_analysis(tmp_path, paths=("src",), rules=[rule], baseline=baseline)
+        assert second.ok
+        assert len(second.baselined) == 1
+        assert second.stale_baseline == []
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        _write(tmp_path, "src/mod.py", "value = 1  # FIRE\n")
+        rule = AlwaysFireRule()
+        first = run_analysis(tmp_path, paths=("src",), rules=[rule])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, first.findings)
+        baseline = load_baseline(baseline_path)
+
+        _write(tmp_path, "src/mod.py", "value = 1\n")  # violation fixed
+        second = run_analysis(tmp_path, paths=("src",), rules=[rule], baseline=baseline)
+        assert second.ok
+        assert len(second.stale_baseline) == 1
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = _write(tmp_path, "baseline.json", '{"version": 99, "findings": []}')
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestRunner:
+    def test_suppressed_findings_are_counted_not_reported(self, tmp_path):
+        _write(tmp_path, "src/mod.py", "value = 1  # FIRE  # repro: ignore\n")
+        report = run_analysis(tmp_path, paths=("src",), rules=[AlwaysFireRule()])
+        assert report.ok
+        assert report.suppressed_count == 1
+
+    def test_parse_error_becomes_finding(self, tmp_path):
+        _write(tmp_path, "src/broken.py", "def broken(:\n")
+        report = run_analysis(tmp_path, paths=("src",), rules=[])
+        assert [f.rule for f in report.new_findings] == ["parse-error"]
+
+    def test_unknown_rule_name_raises(self):
+        with pytest.raises(KeyError):
+            all_rules(["no-such-rule"])
+
+    def test_registry_has_all_five_rules(self):
+        assert set(rule_names()) >= {
+            "exception-taxonomy",
+            "lock-discipline",
+            "metric-hygiene",
+            "schema-drift",
+            "soundness-boundary",
+        }
+
+
+class TestProject:
+    def test_load_outside_scan_roots(self, tmp_path):
+        _write(tmp_path, "src/a.py", "x = 1\n")
+        _write(tmp_path, "tests/t.py", "y = 2\n")
+        project = Project(tmp_path, paths=("src",))
+        assert project.load("tests/t.py") is not None
+        assert project.load("missing.py") is None
+
+    def test_find_module_by_suffix(self, tmp_path):
+        _write(tmp_path, "src/pkg/mod.py", "x = 1\n")
+        project = Project(tmp_path, paths=("src",))
+        module = project.find_module("pkg/mod.py")
+        assert module is not None
+        assert isinstance(module.tree, ast.Module)

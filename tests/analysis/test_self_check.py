@@ -1,0 +1,88 @@
+"""The analyzer must hold on this repository itself.
+
+This is the same gate CI runs (`repro analyze src --baseline
+analysis_baseline.json`): every rule over the real `src/` tree, with the
+committed baseline.  A regression that reintroduces a silent swallow, an
+unlocked access to guarded state, or schema drift fails here first.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import load_baseline, run_analysis
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "analysis_baseline.json"
+
+
+def test_source_tree_is_clean_against_baseline():
+    baseline = load_baseline(BASELINE) if BASELINE.is_file() else {}
+    report = run_analysis(REPO_ROOT, paths=("src",), baseline=baseline)
+    details = "\n".join(
+        f"{f.location()} [{f.rule}] {f.message}" for f in report.new_findings
+    )
+    assert report.ok, f"non-baselined findings in src/:\n{details}"
+    assert report.stale_baseline == [], (
+        "baseline entries no longer match any finding; prune analysis_baseline.json: "
+        f"{report.stale_baseline}"
+    )
+
+
+def test_committed_baseline_is_empty_or_justified():
+    payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+    for entry in payload["findings"]:
+        assert entry.get("justification"), (
+            f"baselined finding {entry['fingerprint']} has no justification"
+        )
+
+
+def test_cli_analyze_exits_zero(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    code = main(["analyze", "src", "--baseline", str(BASELINE)])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "0 finding(s)" in out
+
+
+def test_cli_analyze_json_format(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    code = main(["analyze", "src", "--rule", "schema-drift", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["ok"] is True
+
+
+def test_cli_unknown_rule_is_usage_error(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    code = main(["analyze", "--rule", "no-such-rule"])
+    assert code == 2
+
+
+def test_cli_nonzero_exit_on_findings(tmp_path, monkeypatch, capsys):
+    bad = tmp_path / "src" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "def f():\n    try:\n        g()\n    except Exception:\n        pass\n",
+        encoding="utf-8",
+    )
+    monkeypatch.chdir(tmp_path)
+    code = main(["analyze", "src", "--rule", "exception-taxonomy"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "exception-taxonomy" in out
+
+
+def test_cli_write_baseline_round_trip(tmp_path, monkeypatch, capsys):
+    bad = tmp_path / "src" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "def f():\n    try:\n        g()\n    except Exception:\n        pass\n",
+        encoding="utf-8",
+    )
+    monkeypatch.chdir(tmp_path)
+    assert main(["analyze", "src", "--write-baseline"]) == 0
+    capsys.readouterr()
+    code = main(["analyze", "src"])
+    out = capsys.readouterr().out
+    assert code == 0, out

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.api import BatchSubmission, CertificationEngine, CertificationRequest
-from repro.api.scheduler import CertificationScheduler
 from repro.poisoning.models import RemovalPoisoningModel
 from repro.runtime import CertificationRuntime
 from repro.verify.result import VerificationResult

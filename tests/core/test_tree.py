@@ -1,9 +1,7 @@
 """Tests for the decision-tree model and its trace-based view."""
 
 import numpy as np
-import pytest
 
-from repro.core.dataset import Dataset
 from repro.core.learner import DecisionTreeLearner
 from repro.core.predicates import ThresholdPredicate
 from repro.core.tree import DecisionTree, TreeNode

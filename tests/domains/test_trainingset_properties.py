@@ -10,7 +10,6 @@ sampling concretizations of small abstract elements:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.dataset import Dataset

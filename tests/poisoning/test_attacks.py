@@ -1,6 +1,5 @@
 """Tests for the concrete poisoning-attack search."""
 
-import numpy as np
 import pytest
 
 from repro.core.trace_learner import TraceLearner

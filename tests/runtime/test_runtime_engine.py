@@ -188,7 +188,6 @@ class TestMonotoneReuse:
 
 class TestEnvironmentalOutcomes:
     def test_timeouts_neither_cached_nor_journaled(self, tmp_path, monkeypatch):
-        from repro.domains.interval import Interval
         from repro.verify.result import VerificationResult, VerificationStatus
 
         timeout = VerificationResult(

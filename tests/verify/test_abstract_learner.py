@@ -1,6 +1,5 @@
 """Tests for the Box-domain abstract learner DTrace#."""
 
-import numpy as np
 import pytest
 
 from repro.core.trace_learner import TraceLearner

@@ -6,7 +6,6 @@ import pytest
 from repro.datasets.toy import figure2_dataset, tiny_boolean_dataset
 from repro.verify.robustness import (
     PoisoningVerifier,
-    VerificationResult,
     VerificationStatus,
 )
 from tests.conftest import well_separated_dataset

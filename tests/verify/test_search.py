@@ -8,7 +8,6 @@ from repro.poisoning.models import (
     CompositePoisoningModel,
     FractionalRemovalModel,
     LabelFlipModel,
-    RemovalPoisoningModel,
 )
 from repro.utils.validation import ValidationError
 from repro.verify.result import VerificationResult, VerificationStatus

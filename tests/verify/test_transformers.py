@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.dataset import Dataset, FeatureKind
+from repro.core.dataset import Dataset
 from repro.core.predicates import SymbolicThresholdPredicate, ThresholdPredicate
 from repro.core.splitter import best_split
 from repro.core.impurity import gini_impurity
