@@ -50,6 +50,12 @@ DEFAULT_BOUNDARIES: Tuple[Boundary, ...] = (
         "lease fallback: a stranger's failed batch must not fail this one; "
         "the point is recomputed locally and counted in lease_fallbacks",
     ),
+    Boundary(
+        "fleet/router.py",
+        "handle",
+        "per-connection protocol boundary: converts any failure into an "
+        "error frame for the client",
+    ),
 )
 
 

@@ -79,6 +79,9 @@ DEFAULT_ATTR_GUARDS: Tuple[AttrGuard, ...] = (
         ("_engines", "_datasets", "_active_ops", "requests_served"),
         "_lock",
     ),
+    AttrGuard("fleet/link.py", ("BackendPool",), ("_idle", "_closed"), "_lock"),
+    AttrGuard("fleet/health.py", ("HealthMonitor",), ("_alive",), "_lock"),
+    AttrGuard("fleet/batching.py", ("MicroBatcher",), ("_windows",), "_lock"),
 )
 
 DEFAULT_GLOBAL_GUARDS: Tuple[GlobalGuard, ...] = (

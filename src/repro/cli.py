@@ -27,9 +27,16 @@ The CLI exposes the main workflows without writing any Python:
 * ``repro-antidote serve SOCKET --cache-dir DIR`` — run the certification
   daemon: one warm runtime (published datasets, warm request plans, open
   verdict cache) serving the versioned JSON-lines protocol over a
-  Unix-domain socket; point ``verify``/``certify``/``sweep`` at it with
-  ``--connect SOCKET`` to certify against the warm remote runtime instead
-  of a cold local engine;
+  Unix-domain socket — or over TCP with ``--tcp HOST:PORT`` — with optional
+  micro-batching of concurrent single-point frames (``--batch-window``);
+  point ``verify``/``certify``/``sweep`` at it with ``--connect ADDRESS``
+  (socket path or ``host:port``) to certify against the warm remote runtime
+  instead of a cold local engine;
+* ``repro-antidote route --tcp HOST:PORT --backend ADDR ...`` — run the
+  fleet router: shards requests across backends by dataset fingerprint
+  (consistent hashing), health-checks them, fails over mid-request, and
+  replicates derivable verdict rows between their caches
+  (:mod:`repro.fleet`);
 * ``repro-antidote metrics [--connect SOCKET] [--format prometheus]`` — dump
   the telemetry registry (:mod:`repro.telemetry`) of this process or of a
   running daemon, as a JSON snapshot or Prometheus text exposition;
@@ -108,9 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--scale", type=float, default=None, help="dataset scale (1.0 = paper size)")
     verify.add_argument("--seed", type=int, default=0)
     verify.add_argument("--timeout", type=float, default=60.0)
-    verify.add_argument("--connect", default=None, metavar="SOCKET",
+    verify.add_argument("--connect", default=None, metavar="ADDRESS",
                         help="certify through a running `repro-antidote serve` "
-                        "daemon instead of a local engine")
+                        "daemon or `route` router instead of a local engine "
+                        "(a Unix socket path or host:port)")
     verify.add_argument("--trace", action="store_true",
                         help="enable span tracing and print the wall-time "
                         "trace tree (local engine only)")
@@ -167,9 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
     certify.add_argument("--no-shared-memory", action="store_true",
                          help="disable the shared-memory dataset plane for "
                          "pool workers (pickle the dataset instead)")
-    certify.add_argument("--connect", default=None, metavar="SOCKET",
+    certify.add_argument("--connect", default=None, metavar="ADDRESS",
                          help="certify through a running `repro-antidote serve` "
-                         "daemon (the server owns cache and parallelism; "
+                         "daemon or `route` router — a Unix socket path or "
+                         "host:port (the server owns cache and parallelism; "
                          "incompatible with --cache-dir/--resume/"
                          "--max-new-points)")
     certify.add_argument("--trace", action="store_true",
@@ -225,7 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the per-point outcome rows as CSV")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress the per-point lines")
-    sweep.add_argument("--connect", default=None, metavar="SOCKET",
+    sweep.add_argument("--connect", default=None, metavar="ADDRESS",
                        help="probe through a running `repro-antidote serve` "
                        "daemon (its cache answers repeat probes; "
                        "incompatible with --cache-dir)")
@@ -241,7 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump a telemetry registry (this process's, or a daemon's via "
         "--connect)",
     )
-    metrics_cmd.add_argument("--connect", default=None, metavar="SOCKET",
+    metrics_cmd.add_argument("--connect", default=None, metavar="ADDRESS",
                              help="fetch the registry of a running "
                              "`repro-antidote serve` daemon through the "
                              "versioned `metrics` op (default: the — mostly "
@@ -258,7 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="live terminal dashboard over a telemetry registry (this "
         "process's, or a daemon's via --connect)",
     )
-    top.add_argument("--connect", default=None, metavar="SOCKET",
+    top.add_argument("--connect", default=None, metavar="ADDRESS",
                      help="watch a running `repro-antidote serve` daemon "
                      "through the versioned `metrics` op")
     top.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
@@ -277,7 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("request_id", metavar="REQUEST_ID",
                            help="correlation id printed by the issuing "
                            "command ('[request id ...]' on stderr)")
-    trace_cmd.add_argument("--connect", default=None, metavar="SOCKET",
+    trace_cmd.add_argument("--connect", default=None, metavar="ADDRESS",
                            help="query a running `repro-antidote serve` "
                            "daemon (it must run with --trace); default: "
                            "this process's completed-roots ring")
@@ -298,10 +307,21 @@ def build_parser() -> argparse.ArgumentParser:
                        "first, then least recently used)")
 
     serve = subparsers.add_parser(
-        "serve", help="run the certification daemon on a Unix-domain socket"
+        "serve", help="run the certification daemon (Unix socket or TCP)"
     )
-    serve.add_argument("socket", metavar="SOCKET",
-                       help="filesystem path of the Unix-domain socket to bind")
+    serve.add_argument("socket", metavar="SOCKET", nargs="?", default=None,
+                       help="filesystem path of the Unix-domain socket to bind "
+                       "(omit when using --tcp)")
+    serve.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="bind a TCP listener instead of a Unix socket "
+                       "(fleet mode: reachable by `repro-antidote route` "
+                       "backends on other hosts)")
+    serve.add_argument("--batch-window", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="coalesce concurrent single-point certify frames "
+                       "for the same (dataset, model, engine) into pooled "
+                       "scheduler batches, holding each window open this long "
+                       "(default: 0, batching off)")
     serve.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="persistent verdict cache served to every client "
                        "(default: an ephemeral cache living as long as the "
@@ -315,6 +335,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable span tracing server-wide so `repro trace "
                        "REQUEST_ID --connect` can fetch stored request traces")
     serve.add_argument("--log-json", default=None, metavar="PATH",
+                       help="append request-correlated JSONL events to PATH "
+                       "(also enabled by REPRO_LOG_JSON)")
+
+    route = subparsers.add_parser(
+        "route",
+        help="run the fleet router: shard certification requests across "
+        "`repro-antidote serve` backends by dataset fingerprint",
+    )
+    route.add_argument("socket", metavar="SOCKET", nargs="?", default=None,
+                       help="Unix-domain socket to listen on (omit when "
+                       "using --tcp)")
+    route.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="TCP address to listen on")
+    route.add_argument("--backend", action="append", default=None,
+                       metavar="ADDRESS", dest="backends",
+                       help="backend server address (host:port or Unix "
+                       "socket path); repeat once per backend",)
+    route.add_argument("--no-replicate", action="store_true",
+                       help="disable cross-server replication of derivable "
+                       "verdict rows")
+    route.add_argument("--health-interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="seconds between backend health probes")
+    route.add_argument("--request-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request timeout on backend calls (a backend "
+                       "that stops answering triggers failover instead of "
+                       "hanging the client)")
+    route.add_argument("--log-json", default=None, metavar="PATH",
                        help="append request-correlated JSONL events to PATH "
                        "(also enabled by REPRO_LOG_JSON)")
 
@@ -918,17 +967,51 @@ def _run_cache_action(cache: CertificationCache, args: argparse.Namespace) -> in
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import CertificationServer
 
+    if (args.socket is None) == (args.tcp is None):
+        print("error: pass exactly one of SOCKET or --tcp HOST:PORT",
+              file=sys.stderr)
+        return 2
     server = CertificationServer(
         args.socket,
+        tcp=args.tcp,
         cache_dir=args.cache_dir,
         shared_memory=not args.no_shared_memory,
         max_engines=args.max_engines,
+        batch_window=args.batch_window,
     )
     cache = "ephemeral" if args.cache_dir is None else args.cache_dir
-    print(f"serving certifications on {args.socket} (cache: {cache})")
+    print(f"serving certifications on {server.address} (cache: {cache})")
     print("press Ctrl-C or send SIGTERM to stop")
     server.serve_forever()
     print("server stopped")
+    return 0
+
+
+def _command_route(args: argparse.Namespace) -> int:
+    from repro.fleet import CertificationRouter
+
+    if (args.socket is None) == (args.tcp is None):
+        print("error: pass exactly one of SOCKET or --tcp HOST:PORT",
+              file=sys.stderr)
+        return 2
+    if not args.backends:
+        print("error: pass at least one --backend ADDRESS", file=sys.stderr)
+        return 2
+    router = CertificationRouter(
+        args.backends,
+        tcp=args.tcp,
+        socket_path=args.socket,
+        replicate=not args.no_replicate,
+        health_interval=args.health_interval,
+        request_timeout=args.request_timeout,
+    )
+    print(
+        f"routing certifications on {router.address} across "
+        f"{len(args.backends)} backend(s): {', '.join(args.backends)}"
+    )
+    print("press Ctrl-C or send SIGTERM to stop")
+    router.serve_forever()
+    print("router stopped")
     return 0
 
 
@@ -1128,6 +1211,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "cache": _command_cache,
     "serve": _command_serve,
+    "route": _command_route,
     "metrics": _command_metrics,
     "top": _command_top,
     "trace": _command_trace,

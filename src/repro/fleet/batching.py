@@ -1,0 +1,157 @@
+"""Server-side micro-batching of concurrent single-point certify frames.
+
+A storm of clients certifying one point each against the same (dataset,
+model, engine) is the pathological shape for the serving stack: every frame
+pays dispatch, plan lookup, and scheduler bookkeeping for a single point.
+:class:`MicroBatcher` turns the storm back into batches: the first
+single-point frame of a (dataset, model, engine) triple opens a **window**
+and becomes its *leader*; frames arriving within ``window_seconds`` join it;
+the leader then flushes the pooled rows through the engine's
+:class:`~repro.api.scheduler.CertificationScheduler` as one batch and
+distributes the per-point verdicts back to each waiting handler thread.
+
+The window key includes the canonical wire form of the *resolved* threat
+model, so only requests whose models agree exactly (family, budget, class
+count) pool — two models that merely collide in cache coordinates never mix
+their nominal amounts in each other's results.  The cost is bounded and
+explicit: a lone request waits out its own window (``window_seconds`` of
+added latency) and gains nothing; concurrent storms collapse into one
+scheduler batch per window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.api.report import CertificationReport
+from repro.poisoning.models import PerturbationModel, resolve_model_classes
+from repro.runtime.fingerprint import fingerprint_dataset
+from repro.service.protocol import model_to_wire
+from repro.telemetry import events, metrics
+
+__all__ = ["MicroBatcher"]
+
+_WINDOW_SECONDS = metrics.histogram(
+    "batch_window_seconds",
+    "Wall seconds per micro-batch window, first frame to flush completion.",
+)
+_BATCHED_POINTS = metrics.counter(
+    "batched_points_total",
+    "Single-point certify frames pooled through micro-batch windows.",
+)
+_BATCH_SIZE = metrics.histogram(
+    "batch_size_points",
+    "Points per flushed micro-batch window.",
+)
+
+
+@dataclass
+class _Window:
+    """One open coalescing window: pooled rows and their waiting futures."""
+
+    engine: object
+    dataset: object
+    model: PerturbationModel
+    rows: List[np.ndarray] = field(default_factory=list)
+    futures: List[Future] = field(default_factory=list)
+    opened_at: float = field(default_factory=time.perf_counter)
+    closed: bool = False
+    #: Set by the leader once the window's shared runtime stats are captured;
+    #: followers must wait on it before reading ``stats`` (their own futures
+    #: resolve mid-stream, before the batch accounting exists).
+    completed: threading.Event = field(default_factory=threading.Event)
+    stats: Optional[dict] = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent single-point certifications into pooled windows."""
+
+    def __init__(self, *, window_seconds: float = 0.01) -> None:
+        self.window_seconds = float(window_seconds)
+        self._windows: Dict[tuple, _Window] = {}
+        self._lock = threading.Lock()
+
+    def certify_one(self, engine, request) -> CertificationReport:
+        """Certify a one-point request through a pooled window.
+
+        Called concurrently by server handler threads; returns the same
+        report shape ``engine.verify`` produces for one point, with the
+        *window's* runtime stats (cache hits, learner invocations are
+        batch-level accounting, shared by every frame that pooled).
+        """
+        started = time.perf_counter()
+        dataset = request.dataset
+        model = resolve_model_classes(request.model, dataset.n_classes)
+        row = np.asarray(request.points[0], dtype=float)
+        key = (
+            id(engine),
+            fingerprint_dataset(dataset),
+            repr(sorted(model_to_wire(model).items())),
+        )
+        future: Future = Future()
+        with self._lock:
+            window = self._windows.get(key)
+            leader = window is None or window.closed
+            if leader:
+                window = _Window(engine=engine, dataset=dataset, model=model)
+                self._windows[key] = window
+            assert window is not None
+            window.rows.append(row)
+            window.futures.append(future)
+        if leader:
+            # Hold the window open for stragglers, then flush.  The leader's
+            # handler thread does the batch work; followers just wait.
+            time.sleep(self.window_seconds)
+            with self._lock:
+                window.closed = True
+                if self._windows.get(key) is window:
+                    del self._windows[key]
+            self._flush(window)
+        result = future.result()
+        window.completed.wait()
+        return CertificationReport(
+            results=[result],
+            model_description=model.describe(),
+            dataset_name=dataset.name,
+            total_seconds=time.perf_counter() - started,
+            runtime_stats=window.stats,
+        )
+
+    def _flush(self, window: _Window) -> None:
+        """Run the pooled rows as one scheduler batch; resolve every future."""
+        engine = window.engine
+        try:
+            results = list(
+                engine.scheduler.stream_rows(
+                    window.dataset, window.model, window.rows, n_jobs=1
+                )
+            )
+        except BaseException as error:
+            # Every pooled frame fails together; each handler thread re-raises
+            # from its own future and answers its client with an error frame.
+            for pending in window.futures:
+                if not pending.done():
+                    pending.set_exception(error)
+        else:
+            for pending, result in zip(window.futures, results):
+                pending.set_result(result)
+        finally:
+            runtime = getattr(engine, "runtime", None)
+            if runtime is not None and runtime.last_batch_stats is not None:
+                window.stats = runtime.last_batch_stats.snapshot()
+            elapsed = time.perf_counter() - window.opened_at
+            _WINDOW_SECONDS.observe(elapsed)
+            _BATCH_SIZE.observe(len(window.rows))
+            _BATCHED_POINTS.inc(len(window.rows))
+            events.emit(
+                "server.batch_window",
+                seconds=elapsed,
+                points=len(window.rows),
+            )
+            window.completed.set()

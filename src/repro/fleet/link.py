@@ -1,0 +1,109 @@
+"""Pooled backend connections for the router.
+
+A router handler thread needs a warm connection to the shard backend it is
+relaying to; opening one per request would pay connect + hello on every
+frame.  :class:`BackendPool` keeps a small per-backend free list of
+:class:`~repro.service.client.CertificationClient` objects (the router uses
+only their raw relay surface — ``call`` / ``stream_frames`` — so frames pass
+through without dataset or result decoding).
+
+Connections borrow/return through :meth:`BackendPool.lease`; a client that
+marked itself ``broken`` (request timeout, protocol desync, dead peer) is
+closed instead of returned, so the pool never hands out a poisoned
+connection.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.service.client import CertificationClient
+
+__all__ = ["BackendPool"]
+
+
+class BackendPool:
+    """Small per-backend free lists of connected clients.
+
+    ``request_timeout`` is applied to every pooled connection — the
+    router must never hang forever on a half-open backend (the client
+    raises :class:`~repro.service.protocol.RequestTimeoutError` and the
+    pool discards the connection).
+    """
+
+    def __init__(
+        self,
+        *,
+        connect_timeout: float = 5.0,
+        request_timeout: Optional[float] = None,
+        connect_retries: int = 2,
+        max_idle_per_backend: int = 4,
+    ) -> None:
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.connect_retries = connect_retries
+        self.max_idle_per_backend = max_idle_per_backend
+        self._idle: Dict[str, List[CertificationClient]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def acquire(self, backend: str) -> CertificationClient:
+        """A connected client for ``backend``: pooled if warm, fresh otherwise."""
+        with self._lock:
+            idle = self._idle.get(backend)
+            if idle:
+                return idle.pop()
+        return CertificationClient(
+            backend,
+            connect_timeout=self.connect_timeout,
+            connect_retries=self.connect_retries,
+            request_timeout=self.request_timeout,
+        )
+
+    def release(self, backend: str, client: CertificationClient) -> None:
+        """Return a client to the pool; broken/overflow connections close."""
+        if client.broken:
+            client.close()
+            return
+        with self._lock:
+            if not self._closed:
+                idle = self._idle.setdefault(backend, [])
+                if len(idle) < self.max_idle_per_backend:
+                    idle.append(client)
+                    return
+        client.close()
+
+    @contextmanager
+    def lease(self, backend: str) -> Iterator[CertificationClient]:
+        """Borrow a connection for one operation, returning it on success.
+
+        On *any* exception the connection is closed rather than pooled: the
+        error may have left response frames in flight, and a desynchronized
+        connection must never serve the next request.
+        """
+        client = self.acquire(backend)
+        try:
+            yield client
+        except BaseException:
+            client.close()
+            raise
+        else:
+            self.release(backend, client)
+
+    def invalidate(self, backend: str) -> None:
+        """Drop every pooled connection to ``backend`` (it was seen dying)."""
+        with self._lock:
+            idle = self._idle.pop(backend, [])
+        for client in idle:
+            client.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            pools = list(self._idle.values())
+            self._idle.clear()
+        for idle in pools:
+            for client in idle:
+                client.close()

@@ -19,7 +19,9 @@ certification API:
 
 Start a daemon with ``repro-antidote serve /path/to.sock --cache-dir DIR``
 and point any CLI certification command at it with ``--connect
-/path/to.sock``.  Concurrent clients asking the same question are coalesced
+/path/to.sock``.  The same daemon serves over TCP with ``serve --tcp
+HOST:PORT`` (clients connect with ``--connect HOST:PORT``); :mod:`repro.fleet`
+builds the multi-host router on top.  Concurrent clients asking the same question are coalesced
 server-side (one learner invocation per distinct in-flight point), and
 repeat batches answer from the warm cache with zero learner invocations.
 """
@@ -27,14 +29,18 @@ repeat batches answer from the warm cache with zero learner invocations.
 from repro.service.client import CertificationClient, wait_for_server
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
+    PROTOCOL_MINOR,
     PROTOCOL_VERSION,
     ProtocolError,
     RemoteError,
+    RequestTimeoutError,
     dataset_from_wire,
     dataset_to_wire,
     encode_frame,
+    format_address,
     model_from_wire,
     model_to_wire,
+    parse_address,
     read_frame,
 )
 from repro.service.server import CertificationServer
@@ -43,14 +49,18 @@ __all__ = [
     "CertificationClient",
     "CertificationServer",
     "MAX_FRAME_BYTES",
+    "PROTOCOL_MINOR",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RemoteError",
+    "RequestTimeoutError",
     "dataset_from_wire",
     "dataset_to_wire",
     "encode_frame",
+    "format_address",
     "model_from_wire",
     "model_to_wire",
+    "parse_address",
     "read_frame",
     "wait_for_server",
 ]

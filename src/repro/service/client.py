@@ -23,7 +23,9 @@ resolved server-side).
 
 One client owns one connection and serializes its requests on it; use one
 client per thread for concurrent traffic (connections are cheap — the
-expensive state lives server-side).
+expensive state lives server-side).  The connection is a Unix-domain socket
+(same host) or TCP (``host:port`` — fleet serving, see :mod:`repro.fleet`);
+the address form picks the transport.
 """
 
 from __future__ import annotations
@@ -45,10 +47,13 @@ from repro.service.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
     RemoteError,
+    RequestTimeoutError,
     dataset_to_wire,
     encode_frame,
     engine_config_to_wire,
+    format_address,
     model_to_wire,
+    parse_address,
     read_frame,
 )
 from repro.telemetry import events
@@ -67,12 +72,13 @@ def wait_for_server(
     The bring-up helper for scripts that fork a daemon and immediately
     connect: retries until the socket exists *and* completes a hello/ping
     exchange, so a half-bound server never races the first real request.
+    Accepts Unix-socket paths and ``host:port`` TCP addresses alike.
     """
     deadline = time.monotonic() + timeout
     last_error: Optional[Exception] = None
     while time.monotonic() < deadline:
         try:
-            with CertificationClient(socket_path) as client:
+            with CertificationClient(socket_path, connect_retries=0) as client:
                 client.ping()
                 return
         except (OSError, ProtocolError, RemoteError) as error:
@@ -85,12 +91,24 @@ def wait_for_server(
 
 
 class CertificationClient:
-    """Certify against a remote warm runtime over a Unix-domain socket.
+    """Certify against a remote warm runtime over a Unix or TCP socket.
 
-    Accepts the same engine-configuration keywords as
+    ``socket_path`` is a filesystem path (Unix-domain socket) or a
+    ``host:port`` / ``tcp://host:port`` address (see
+    :func:`~repro.service.protocol.parse_address`).  Accepts the same
+    engine-configuration keywords as
     :class:`~repro.api.CertificationEngine` (``max_depth``, ``domain``,
     ``cprob_method``, ``timeout_seconds``, ``max_disjuncts``, ``impurity``);
     they select (or create) the matching warm engine server-side.
+
+    ``request_timeout`` bounds every request/response round trip after the
+    handshake (certification calls can legitimately take minutes, so the
+    default is unbounded).  On expiry the client raises
+    :class:`~repro.service.protocol.RequestTimeoutError` and marks itself
+    ``broken`` — the response may still be in flight, so the connection
+    cannot be reused.  ``connect_retries`` retries refused/absent endpoints
+    with exponential backoff so a restarting fleet does not fail fast-path
+    callers.
     """
 
     def __init__(
@@ -98,22 +116,23 @@ class CertificationClient:
         socket_path: Union[str, Path],
         *,
         connect_timeout: float = 10.0,
+        connect_retries: int = 3,
+        request_timeout: Optional[float] = None,
         **engine_config: object,
     ) -> None:
-        self.socket_path = Path(socket_path)
+        family, target = parse_address(socket_path)
+        self.address = format_address(socket_path)
+        self.socket_path: Optional[Path] = (
+            Path(target) if family == "unix" else None  # type: ignore[arg-type]
+        )
         self._engine_config = engine_config_to_wire(**engine_config)
+        self._request_timeout = request_timeout
         self._lock = threading.Lock()
         self._next_id = 0
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(connect_timeout)
-        try:
-            self._sock.connect(str(self.socket_path))
-        except OSError:
-            self._sock.close()
-            raise
-        # Certification calls can legitimately take minutes; the timeout only
-        # guards the connection handshake.
-        self._sock.settimeout(None)
+        self._broken = False
+        self._sock = self._connect(family, target, connect_timeout, connect_retries)
+        # The connect timeout keeps guarding the hello round trip; the
+        # per-request timeout (if any) takes over once the handshake is done.
         self._reader = self._sock.makefile("rb")
         self._writer = self._sock.makefile("wb")
         try:
@@ -124,6 +143,54 @@ class CertificationClient:
             # wait_for_server would exhaust the fd limit otherwise.
             self.close()
             raise
+        self._sock.settimeout(request_timeout)
+
+    @staticmethod
+    def _connect(
+        family: str,
+        target: object,
+        connect_timeout: float,
+        connect_retries: int,
+    ) -> socket.socket:
+        """Connect with exponential backoff on refused/absent endpoints.
+
+        Only ``ConnectionRefusedError`` and ``FileNotFoundError`` retry —
+        both mean "the server is not (yet) there", the transient state during
+        a fleet restart.  Every other ``OSError`` (permission, unreachable
+        network, …) propagates immediately.  Each attempt uses a fresh
+        socket; a failed ``connect`` leaves the old one unusable.
+        """
+        backoff = 0.05
+        attempt = 0
+        while True:
+            if family == "tcp":
+                host, port = target  # type: ignore[misc]
+                sock = socket.socket(socket.AF_INET6 if ":" in host else socket.AF_INET)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+                endpoint: object = (host, port)
+            else:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                endpoint = str(target)
+            sock.settimeout(connect_timeout)
+            try:
+                sock.connect(endpoint)  # type: ignore[arg-type]
+                return sock
+            except (ConnectionRefusedError, FileNotFoundError):
+                sock.close()
+                attempt += 1
+                if attempt > connect_retries:
+                    raise
+                time.sleep(backoff)
+                backoff *= 2
+            except OSError:
+                sock.close()
+                raise
+
+    @property
+    def broken(self) -> bool:
+        """True once a timeout/protocol fault desynchronized the connection."""
+        return self._broken
 
     # ------------------------------------------------------------- transport
     def _call(self, op: str, params: Optional[dict] = None) -> dict:
@@ -131,10 +198,12 @@ class CertificationClient:
         started = time.perf_counter()
         with self._lock:
             frame = self._send(op, params)
-            response = read_frame(self._reader)
+            response = self._read_frame(op)
         try:
             result = self._unwrap(frame["id"], response)
         except Exception as error:
+            if isinstance(error, (OSError, ProtocolError)):
+                self._broken = True
             events.emit(
                 "client.request",
                 op=op,
@@ -162,6 +231,26 @@ class CertificationClient:
         self._writer.write(encode_frame(frame))
         self._writer.flush()
         return frame
+
+    def _read_frame(self, op: str) -> Optional[dict]:
+        """One frame, with the per-request timeout mapped onto the taxonomy.
+
+        A timed-out read leaves the buffered reader mid-frame, so the client
+        marks itself broken: the next caller must reconnect rather than read
+        a stale half response.  (``socket.timeout`` is ``TimeoutError`` on
+        every supported Python.)
+        """
+        try:
+            return read_frame(self._reader)
+        except TimeoutError as error:
+            self._broken = True
+            raise RequestTimeoutError(
+                f"no response to {op!r} from {self.address} within "
+                f"{self._request_timeout}s"
+            ) from error
+        except ProtocolError:
+            self._broken = True
+            raise
 
     @staticmethod
     def _unwrap(request_id: int, response: Optional[dict]) -> dict:
@@ -193,6 +282,63 @@ class CertificationClient:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------- raw relay surface
+    def call(self, op: str, params: Optional[dict] = None) -> dict:
+        """One raw protocol round trip; ``params`` pass through verbatim.
+
+        The fleet router's relay primitive: it forwards request frames
+        without decoding datasets or results.  Raises
+        :class:`~repro.service.protocol.RemoteError` on server-reported
+        failures and transport errors
+        (:class:`~repro.service.protocol.RequestTimeoutError`, OSError,
+        ProtocolError) on a dead/hung connection.
+        """
+        return self._call(op, params)
+
+    def stream_frames(self, op: str, params: Optional[dict] = None) -> Iterator[dict]:
+        """Yield the raw frames of a streaming op (through the ``end`` frame).
+
+        Frames pass through verbatim — ``result`` frames, the closing ``end``
+        frame, and server *error* frames (``ok: false``, yielded rather than
+        raised so a relay can forward them).  Transport faults raise and mark
+        the client broken.
+        """
+        with self._lock:
+            frame = self._send(op, params)
+            drained = False
+            try:
+                while True:
+                    response = self._read_frame(op)
+                    if response is None:
+                        drained = True
+                        self._broken = True
+                        raise ProtocolError("server closed the connection mid-stream")
+                    if response.get("ok") is False:
+                        drained = True
+                        yield response
+                        return
+                    event = response.get("event")
+                    if event == "result":
+                        yield response
+                    elif event == "end":
+                        drained = True
+                        yield response
+                        return
+                    else:
+                        drained = True
+                        raise ProtocolError(f"unexpected stream frame: {response}")
+            finally:
+                while not drained and not self._broken:
+                    try:
+                        response = read_frame(self._reader)
+                    except (OSError, ProtocolError):
+                        self._broken = True
+                        break
+                    if response is None or response.get("event") == "end" or (
+                        response.get("ok") is False
+                    ):
+                        drained = True
 
     # ------------------------------------------------------- the engine verbs
     def verify(
@@ -236,9 +382,10 @@ class CertificationClient:
             drained = False
             try:
                 while True:
-                    response = read_frame(self._reader)
+                    response = self._read_frame("certify_stream")
                     if response is None:
                         drained = True  # nothing left to desynchronize
+                        self._broken = True
                         raise ProtocolError("server closed the connection mid-stream")
                     if response.get("ok") is False:
                         drained = True  # an error frame ends the stream
@@ -254,9 +401,14 @@ class CertificationClient:
                         raise ProtocolError(f"unexpected stream frame: {response}")
             finally:
                 # A consumer that abandons the stream mid-way must not leave
-                # unread frames to desynchronize the next request.
-                while not drained:
-                    response = read_frame(self._reader)
+                # unread frames to desynchronize the next request.  A broken
+                # connection cannot be resynchronized, so don't try.
+                while not drained and not self._broken:
+                    try:
+                        response = read_frame(self._reader)
+                    except (OSError, ProtocolError):
+                        self._broken = True
+                        break
                     if response is None or response.get("event") == "end" or (
                         response.get("ok") is False
                     ):

@@ -4,7 +4,11 @@ One frame is one JSON object terminated by a newline.  The client opens the
 conversation with a ``hello`` carrying :data:`PROTOCOL_VERSION`; the server
 answers with its own version (and the report :data:`~repro.api.report.SCHEMA_VERSION`
 it emits) or rejects the connection — explicit versioning on both layers so a
-fleet can roll servers and clients independently.
+fleet can roll servers and clients independently.  The protocol is
+transport-agnostic: the same frames flow over a Unix-domain socket (one
+host) or TCP (``repro serve --tcp HOST:PORT``, see :mod:`repro.fleet` for
+the multi-host router built on top); :func:`parse_address` tells the two
+apart.
 
 Requests are ``{"id": N, "op": <name>, "params": {...}}``, optionally
 carrying a correlation id in ``"rid"`` (minor protocol revision 1): the
@@ -47,7 +51,8 @@ from __future__ import annotations
 
 import io
 import json
-from typing import Mapping, Optional, Union
+from pathlib import Path
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -65,9 +70,11 @@ from repro.poisoning.models import (
 PROTOCOL_VERSION = 1
 
 #: Additive revision within the major version: 1 added the optional ``rid``
-#: request-frame field and the ``trace`` op.  Informational — peers never
-#: reject on a minor mismatch.
-PROTOCOL_MINOR = 1
+#: request-frame field and the ``trace`` op; 2 added the TCP transport,
+#: backend identity (``backend_id`` in the ``hello`` result) and the cache
+#: replication ops (``cache_probe`` / ``cache_fetch`` / ``cache_ingest``).
+#: Informational — peers never reject on a minor mismatch.
+PROTOCOL_MINOR = 2
 
 #: Version of the ``metrics`` op's snapshot schema (see module docstring).
 METRICS_VERSION = 1
@@ -92,6 +99,16 @@ class ProtocolError(ValueError):
     """A malformed, oversized, or version-incompatible frame."""
 
 
+class RequestTimeoutError(TimeoutError):
+    """A request exceeded the client's per-request timeout.
+
+    Subclasses :class:`TimeoutError` so :func:`repro.telemetry.events.classify_error`
+    buckets it as ``timeout`` rather than ``io``.  The connection is left in
+    an indeterminate state (the response may still be in flight), so clients
+    mark themselves broken after raising it.
+    """
+
+
 class RemoteError(RuntimeError):
     """A server-reported failure, re-raised client-side.
 
@@ -104,6 +121,49 @@ class RemoteError(RuntimeError):
         super().__init__(f"{kind}: {message}")
         self.kind = kind
         self.message = message
+
+
+# ---------------------------------------------------------------- addresses
+def parse_address(address: Union[str, Path]) -> Tuple[str, Union[str, Tuple[str, int]]]:
+    """Classify a server address as ``("unix", path)`` or ``("tcp", (host, port))``.
+
+    Accepted TCP spellings: ``"host:port"`` (the port all digits, no ``/`` in
+    the string — a plain filesystem path never parses as TCP) and an explicit
+    ``"tcp://host:port"``.  IPv6 literals use brackets: ``"[::1]:9000"``.
+    Everything else — :class:`~pathlib.Path` objects, strings with slashes,
+    bare names — is a Unix-socket path.
+    """
+    if isinstance(address, Path):
+        return ("unix", str(address))
+    text = str(address)
+    if text.startswith("unix://"):
+        return ("unix", text[len("unix://") :])
+    explicit = text.startswith("tcp://")
+    if explicit:
+        text = text[len("tcp://") :]
+    elif "/" in text:
+        return ("unix", text)
+    host, sep, port = text.rpartition(":")
+    if sep and host and port.isdigit():
+        if host.startswith("[") and host.endswith("]"):
+            host = host[1:-1]
+        return ("tcp", (host, int(port)))
+    if explicit:
+        raise ProtocolError(f"malformed tcp:// address {address!r}")
+    return ("unix", text)
+
+
+def format_address(address: Union[str, Path, Tuple[str, int]]) -> str:
+    """Canonical display form of an address (``host:port`` or the path)."""
+    if isinstance(address, tuple):
+        host, port = address
+        if ":" in host:
+            return f"[{host}]:{port}"
+        return f"{host}:{port}"
+    family, parsed = parse_address(address)
+    if family == "tcp":
+        return format_address(parsed)  # type: ignore[arg-type]
+    return str(parsed)
 
 
 # ------------------------------------------------------------------ framing
@@ -242,6 +302,24 @@ def model_from_wire(payload: Optional[Mapping]) -> Optional[PerturbationModel]:
             n_classes=None if classes is None else int(classes),
         )
     raise ProtocolError(f"unknown threat-model family {family!r}")
+
+
+# ------------------------------------------------------------------ budgets
+def budget_to_wire(budget: Union[int, Tuple[int, int]]) -> List[int]:
+    """Wire form of a cache budget key: always a ``[removals, flips]`` pair."""
+    if isinstance(budget, int):
+        return [budget, 0]
+    removals, flips = budget
+    return [int(removals), int(flips)]
+
+
+def budget_from_wire(payload: Sequence) -> Tuple[int, int]:
+    """Decode a ``[removals, flips]`` budget pair."""
+    if not isinstance(payload, Sequence) or isinstance(payload, (str, bytes)):
+        raise ProtocolError(f"budget must be a [removals, flips] pair, got {payload!r}")
+    if len(payload) != 2:
+        raise ProtocolError(f"budget must have exactly 2 entries, got {len(payload)}")
+    return (int(payload[0]), int(payload[1]))
 
 
 # ------------------------------------------------------------ engine config

@@ -1,6 +1,7 @@
 """The certification daemon: one warm runtime serving many clients.
 
-:class:`CertificationServer` binds a Unix-domain socket and serves the
+:class:`CertificationServer` binds a Unix-domain socket (or, with
+``tcp="HOST:PORT"``, a TCP socket — the fleet transport) and serves the
 JSON-lines protocol of :mod:`repro.service.protocol` from one long-lived
 :class:`~repro.runtime.CertificationRuntime`:
 
@@ -19,6 +20,16 @@ JSON-lines protocol of :mod:`repro.service.protocol` from one long-lived
 Each client connection is served by its own thread
 (:class:`socketserver.ThreadingMixIn`); ``SIGTERM``/``SIGINT`` shut the
 server down cleanly (socket file removed, cache committed and closed).
+
+Two fleet-serving extensions (protocol minor 2, see :mod:`repro.fleet`):
+
+* ``batch_window > 0`` coalesces concurrent single-point ``certify`` frames
+  for the same (dataset, model, engine) into pooled execution windows
+  through the engine's scheduler — a storm of tiny requests certifies as
+  one batch;
+* the ``cache_probe`` / ``cache_fetch`` / ``cache_ingest`` ops expose the
+  verdict cache's content-addressed rows so a router can replicate
+  dominance-derivable verdicts between shard servers.
 """
 
 from __future__ import annotations
@@ -34,7 +45,7 @@ import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Optional, Union
+from typing import Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -43,21 +54,33 @@ from repro.api.engine import CertificationEngine
 from repro.api.report import SCHEMA_VERSION
 from repro.api.request import CertificationRequest
 from repro.core.dataset import Dataset
-from repro.runtime.fingerprint import fingerprint_dataset
+from repro.poisoning.models import resolve_model_classes
+from repro.runtime.fingerprint import (
+    engine_cache_key,
+    fingerprint_dataset,
+    model_cache_key,
+    monotone_in_budget,
+    point_digest,
+)
 from repro.runtime.runtime import CertificationRuntime
 from repro.service.protocol import (
     METRICS_VERSION,
     PROTOCOL_MINOR,
     PROTOCOL_VERSION,
     ProtocolError,
+    budget_from_wire,
+    budget_to_wire,
     dataset_from_wire,
     encode_frame,
     engine_config_from_wire,
+    format_address,
     model_from_wire,
+    parse_address,
     read_frame,
 )
 from repro.telemetry import events, metrics, tracing
 from repro.utils.validation import ValidationError
+from repro.verify.result import VerificationResult
 
 _OP_REQUESTS = metrics.counter(
     "server_requests_total", "Protocol operations served.", labelnames=("op",)
@@ -75,8 +98,30 @@ class _ThreadingUnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamS
     certification_server: "CertificationServer"
 
 
+class _ThreadingTCPServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
+    """The fleet transport: the same handler over TCP.
+
+    ``allow_reuse_address`` lets a restarted backend rebind its port while
+    old connections linger in TIME_WAIT — the normal state right after a
+    failover.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+    certification_server: "CertificationServer"
+
+
 class _ClientHandler(socketserver.StreamRequestHandler):
     """One connection: read request frames, dispatch, write response frames."""
+
+    def setup(self) -> None:
+        # TCP connections get keepalive (detect silently-dead routers/clients
+        # under long certifications) and no Nagle delay (frames are small and
+        # latency-sensitive); both are meaningless on AF_UNIX.
+        if self.request.family in (socket.AF_INET, socket.AF_INET6):
+            self.request.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+            self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        super().setup()
 
     def handle(self) -> None:  # pragma: no cover - exercised via socket tests
         server: CertificationServer = self.server.certification_server
@@ -144,13 +189,19 @@ def _error_payload(error: BaseException) -> dict:
 
 
 class CertificationServer:
-    """Serve certification requests over a Unix socket from a warm runtime.
+    """Serve certification requests over a Unix or TCP socket from a warm runtime.
 
     Parameters
     ----------
     socket_path:
         Filesystem path of the Unix-domain socket to bind.  A stale socket
         file (left by a killed server) is replaced; a *live* one raises.
+        ``None`` requires ``tcp``.
+    tcp:
+        ``"HOST:PORT"`` TCP address to bind instead of a Unix socket (the
+        fleet transport; port 0 picks a free port, readable from
+        :attr:`tcp_address` after :meth:`start`).  Mutually exclusive with
+        ``socket_path``.
     cache_dir:
         Directory of the persistent verdict cache.  ``None`` creates an
         ephemeral cache for the server's lifetime — warm-cache semantics
@@ -159,18 +210,53 @@ class CertificationServer:
         Whether pool workers attach datasets from shared memory.
     max_engines / max_datasets:
         Bounds of the engine-configuration and decoded-dataset LRUs.
+    batch_window:
+        Seconds to hold a concurrent single-point ``certify`` frame open for
+        coalescing with others of the same (dataset, model, engine) before
+        flushing the pooled window through the scheduler.  ``0`` (default)
+        disables micro-batching.
     """
 
     def __init__(
         self,
-        socket_path: Union[str, Path],
+        socket_path: Optional[Union[str, Path]] = None,
         *,
+        tcp: Optional[Union[str, Tuple[str, int]]] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         shared_memory: bool = True,
         max_engines: int = 8,
         max_datasets: int = 16,
+        batch_window: float = 0.0,
     ) -> None:
-        self.socket_path = Path(socket_path)
+        if (socket_path is None) == (tcp is None):
+            raise ValidationError(
+                "exactly one of socket_path (Unix transport) and tcp "
+                "(fleet transport) must be given"
+            )
+        self.socket_path = None if socket_path is None else Path(socket_path)
+        self._tcp_target: Optional[Tuple[str, int]] = None
+        if tcp is not None:
+            if isinstance(tcp, tuple):
+                self._tcp_target = (str(tcp[0]), int(tcp[1]))
+            else:
+                family, parsed = parse_address(f"tcp://{tcp}" if "://" not in str(tcp) else str(tcp))
+                if family != "tcp":
+                    raise ValidationError(f"malformed tcp address {tcp!r}")
+                self._tcp_target = parsed  # type: ignore[assignment]
+        #: The bound TCP (host, port) — set at bind time (port 0 resolves).
+        self.tcp_address: Optional[Tuple[str, int]] = None
+        #: Stable identity this server reports in ``hello`` (protocol minor
+        #: 2): its bound address — what a router uses as the ring node name.
+        self.backend_id: Optional[str] = (
+            None if self.socket_path is None else str(self.socket_path)
+        )
+        self.batch_window = float(batch_window)
+        self._batcher = None
+        if self.batch_window > 0:
+            # Deferred import: repro.fleet is layered above repro.service.
+            from repro.fleet.batching import MicroBatcher
+
+            self._batcher = MicroBatcher(window_seconds=self.batch_window)
         self._ephemeral_cache: Optional[tempfile.TemporaryDirectory] = None
         if cache_dir is None:
             self._ephemeral_cache = tempfile.TemporaryDirectory(prefix="repro-serve-")
@@ -181,7 +267,9 @@ class CertificationServer:
         self._engines: "OrderedDict[tuple, CertificationEngine]" = OrderedDict()
         self._datasets: "OrderedDict[str, Dataset]" = OrderedDict()
         self._lock = threading.Lock()
-        self._server: Optional[_ThreadingUnixServer] = None
+        self._server: Optional[
+            Union[_ThreadingUnixServer, _ThreadingTCPServer]
+        ] = None
         self._serve_thread: Optional[threading.Thread] = None
         # Monotonic, not wall clock: uptime must never go negative or jump
         # when NTP steps the system clock.
@@ -215,18 +303,35 @@ class CertificationServer:
         finally:
             self.close()
 
+    @property
+    def address(self) -> str:
+        """The connectable address: the socket path, or ``host:port`` once bound."""
+        if self.socket_path is not None:
+            return str(self.socket_path)
+        if self.tcp_address is not None:
+            return format_address(self.tcp_address)
+        return format_address(self._tcp_target)  # type: ignore[arg-type]
+
     def _bind(self) -> None:
         if self._server is not None:
             raise RuntimeError("server already started")
-        self._remove_stale_socket()
-        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
-        server = _ThreadingUnixServer(str(self.socket_path), _ClientHandler)
+        server: Union[_ThreadingUnixServer, _ThreadingTCPServer]
+        if self._tcp_target is not None:
+            server = _ThreadingTCPServer(self._tcp_target, _ClientHandler)
+            host, port = server.server_address[:2]
+            self.tcp_address = (str(host), int(port))
+            self.backend_id = format_address(self.tcp_address)
+        else:
+            assert self.socket_path is not None
+            self._remove_stale_socket()
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            server = _ThreadingUnixServer(str(self.socket_path), _ClientHandler)
         server.certification_server = self
         self._server = server
         self._started_at = time.monotonic()
 
     def _remove_stale_socket(self) -> None:
-        if not self.socket_path.exists():
+        if self.socket_path is None or not self.socket_path.exists():
             return
         probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         try:
@@ -276,7 +381,8 @@ class CertificationServer:
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=10.0)
             self._serve_thread = None
-        self.socket_path.unlink(missing_ok=True)
+        if self.socket_path is not None:
+            self.socket_path.unlink(missing_ok=True)
         # Wait for handler threads that are mid-operation (possibly writing
         # verdicts) before pulling the cache out from under them; idle
         # connections hold no operation and do not delay shutdown.
@@ -353,6 +459,9 @@ class CertificationServer:
             "schema_version": SCHEMA_VERSION,
             "server_version": repro.__version__,
             "pid": os.getpid(),
+            # Minor 2: the server's bound-address identity, so a router can
+            # verify it reached the ring node it aimed for.
+            "backend_id": self.backend_id,
         }
 
     def _op_ping(self, params: dict) -> dict:
@@ -361,6 +470,12 @@ class CertificationServer:
 
     def _op_certify(self, params: dict) -> dict:
         engine, request, n_jobs = self._decode_certify(params)
+        # Single-point frames can coalesce into a pooled window when
+        # micro-batching is enabled; the window leader runs them through the
+        # scheduler as one batch.
+        if self._batcher is not None and len(request.points) == 1:
+            report = self._batcher.certify_one(engine, request)
+            return {"report": report.to_dict()}
         # engine.verify assembles the report exactly as the in-process API
         # does; runtime batch counters are thread-local, so this handler
         # thread's stream cannot pick up a concurrent request's stats.
@@ -449,6 +564,111 @@ class CertificationServer:
             ),
         )
 
+    # ------------------------------------------------------- cache replication
+    # Minor-2 ops: expose the verdict cache's content-addressed rows so a
+    # router can replicate dominance-derivable verdicts across shard servers
+    # (`repro route --replicate`).  Rows travel *raw* — the verdict exactly as
+    # stored, at the budget that produced the proof — and the receiving server
+    # re-derives locally through the same budget-monotone lookup it applies to
+    # its own rows, so replication can never widen what the cache would claim.
+
+    def _op_cache_probe(self, params: dict) -> dict:
+        """The cache identity of a certify-shaped request, plus hit flags.
+
+        The router calls this on the primary shard to learn which points
+        would miss, and with which ``(dataset_fp, family, engine_key,
+        budget)`` coordinates to ask siblings about.
+        """
+        engine = self.engine_for(engine_config_from_wire(params.get("engine")))
+        dataset = self.dataset_for(params["dataset"])
+        model = model_from_wire(params.get("model"))
+        if model is None:
+            raise ProtocolError("cache_probe requests must carry a threat model")
+        model = resolve_model_classes(model, dataset.n_classes)
+        family, budget = model_cache_key(model, len(dataset))
+        dataset_fp = fingerprint_dataset(dataset)
+        engine_key = engine_cache_key(engine)
+        monotone = monotone_in_budget(model)
+        points = np.asarray(params["points"], dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        cache = self.runtime.cache
+        entries = []
+        for row in points:
+            digest = point_digest(row)
+            hit = None
+            if cache is not None:
+                hit = cache.lookup(
+                    dataset_fp, digest, family, engine_key, budget, monotone=monotone
+                )
+            entries.append({"digest": digest, "cached": hit is not None})
+        return {
+            "dataset_fp": dataset_fp,
+            "engine_key": engine_key,
+            "family": family,
+            "budget": budget_to_wire(budget),
+            "monotone": monotone,
+            "points": entries,
+        }
+
+    def _op_cache_fetch(self, params: dict) -> dict:
+        """Ship stored verdict rows answering the queried budget (or null).
+
+        Each row carries the verdict *as stored* plus its ``stored_budget``;
+        the requester ingests it at that budget and derives locally.
+        """
+        cache = self.runtime.cache
+        if cache is None:  # pragma: no cover - servers always hold a cache
+            raise ValidationError("this server has no verdict cache to fetch from")
+        dataset_fp = str(params["dataset_fp"])
+        family = str(params["family"])
+        engine_key = str(params["engine_key"])
+        budget = budget_from_wire(params["budget"])
+        monotone = bool(params.get("monotone", True))
+        rows = []
+        for digest in params.get("digests") or ():
+            hit = cache.lookup(
+                dataset_fp, str(digest), family, engine_key, budget, monotone=monotone
+            )
+            if hit is None:
+                rows.append(None)
+            else:
+                rows.append(
+                    {
+                        "digest": str(digest),
+                        "kind": hit.kind,
+                        "stored_budget": budget_to_wire(hit.stored_budget),
+                        "status": hit.result.status.value,
+                        "result": hit.result.to_dict(),
+                    }
+                )
+        return {"rows": rows}
+
+    def _op_cache_ingest(self, params: dict) -> dict:
+        """Store replicated verdict rows (at their original stored budget)."""
+        cache = self.runtime.cache
+        if cache is None:  # pragma: no cover - servers always hold a cache
+            raise ValidationError("this server has no verdict cache to ingest into")
+        dataset_fp = str(params["dataset_fp"])
+        family = str(params["family"])
+        engine_key = str(params["engine_key"])
+        ingested = 0
+        for row in params.get("rows") or ():
+            if not isinstance(row, Mapping):
+                raise ProtocolError("cache_ingest rows must be objects")
+            result = VerificationResult.from_dict(dict(row["result"]))
+            stored = cache.store(
+                dataset_fp,
+                str(row["digest"]),
+                family,
+                engine_key,
+                budget_from_wire(row["budget"]),
+                result,
+            )
+            if stored:
+                ingested += 1
+        return {"ingested": ingested}
+
     def _op_stats(self, params: dict) -> dict:
         del params
         with self._lock:
@@ -524,6 +744,9 @@ class CertificationServer:
         "pareto_sweep": _op_pareto_sweep,
         "cache_stats": _op_cache_stats,
         "cache_gc": _op_cache_gc,
+        "cache_probe": _op_cache_probe,
+        "cache_fetch": _op_cache_fetch,
+        "cache_ingest": _op_cache_ingest,
         "stats": _op_stats,
         "metrics": _op_metrics,
         "trace": _op_trace,

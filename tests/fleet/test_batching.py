@@ -1,0 +1,118 @@
+"""Micro-batching tests: window pooling, correctness, and failure fan-out."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import CertificationEngine, CertificationRequest
+from repro.fleet import MicroBatcher
+from repro.poisoning.models import RemovalPoisoningModel
+from repro.runtime import CertificationRuntime
+from tests.conftest import well_separated_dataset
+
+POINTS = np.array([[0.5], [11.0], [5.0]])
+
+
+@pytest.fixture
+def engine(tmp_path):
+    # A runtime-backed engine, like the ones the server pools: the batch
+    # flush reads its window stats off runtime.last_batch_stats.
+    return CertificationEngine(
+        max_depth=1,
+        domain="box",
+        runtime=CertificationRuntime(tmp_path / "cache", shared_memory=False),
+    )
+
+
+def _request(dataset, row):
+    return CertificationRequest(dataset, np.asarray([row]), RemovalPoisoningModel(1))
+
+
+class TestWindowPooling:
+    def test_lone_request_matches_direct_verify(self, engine):
+        dataset = well_separated_dataset()
+        batcher = MicroBatcher(window_seconds=0.01)
+        report = batcher.certify_one(engine, _request(dataset, POINTS[0]))
+        direct = engine.verify(
+            CertificationRequest(dataset, POINTS[:1], RemovalPoisoningModel(1))
+        )
+        assert len(report.results) == 1
+        assert report.results[0].status == direct.results[0].status
+        assert report.results[0].predicted_class == direct.results[0].predicted_class
+        assert report.runtime_stats is not None
+
+    def test_concurrent_storm_pools_into_one_window(self, engine):
+        dataset = well_separated_dataset()
+        # A wide window so all three threads deterministically join the
+        # leader's window before it flushes.
+        batcher = MicroBatcher(window_seconds=0.5)
+        barrier = threading.Barrier(len(POINTS))
+        reports = [None] * len(POINTS)
+        errors = []
+
+        def storm(i):
+            try:
+                barrier.wait(timeout=10)
+                reports[i] = batcher.certify_one(engine, _request(dataset, POINTS[i]))
+            except BaseException as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=storm, args=(i,)) for i in range(len(POINTS))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        direct = engine.verify(
+            CertificationRequest(dataset, POINTS, RemovalPoisoningModel(1))
+        )
+        for i, report in enumerate(reports):
+            assert report is not None
+            assert len(report.results) == 1
+            assert report.results[0].status == direct.results[i].status
+        # Every frame shares the window's batch-level accounting: the pooled
+        # flush ran the learner once per distinct point, not once per frame
+        # per point, and all three reports carry the same stats snapshot.
+        stats = [r.runtime_stats for r in reports]
+        assert stats[0] == stats[1] == stats[2]
+        assert stats[0]["learner_invocations"] <= len(POINTS)
+
+    def test_distinct_models_never_pool(self, engine):
+        dataset = well_separated_dataset()
+        batcher = MicroBatcher(window_seconds=0.2)
+        results = {}
+
+        def run(budget):
+            request = CertificationRequest(
+                dataset, POINTS[:1], RemovalPoisoningModel(budget)
+            )
+            results[budget] = batcher.certify_one(engine, request)
+
+        threads = [threading.Thread(target=run, args=(n,)) for n in (1, 2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        # Budgets 1 and 2 are different wire models: each report's claimed
+        # budget must match its own request, not a pooled neighbour's.
+        assert results[1].results[0].poisoning_amount == 1
+        assert results[2].results[0].poisoning_amount == 2
+
+
+class TestFailurePropagation:
+    def test_flush_error_reaches_every_pooled_frame(self):
+        class ExplodingScheduler:
+            def stream_rows(self, dataset, model, rows, n_jobs):
+                raise RuntimeError("scheduler exploded")
+
+        class ExplodingEngine:
+            scheduler = ExplodingScheduler()
+            runtime = None
+
+        dataset = well_separated_dataset()
+        batcher = MicroBatcher(window_seconds=0.01)
+        with pytest.raises(RuntimeError, match="scheduler exploded"):
+            batcher.certify_one(ExplodingEngine(), _request(dataset, POINTS[0]))

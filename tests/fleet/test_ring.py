@@ -1,0 +1,88 @@
+"""Consistent-hash ring and shard-key tests (pure, no sockets)."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import HashRing, shard_key
+from repro.service.protocol import dataset_to_wire
+from tests.conftest import well_separated_dataset
+
+BACKENDS = ["10.0.0.1:7301", "10.0.0.2:7301", "10.0.0.3:7301"]
+
+
+class TestShardKey:
+    def test_deterministic(self):
+        payload = {"name": "iris", "scale": 0.5, "seed": 0}
+        assert shard_key(payload) == shard_key(payload)
+
+    def test_key_order_irrelevant(self):
+        assert shard_key({"a": 1, "b": 2}) == shard_key({"b": 2, "a": 1})
+
+    def test_distinct_payloads_distinct_keys(self):
+        assert shard_key({"name": "iris"}) != shard_key({"name": "wdbc"})
+
+    def test_inline_dataset_payload_hashes(self):
+        # The router shards on the wire payload without decoding it; the
+        # same dataset serialized twice must land on the same shard.
+        dataset = well_separated_dataset()
+        assert shard_key(dataset_to_wire(dataset)) == shard_key(
+            dataset_to_wire(dataset)
+        )
+
+
+class TestHashRing:
+    def test_primary_is_deterministic(self):
+        ring = HashRing(BACKENDS)
+        again = HashRing(list(BACKENDS))
+        for i in range(50):
+            key = shard_key({"name": f"ds-{i}"})
+            assert ring.primary(key) == again.primary(key)
+
+    def test_all_backends_get_keys(self):
+        # 64 vnodes per backend keep the ring balanced enough that 200
+        # random keys cannot all miss one of three backends.
+        ring = HashRing(BACKENDS)
+        owners = {ring.primary(shard_key({"name": f"ds-{i}"})) for i in range(200)}
+        assert owners == set(BACKENDS)
+
+    def test_preference_distinct_and_primary_first(self):
+        ring = HashRing(BACKENDS)
+        for i in range(50):
+            key = shard_key({"name": f"ds-{i}"})
+            preference = ring.preference(key, count=3)
+            assert preference[0] == ring.primary(key)
+            assert len(preference) == len(set(preference)) == 3
+
+    def test_removing_a_backend_only_moves_its_keys(self):
+        # Consistent hashing's point: keys owned by surviving backends
+        # stay put when one backend leaves the ring.
+        full = HashRing(BACKENDS)
+        reduced = HashRing(BACKENDS[:2])
+        for i in range(100):
+            key = shard_key({"name": f"ds-{i}"})
+            owner = full.primary(key)
+            if owner in BACKENDS[:2]:
+                assert reduced.primary(key) == owner
+
+    def test_failover_target_matches_preference(self):
+        ring = HashRing(BACKENDS)
+        key = shard_key({"name": "ds"})
+        preference = ring.preference(key, count=len(BACKENDS))
+        # The second preference is exactly where a failed request lands.
+        assert preference[1] != preference[0]
+        assert preference[1] in BACKENDS
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_duplicate_backends_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(["a:1", "a:1"])
+
+    def test_numpy_payloads_hash_via_canonical_json(self):
+        # Wire payloads may carry lists produced from numpy arrays; the
+        # canonical JSON encoder must treat them like plain lists.
+        a = shard_key({"X": np.asarray([[1.0, 2.0]]).tolist()})
+        b = shard_key({"X": [[1.0, 2.0]]})
+        assert a == b
